@@ -1,0 +1,163 @@
+package ndpage_test
+
+// Benchmark harness: one benchmark per paper table/figure (DESIGN.md
+// Section 4). Each benchmark regenerates its figure at a reduced scale
+// (subset of workloads, smaller windows) and reports the figure's
+// headline quantity via b.ReportMetric, so `go test -bench .` both
+// exercises the full pipeline and prints the reproduction's key numbers.
+// Full-scale tables come from `go run ./cmd/ndpexp`.
+
+import (
+	"strconv"
+	"testing"
+
+	"ndpage"
+)
+
+// benchExperiments returns a reduced-scale experiment runner. Three
+// workloads cover the three pattern classes: uniform random (rnd), graph
+// gather (pr), hot/cold hashing with growth (gen).
+func benchExperiments() *ndpage.Experiments {
+	return &ndpage.Experiments{
+		Instructions: 40_000,
+		Warmup:       8_000,
+		Footprint:    1 << 30,
+		Workloads:    []string{"rnd", "pr", "gen"},
+	}
+}
+
+// lastCell parses the numeric cell at the given column of a table's last
+// (summary) row. Cells may carry a % or x suffix.
+func lastCell(b *testing.B, t *ndpage.Table, col int) float64 {
+	b.Helper()
+	row := t.Rows[len(t.Rows)-1]
+	s := row[col]
+	for len(s) > 0 && (s[len(s)-1] == '%' || s[len(s)-1] == 'x') {
+		s = s[:len(s)-1]
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		b.Fatalf("cell %q: %v", row[col], err)
+	}
+	return v
+}
+
+func BenchmarkFig04_PTWLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := benchExperiments().Fig4()
+		b.ReportMetric(lastCell(b, t, 1), "cpu-ptw-cycles")
+		b.ReportMetric(lastCell(b, t, 2), "ndp-ptw-cycles")
+	}
+}
+
+func BenchmarkFig05_TranslationOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := benchExperiments().Fig5()
+		b.ReportMetric(lastCell(b, t, 1), "cpu-xlat-pct")
+		b.ReportMetric(lastCell(b, t, 2), "ndp-xlat-pct")
+	}
+}
+
+func BenchmarkFig06_CoreScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := benchExperiments().Fig6()
+		// Last row is the 8-core row; column 2 is NDP PTW.
+		b.ReportMetric(lastCell(b, t, 2), "ndp-ptw-8core")
+	}
+}
+
+func BenchmarkFig07_CachePollution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := benchExperiments().Fig7()
+		b.ReportMetric(lastCell(b, t, 1), "data-ideal-miss-pct")
+		b.ReportMetric(lastCell(b, t, 2), "data-actual-miss-pct")
+		b.ReportMetric(lastCell(b, t, 3), "metadata-miss-pct")
+	}
+}
+
+func BenchmarkFig08_Occupancy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := benchExperiments().Fig8()
+		// Report the PL1 occupancy of the last workload row.
+		b.ReportMetric(lastCell(b, t, 4), "pl1-occupancy-pct")
+		b.ReportMetric(lastCell(b, t, 2), "pl3-occupancy-pct")
+	}
+}
+
+func BenchmarkMotivation_SectionIVA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := benchExperiments()
+		t := e.Motivation()
+		_ = t
+		p := e.PWCRates()
+		_ = p
+	}
+}
+
+func BenchmarkFig12_SingleCoreSpeedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := benchExperiments().Fig12()
+		b.ReportMetric(lastCell(b, t, 1), "ech-speedup")
+		b.ReportMetric(lastCell(b, t, 3), "ndpage-speedup")
+	}
+}
+
+func BenchmarkFig13_QuadCoreSpeedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := benchExperiments().Fig13()
+		b.ReportMetric(lastCell(b, t, 3), "ndpage-speedup")
+	}
+}
+
+func BenchmarkFig14_OctaCoreSpeedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := benchExperiments().Fig14()
+		b.ReportMetric(lastCell(b, t, 3), "ndpage-speedup")
+		b.ReportMetric(lastCell(b, t, 2), "hugepage-speedup")
+	}
+}
+
+func BenchmarkAblation_NDPageDecomposition(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := benchExperiments().Ablation()
+		b.ReportMetric(lastCell(b, t, 1), "bypass-only-speedup")
+		b.ReportMetric(lastCell(b, t, 2), "flatten-only-speedup")
+		b.ReportMetric(lastCell(b, t, 3), "ndpage-speedup")
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed: simulated
+// instructions per wall-clock second for the default NDP/NDPage setup.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	cfg := ndpage.Config{
+		System:         ndpage.NDP,
+		Cores:          4,
+		Mechanism:      ndpage.NDPage,
+		Workload:       "bfs",
+		FootprintBytes: 512 << 20,
+		Warmup:         5_000,
+		Instructions:   50_000,
+	}
+	b.ResetTimer()
+	var instr uint64
+	for i := 0; i < b.N; i++ {
+		res, err := ndpage.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		instr += res.Instructions
+	}
+	b.ReportMetric(float64(instr)/b.Elapsed().Seconds(), "sim-instr/s")
+}
+
+func BenchmarkSensitivity_Oversubscription(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := &ndpage.Experiments{
+			Instructions: 20_000,
+			Warmup:       4_000,
+			Footprint:    512 << 20,
+		}
+		t := e.OversubscriptionStudy()
+		b.ReportMetric(lastCell(b, t, 3), "ndpage-oversub-slowdown")
+	}
+}

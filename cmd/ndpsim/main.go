@@ -1,0 +1,92 @@
+// Command ndpsim runs one simulation and prints its metric summary.
+//
+// Usage:
+//
+//	ndpsim -system ndp -mech NDPage -cores 4 -workload bfs
+//	ndpsim -mech Radix -workload rnd -instructions 500000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ndpage"
+	"ndpage/internal/addr"
+)
+
+func main() {
+	var (
+		system    = flag.String("system", "ndp", "system kind: ndp or cpu (Table I)")
+		mechName  = flag.String("mech", "NDPage", "translation mechanism: Radix, ECH, HugePage, NDPage, Ideal, FlattenOnly, BypassOnly")
+		cores     = flag.Int("cores", 1, "number of cores (1-64)")
+		wl        = flag.String("workload", "bfs", "workload name (see -list)")
+		footprint = flag.Uint64("footprint", 0, "dataset bytes (0 = scaled default)")
+		memory    = flag.Uint64("memory", 0, "physical memory bytes (0 = 16 GB)")
+		instr     = flag.Uint64("instructions", 0, "measured ops per core (0 = 300k)")
+		warmup    = flag.Uint64("warmup", 0, "warmup ops per core (0 = 30k)")
+		seed      = flag.Uint64("seed", 0, "random seed (0 = 42)")
+		list      = flag.Bool("list", false, "list workloads and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Print(ndpage.TableII())
+		return
+	}
+
+	mech, err := ndpage.ParseMechanism(*mechName)
+	if err != nil {
+		fatal(err)
+	}
+	sys := ndpage.NDP
+	switch *system {
+	case "ndp":
+	case "cpu":
+		sys = ndpage.CPU
+	default:
+		fatal(fmt.Errorf("unknown system %q (want ndp or cpu)", *system))
+	}
+
+	res, err := ndpage.Run(ndpage.Config{
+		System:         sys,
+		Cores:          *cores,
+		Mechanism:      mech,
+		Workload:       *wl,
+		FootprintBytes: *footprint,
+		MemoryBytes:    *memory,
+		Instructions:   *instr,
+		Warmup:         *warmup,
+		Seed:           *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("system=%s mechanism=%s cores=%d workload=%s\n", *system, mech, *cores, *wl)
+	fmt.Printf("  instructions        %d (%d loads, %d stores)\n", res.Instructions, res.Loads, res.Stores)
+	fmt.Printf("  cycles              %d (CPI %.2f)\n", res.Cycles, res.CPI())
+	fmt.Printf("  translation         %.1f%% of time, %d walks, mean PTW %.1f cycles\n",
+		100*res.TranslationOverhead(), res.Walks, res.MeanPTWLatency())
+	fmt.Printf("  TLB miss rate       %.2f%% (L1 %.2f%%, L2 %.2f%%)\n",
+		100*res.TLBMissRate(), 100*res.L1TLB.MissRate(), 100*res.L2TLB.MissRate())
+	fmt.Printf("  PTE share           %.1f%% of memory accesses (%d PTE accesses)\n",
+		100*res.PTEAccessShare(), res.PTEAccesses)
+	fmt.Printf("  L1 miss rates       data %.2f%%, metadata %.2f%% (%d bypassed)\n",
+		100*res.L1DataMissRate(), 100*res.L1PTEMissRate(), res.L1Bypassed)
+	fmt.Printf("  PWC hit rates       PL4 %.1f%% PL3 %.1f%% PL2 %.1f%%\n",
+		100*res.PWCHitRate(addr.PL4), 100*res.PWCHitRate(addr.PL3), 100*res.PWCHitRate(addr.PL2))
+	fmt.Printf("  DRAM                mean latency %.1f cycles, mean queue %.1f\n",
+		res.DRAMMeanLatency, res.DRAMMeanQueue)
+	fmt.Printf("  faults              %d x 4K, %d x 2M, %d huge fallbacks, %d compaction cycles\n",
+		res.Faults4K, res.Faults2M, res.HugeFallbacks, res.CompactionCycles)
+	fmt.Printf("  page table          %d mapped pages\n", res.MappedPages)
+	for _, o := range res.Occupancy {
+		fmt.Printf("    %-6s %6d nodes, occupancy %6.2f%%\n", o.Level, o.Nodes, 100*o.Rate())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ndpsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,52 @@
+// Package access defines the vocabulary types that flow through the memory
+// system: the operation kind (read/write) and the request class. The class
+// distinguishes normal program data from page-table metadata — the paper's
+// central distinction — so every cache, DRAM channel, and statistics
+// counter can account for them separately, and so the NDPage L1-bypass can
+// route PTE requests around the cache.
+package access
+
+// Op is the kind of memory operation.
+type Op uint8
+
+// Memory operation kinds.
+const (
+	Read Op = iota
+	Write
+)
+
+// String returns "read" or "write".
+func (o Op) String() string {
+	if o == Write {
+		return "write"
+	}
+	return "read"
+}
+
+// Class labels what a memory request carries.
+type Class uint8
+
+// Request classes. Data is normal program data; PTE is page-table metadata
+// (the paper's "metadata"); Code is instruction fetch.
+const (
+	Data Class = iota
+	PTE
+	Code
+
+	// NumClasses is the number of distinct classes, for array sizing.
+	NumClasses = 3
+)
+
+// String returns the class name used in reports.
+func (c Class) String() string {
+	switch c {
+	case Data:
+		return "data"
+	case PTE:
+		return "pte"
+	case Code:
+		return "code"
+	default:
+		return "unknown"
+	}
+}

@@ -1,0 +1,178 @@
+// Package assoc implements the generic set-associative, LRU-replaced
+// lookup structure that underlies every tagged hardware array in the
+// simulator: data caches, TLBs, and page-walk caches.
+//
+// Keys are uint64 tags chosen by the caller (cache-line numbers, virtual
+// page numbers, walk prefixes). The set index is taken from the low bits
+// of the key after a mixing step, so callers may pass keys with poor
+// low-bit entropy.
+package assoc
+
+// Table is a set-associative array mapping uint64 keys to values of type V
+// with true-LRU replacement within each set.
+type Table[V any] struct {
+	sets  int
+	ways  int
+	mask  uint64
+	lines []line[V] // sets*ways entries, set-major
+	clock uint64    // global LRU timestamp source
+}
+
+type line[V any] struct {
+	key   uint64
+	value V
+	valid bool
+	lru   uint64
+}
+
+// New creates a table with the given number of sets (must be a power of
+// two, >= 1) and ways (>= 1).
+func New[V any](sets, ways int) *Table[V] {
+	if sets < 1 || sets&(sets-1) != 0 {
+		panic("assoc: sets must be a positive power of two")
+	}
+	if ways < 1 {
+		panic("assoc: ways must be >= 1")
+	}
+	return &Table[V]{
+		sets:  sets,
+		ways:  ways,
+		mask:  uint64(sets - 1),
+		lines: make([]line[V], sets*ways),
+	}
+}
+
+// Sets returns the number of sets.
+func (t *Table[V]) Sets() int { return t.sets }
+
+// Ways returns the associativity.
+func (t *Table[V]) Ways() int { return t.ways }
+
+// Capacity returns sets*ways.
+func (t *Table[V]) Capacity() int { return t.sets * t.ways }
+
+// mix spreads key entropy into the set-index bits. Fibonacci hashing; keys
+// such as sequential VPNs stay conflict-free, pathological strides do not
+// all land in one set.
+func mix(key uint64) uint64 {
+	return key * 0x9e3779b97f4a7c15 >> 17
+}
+
+func (t *Table[V]) set(key uint64) []line[V] {
+	s := int(mix(key) & t.mask)
+	return t.lines[s*t.ways : (s+1)*t.ways]
+}
+
+// Lookup finds key, promoting it to most-recently-used. The second result
+// reports whether the key was present.
+func (t *Table[V]) Lookup(key uint64) (V, bool) {
+	set := t.set(key)
+	for i := range set {
+		if set[i].valid && set[i].key == key {
+			t.clock++
+			set[i].lru = t.clock
+			return set[i].value, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Peek finds key without updating recency.
+func (t *Table[V]) Peek(key uint64) (V, bool) {
+	set := t.set(key)
+	for i := range set {
+		if set[i].valid && set[i].key == key {
+			return set[i].value, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Update replaces the value of an existing key without changing recency.
+// It reports whether the key was present.
+func (t *Table[V]) Update(key uint64, v V) bool {
+	set := t.set(key)
+	for i := range set {
+		if set[i].valid && set[i].key == key {
+			set[i].value = v
+			return true
+		}
+	}
+	return false
+}
+
+// Insert adds key with value v, evicting the LRU entry of the set if it is
+// full. If the key is already present its value is replaced and promoted.
+// The eviction results report what was displaced, so caches can model
+// dirty write-backs.
+func (t *Table[V]) Insert(key uint64, v V) (evictedKey uint64, evictedVal V, evicted bool) {
+	set := t.set(key)
+	t.clock++
+	// Hit: replace in place.
+	for i := range set {
+		if set[i].valid && set[i].key == key {
+			set[i].value = v
+			set[i].lru = t.clock
+			return 0, evictedVal, false
+		}
+	}
+	// Free way.
+	for i := range set {
+		if !set[i].valid {
+			set[i] = line[V]{key: key, value: v, valid: true, lru: t.clock}
+			return 0, evictedVal, false
+		}
+	}
+	// Evict LRU.
+	victim := 0
+	for i := 1; i < len(set); i++ {
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	evictedKey, evictedVal = set[victim].key, set[victim].value
+	set[victim] = line[V]{key: key, value: v, valid: true, lru: t.clock}
+	return evictedKey, evictedVal, true
+}
+
+// Invalidate removes key, reporting whether it was present.
+func (t *Table[V]) Invalidate(key uint64) bool {
+	set := t.set(key)
+	for i := range set {
+		if set[i].valid && set[i].key == key {
+			set[i].valid = false
+			return true
+		}
+	}
+	return false
+}
+
+// Flush removes every entry.
+func (t *Table[V]) Flush() {
+	for i := range t.lines {
+		t.lines[i].valid = false
+	}
+}
+
+// Len returns the number of valid entries.
+func (t *Table[V]) Len() int {
+	n := 0
+	for i := range t.lines {
+		if t.lines[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// Range calls fn for every valid entry; if fn returns false iteration
+// stops. Iteration order is internal array order (deterministic).
+func (t *Table[V]) Range(fn func(key uint64, v V) bool) {
+	for i := range t.lines {
+		if t.lines[i].valid && !fn(t.lines[i].key, t.lines[i].value) {
+			return
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package assoc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, bad := range []struct{ sets, ways int }{{0, 1}, {3, 1}, {4, 0}, {-4, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) did not panic", bad.sets, bad.ways)
+				}
+			}()
+			New[int](bad.sets, bad.ways)
+		}()
+	}
+	tab := New[int](8, 2)
+	if tab.Sets() != 8 || tab.Ways() != 2 || tab.Capacity() != 16 {
+		t.Error("geometry accessors wrong")
+	}
+}
+
+func TestLookupInsert(t *testing.T) {
+	tab := New[string](4, 2)
+	if _, ok := tab.Lookup(1); ok {
+		t.Fatal("lookup in empty table hit")
+	}
+	tab.Insert(1, "one")
+	v, ok := tab.Lookup(1)
+	if !ok || v != "one" {
+		t.Fatalf("Lookup(1) = %q, %v", v, ok)
+	}
+	// Replace in place.
+	tab.Insert(1, "uno")
+	if v, _ := tab.Lookup(1); v != "uno" {
+		t.Fatalf("after replace: %q", v)
+	}
+	if tab.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tab.Len())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Fully-associative (1 set) makes LRU order easy to check.
+	tab := New[int](1, 2)
+	tab.Insert(10, 1)
+	tab.Insert(20, 2)
+	tab.Lookup(10) // promote 10; 20 becomes LRU
+	k, v, evicted := tab.Insert(30, 3)
+	if !evicted || k != 20 || v != 2 {
+		t.Fatalf("evicted (%d,%d,%v), want (20,2,true)", k, v, evicted)
+	}
+	if _, ok := tab.Lookup(10); !ok {
+		t.Error("promoted entry 10 was evicted")
+	}
+	if _, ok := tab.Lookup(20); ok {
+		t.Error("LRU entry 20 still present")
+	}
+}
+
+func TestPeekDoesNotPromote(t *testing.T) {
+	tab := New[int](1, 2)
+	tab.Insert(1, 1)
+	tab.Insert(2, 2)
+	tab.Peek(1) // must NOT promote 1
+	_, _, evicted := tab.Insert(3, 3)
+	if !evicted {
+		t.Fatal("expected eviction")
+	}
+	if _, ok := tab.Peek(1); ok {
+		t.Error("1 should have been evicted (Peek must not promote)")
+	}
+	if _, ok := tab.Peek(2); !ok {
+		t.Error("2 should have survived")
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	tab := New[int](1, 2)
+	tab.Insert(1, 1)
+	tab.Insert(2, 2)
+	if !tab.Update(1, 100) {
+		t.Fatal("Update of present key failed")
+	}
+	if tab.Update(99, 0) {
+		t.Fatal("Update of absent key succeeded")
+	}
+	// Update must not promote: 1 is still LRU.
+	_, _, _ = tab.Insert(3, 3)
+	if _, ok := tab.Peek(1); ok {
+		t.Error("Update promoted key 1")
+	}
+	if v, ok := tab.Peek(2); !ok || v != 2 {
+		t.Error("key 2 lost")
+	}
+}
+
+func TestInvalidateAndFlush(t *testing.T) {
+	tab := New[int](4, 2)
+	tab.Insert(1, 1)
+	tab.Insert(2, 2)
+	if !tab.Invalidate(1) {
+		t.Fatal("Invalidate of present key failed")
+	}
+	if tab.Invalidate(1) {
+		t.Fatal("Invalidate of absent key succeeded")
+	}
+	if tab.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tab.Len())
+	}
+	tab.Flush()
+	if tab.Len() != 0 {
+		t.Fatal("Flush left entries")
+	}
+}
+
+func TestRange(t *testing.T) {
+	tab := New[int](4, 2)
+	for k := uint64(0); k < 5; k++ {
+		tab.Insert(k, int(k)*10)
+	}
+	sum := 0
+	tab.Range(func(k uint64, v int) bool {
+		sum += v
+		return true
+	})
+	if sum != 0+10+20+30+40 {
+		t.Errorf("Range sum = %d", sum)
+	}
+	count := 0
+	tab.Range(func(k uint64, v int) bool {
+		count++
+		return false // early stop
+	})
+	if count != 1 {
+		t.Errorf("early-stop Range visited %d entries", count)
+	}
+}
+
+// Property: the table never holds more than capacity entries and a key
+// inserted last in its set is always found.
+func TestCapacityProperty(t *testing.T) {
+	f := func(keys []uint64) bool {
+		tab := New[uint64](4, 4)
+		for _, k := range keys {
+			tab.Insert(k, k)
+			if v, ok := tab.Lookup(k); !ok || v != k {
+				return false
+			}
+		}
+		return tab.Len() <= tab.Capacity()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: with unique keys not exceeding one set's ways, nothing is ever
+// evicted from a fully-associative table until capacity is reached.
+func TestNoPrematureEviction(t *testing.T) {
+	tab := New[int](1, 8)
+	for k := uint64(0); k < 8; k++ {
+		if _, _, evicted := tab.Insert(k, 0); evicted {
+			t.Fatalf("premature eviction at key %d", k)
+		}
+	}
+	if _, _, evicted := tab.Insert(8, 0); !evicted {
+		t.Fatal("insert beyond capacity did not evict")
+	}
+}
+
+func TestSetDistribution(t *testing.T) {
+	// Sequential keys must spread over sets, not collide in one.
+	tab := New[int](64, 1)
+	evictions := 0
+	for k := uint64(0); k < 64; k++ {
+		if _, _, ev := tab.Insert(k, 0); ev {
+			evictions++
+		}
+	}
+	// Perfect spreading would give 0; tolerate mild imbalance from mixing.
+	if evictions > 24 {
+		t.Errorf("sequential keys caused %d evictions in 64 sets", evictions)
+	}
+}
+
+func BenchmarkLookupHit(b *testing.B) {
+	t := New[uint64](64, 8)
+	t.Insert(42, 42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Lookup(42)
+	}
+}
+
+func BenchmarkInsertEvict(b *testing.B) {
+	t := New[uint64](64, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Insert(uint64(i), uint64(i))
+	}
+}

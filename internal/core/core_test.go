@@ -1,0 +1,343 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"ndpage/internal/access"
+	"ndpage/internal/addr"
+	"ndpage/internal/memsys"
+	"ndpage/internal/osmm"
+	"ndpage/internal/phys"
+)
+
+func newNDPHierarchy(mech Mechanism, cores int) *memsys.Hierarchy {
+	cfg := memsys.Default(memsys.NDP, cores)
+	cfg.BypassL1PTE = mech.BypassL1PTE()
+	return memsys.New(cfg)
+}
+
+// rig builds one core's MMU over a freshly mapped 64 MB region.
+func rig(t *testing.T, mech Mechanism) (*MMU, addr.V) {
+	t.Helper()
+	alloc := phys.New(1 << 30)
+	table := mech.NewTable(alloc)
+	as := osmm.New(table, alloc, osmm.DefaultConfig(mech.Policy(), alloc.TotalFrames()))
+	base := as.Alloc(64<<20, "data")
+	mem := newNDPHierarchy(mech, 1)
+	return NewMMU(mech, 0, table, mem), base
+}
+
+func TestMechanismStringAndParse(t *testing.T) {
+	for _, m := range Mechanisms {
+		got, err := ParseMechanism(m.String())
+		if err != nil || got != m {
+			t.Errorf("round trip %v failed: %v, %v", m, got, err)
+		}
+	}
+	if _, err := ParseMechanism("bogus"); err == nil {
+		t.Error("ParseMechanism accepted junk")
+	}
+	if !strings.Contains(Mechanism(99).String(), "99") {
+		t.Error("unknown mechanism String")
+	}
+}
+
+func TestMechanismProperties(t *testing.T) {
+	if Radix.BypassL1PTE() || ECH.BypassL1PTE() || HugePage.BypassL1PTE() {
+		t.Error("only NDPage bypasses the L1")
+	}
+	if !NDPage.BypassL1PTE() {
+		t.Error("NDPage must bypass the L1")
+	}
+	if HugePage.Policy() != osmm.Huge2M {
+		t.Error("HugePage needs the 2MB OS policy")
+	}
+	if Radix.Policy() != osmm.Base4K {
+		t.Error("Radix uses 4K pages")
+	}
+	alloc := phys.New(256 << 20)
+	if k := Radix.NewTable(alloc).Kind(); k != "radix" {
+		t.Errorf("Radix table = %s", k)
+	}
+	if k := NDPage.NewTable(alloc).Kind(); k != "flattened" {
+		t.Errorf("NDPage table = %s", k)
+	}
+	if k := ECH.NewTable(alloc).Kind(); k != "cuckoo" {
+		t.Errorf("ECH table = %s", k)
+	}
+	if _, ok := ECH.PWCConfig(); ok {
+		t.Error("ECH has no PWCs")
+	}
+	if cfg, ok := NDPage.PWCConfig(); !ok || len(cfg.Levels) != 2 {
+		t.Error("NDPage PWCs must cover exactly PL4 and PL3")
+	}
+}
+
+func TestTranslateCorrectness(t *testing.T) {
+	for _, mech := range Mechanisms {
+		mmu, base := rig(t, mech)
+		// Consecutive bytes in one page translate contiguously.
+		pa1, _ := mmu.Translate(0, base+100, access.Read)
+		pa2, _ := mmu.Translate(1000, base+101, access.Read)
+		if pa2 != pa1+1 {
+			t.Errorf("%v: intra-page contiguity broken", mech)
+		}
+		// Distinct pages map to distinct frames.
+		pa3, _ := mmu.Translate(2000, base+addr.PageSize+100, access.Read)
+		if pa3.Page() == pa1.Page() {
+			t.Errorf("%v: distinct pages share a frame", mech)
+		}
+	}
+}
+
+func TestIdealIsFree(t *testing.T) {
+	mmu, base := rig(t, Ideal)
+	_, done := mmu.Translate(12345, base, access.Read)
+	if done != 12345 {
+		t.Fatalf("Ideal translation took %d cycles", done-12345)
+	}
+	if mmu.Stats().PTEAccesses != 0 || mmu.Stats().Walks != 0 {
+		t.Error("Ideal issued PTE traffic")
+	}
+}
+
+func TestTLBHitFastPath(t *testing.T) {
+	mmu, base := rig(t, Radix)
+	_, t1 := mmu.Translate(0, base, access.Read) // cold: full walk
+	cold := t1
+	start := t1 + 100
+	_, t2 := mmu.Translate(start, base, access.Read)
+	if t2-start != mmu.DTLB().Latency() {
+		t.Errorf("warm translation = %d cycles, want L1 TLB latency %d",
+			t2-start, mmu.DTLB().Latency())
+	}
+	if cold <= t2-start {
+		t.Error("cold walk should cost more than a TLB hit")
+	}
+}
+
+func TestL2TLBPath(t *testing.T) {
+	mmu, base := rig(t, Radix)
+	mmu.Translate(0, base, access.Read)
+	// Flood the tiny L1 DTLB with other pages; base stays in the 1536-
+	// entry L2 TLB.
+	tNow := uint64(100000)
+	for i := 1; i <= 128; i++ {
+		_, tNow = mmu.Translate(tNow, base+addr.V(i*addr.PageSize), access.Read)
+	}
+	start := tNow + 10
+	_, end := mmu.Translate(start, base, access.Read)
+	want := mmu.DTLB().Latency() + mmu.STLB().Latency()
+	if end-start != want {
+		t.Errorf("L2 TLB hit = %d cycles, want %d", end-start, want)
+	}
+}
+
+func TestWalkDepthPerMechanism(t *testing.T) {
+	// With cold PWCs and cold caches, the first walk's PTE accesses:
+	// Radix 4, NDPage 3, ECH 3 (parallel), HugePage 3 (2MB leaf at PL2).
+	want := map[Mechanism]uint64{Radix: 4, NDPage: 3, ECH: 3, HugePage: 3}
+	for mech, n := range want {
+		mmu, base := rig(t, mech)
+		mmu.Translate(0, base, access.Read)
+		if got := mmu.Stats().PTEAccesses.Value(); got != n {
+			t.Errorf("%v: first walk issued %d PTE accesses, want %d", mech, got, n)
+		}
+	}
+}
+
+func TestPWCShortensSecondWalk(t *testing.T) {
+	mmu, base := rig(t, Radix)
+	mmu.Translate(0, base, access.Read) // fills PL4/PL3/PL2 PWC entries
+	before := mmu.Stats().PTEAccesses.Value()
+	// Different page, same 2 MB region: PL2 PWC hit -> only the PL1
+	// PTE is read.
+	mmu.Translate(100000, base+7*addr.PageSize, access.Read)
+	if got := mmu.Stats().PTEAccesses.Value() - before; got != 1 {
+		t.Errorf("PWC-assisted walk issued %d accesses, want 1", got)
+	}
+}
+
+func TestNDPageWalkIsSingleAccessAfterPWC(t *testing.T) {
+	mmu, base := rig(t, NDPage)
+	mmu.Translate(0, base, access.Read)
+	before := mmu.Stats().PTEAccesses.Value()
+	// Page in a *different 2 MB region* of the same GB: radix would need
+	// 2 accesses (PL2 PWC tags don't reach); NDPage needs 1 flattened
+	// access after its PL3 PWC hit.
+	mmu.Translate(100000, base+3*addr.HugePageSize, access.Read)
+	if got := mmu.Stats().PTEAccesses.Value() - before; got != 1 {
+		t.Errorf("NDPage cross-region walk = %d accesses, want 1", got)
+	}
+	// The same scenario under Radix costs 2 accesses.
+	rmmu, rbase := rig(t, Radix)
+	rmmu.Translate(0, rbase, access.Read)
+	before = rmmu.Stats().PTEAccesses.Value()
+	rmmu.Translate(100000, rbase+3*addr.HugePageSize, access.Read)
+	if got := rmmu.Stats().PTEAccesses.Value() - before; got != 2 {
+		t.Errorf("Radix cross-region walk = %d accesses, want 2", got)
+	}
+}
+
+func TestECHWalkLatencyIsMaxNotSum(t *testing.T) {
+	mmu, base := rig(t, ECH)
+	start := uint64(0)
+	_, end := mmu.Translate(start, base, access.Read)
+	walk := mmu.Stats().WalkCycles.Value()
+	// Three parallel HBM accesses from idle banks complete in roughly
+	// one access time (plus possible bus serialization), far less than
+	// 3x. One access ~ 4+110+4+4 = 122.
+	if walk > 2*130 {
+		t.Errorf("ECH walk latency %d looks sequential, want ~1 access", walk)
+	}
+	if end-start < 100 {
+		t.Errorf("ECH walk latency %d suspiciously low", end-start)
+	}
+}
+
+func TestNDPageBypassKeepsPTEsOutOfL1(t *testing.T) {
+	alloc := phys.New(1 << 30)
+	table := NDPage.NewTable(alloc)
+	as := osmm.New(table, alloc, osmm.DefaultConfig(osmm.Base4K, alloc.TotalFrames()))
+	base := as.Alloc(64<<20, "data")
+	mem := newNDPHierarchy(NDPage, 1)
+	mmu := NewMMU(NDPage, 0, table, mem)
+	tNow := uint64(0)
+	for i := 0; i < 200; i++ {
+		_, tNow = mmu.Translate(tNow, base+addr.V(i*addr.PageSize*3), access.Read)
+	}
+	l1 := mem.L1D(0).Stats()
+	if l1.PerClass[access.PTE].Total() != 0 {
+		t.Error("bypass enabled but PTE accesses probed the L1")
+	}
+	if l1.Bypassed.Value() == 0 {
+		t.Error("no bypasses recorded")
+	}
+}
+
+func TestRadixPTEsDoEnterL1(t *testing.T) {
+	mmu, base := rig(t, Radix)
+	tNow := uint64(0)
+	for i := 0; i < 50; i++ {
+		_, tNow = mmu.Translate(tNow, base+addr.V(i*addr.PageSize*3), access.Read)
+	}
+	// Baseline: PTE lookups hit the L1 cache path (pollution).
+	// Access the hierarchy through the MMU's walks only.
+	// The L1 must have seen PTE-class traffic.
+	stats := mmu.Stats()
+	if stats.PTEAccesses.Value() == 0 {
+		t.Fatal("no walks happened")
+	}
+}
+
+func TestHugePageTLBReach(t *testing.T) {
+	mmu, base := rig(t, HugePage)
+	// Touch every page of a 2 MB chunk: a single TLB entry serves all.
+	tNow := uint64(0)
+	for i := 0; i < 512; i++ {
+		_, tNow = mmu.Translate(tNow, base+addr.V(i*addr.PageSize), access.Read)
+	}
+	s := mmu.DTLB().Stats()
+	if s.Misses.Value() != 1 {
+		t.Errorf("huge-page sweep: %d DTLB misses, want 1", s.Misses.Value())
+	}
+	if mmu.Stats().Walks.Value() != 1 {
+		t.Errorf("huge-page sweep: %d walks, want 1", mmu.Stats().Walks.Value())
+	}
+}
+
+func TestTranslateCodePopulatesITLB(t *testing.T) {
+	mmu, base := rig(t, Radix)
+	pa := mmu.TranslateCode(base)
+	if pa2 := mmu.TranslateCode(base + 4); pa2 != pa+4 {
+		t.Error("code translation not contiguous")
+	}
+	if mmu.ITLB().Stats().Hits.Value() == 0 {
+		t.Error("second code fetch should hit the ITLB")
+	}
+}
+
+func TestUnmappedPanics(t *testing.T) {
+	mmu, _ := rig(t, Radix)
+	defer func() {
+		if recover() == nil {
+			t.Error("unmapped translation did not panic")
+		}
+	}()
+	mmu.Translate(0, addr.V(0x7000_0000_0000), access.Read)
+}
+
+func TestResetStats(t *testing.T) {
+	mmu, base := rig(t, Radix)
+	mmu.Translate(0, base, access.Read)
+	mmu.ResetStats()
+	s := mmu.Stats()
+	if s.Walks != 0 || s.TranslationCycles != 0 {
+		t.Error("MMU stats not reset")
+	}
+	if mmu.DTLB().Stats().Total() != 0 {
+		t.Error("TLB stats not reset")
+	}
+	// Contents preserved: next translate is a TLB hit, not a walk.
+	mmu.Translate(1000, base, access.Read)
+	if s.Walks != 0 {
+		t.Error("TLB contents were lost by ResetStats")
+	}
+}
+
+func TestMeanWalkLatency(t *testing.T) {
+	mmu, base := rig(t, Radix)
+	mmu.Translate(0, base, access.Read)
+	if mmu.Stats().MeanWalkLatency() <= 0 {
+		t.Error("MeanWalkLatency not recorded")
+	}
+	if mmu.Stats().MaxWalkCycles < uint64(mmu.Stats().MeanWalkLatency()) {
+		t.Error("max walk < mean walk")
+	}
+}
+
+func TestECHWayPredictionReducesProbes(t *testing.T) {
+	alloc := phys.New(1 << 30)
+	table := ECH.NewTable(alloc)
+	as := osmm.New(table, alloc, osmm.DefaultConfig(osmm.Base4K, alloc.TotalFrames()))
+	base := as.Alloc(64<<20, "data")
+	mem := newNDPHierarchy(ECH, 1)
+	plain := NewMMU(ECH, 0, table, mem)
+	predicted := NewMMUWithOptions(ECH, 0, table, memsys.New(memsys.Default(memsys.NDP, 1)),
+		Options{ECHWayPrediction: true})
+
+	// Walk the same 32KB region repeatedly: the CWC learns the way.
+	tp, tq := uint64(0), uint64(0)
+	var paP, paQ addr.P
+	for pass := 0; pass < 3; pass++ {
+		for i := 0; i < 8; i++ {
+			v := base + addr.V(i*addr.PageSize)
+			// Evict TLB entries between passes by using fresh MMock...
+			// simpler: fresh addresses per pass beyond TLB reach are
+			// not needed: first pass walks; later passes TLB-hit. So
+			// compare first-pass traffic on many distinct regions.
+			paP, tp = plain.Translate(tp, v, access.Read)
+			paQ, tq = predicted.Translate(tq, v, access.Read)
+			if paP != paQ {
+				t.Fatalf("prediction changed translation: %#x vs %#x", paP, paQ)
+			}
+		}
+	}
+	// Cold walks over many regions: plain issues 3 probes per walk;
+	// predicted issues ~1 after each region's first walk.
+	for i := 0; i < 512; i++ {
+		v := base + addr.V(8<<20) + addr.V(i*addr.PageSize)
+		plain.Translate(tp, v, access.Read)
+		predicted.Translate(tq, v, access.Read)
+	}
+	plainProbes := plain.Stats().PTEAccesses.Value()
+	predProbes := predicted.Stats().PTEAccesses.Value()
+	if predProbes >= plainProbes {
+		t.Errorf("way prediction did not reduce probes: %d vs %d", predProbes, plainProbes)
+	}
+	// Sanity: prediction must not fall below 1 probe per walk.
+	if predProbes < predicted.Stats().Walks.Value() {
+		t.Errorf("fewer probes (%d) than walks (%d)", predProbes, predicted.Stats().Walks.Value())
+	}
+}

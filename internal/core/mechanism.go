@@ -1,0 +1,128 @@
+// Package core implements the paper's primary contribution: the address
+// translation mechanisms evaluated in NDPage (Section VI), each assembled
+// as an MMU pipeline (TLBs -> page-walk caches -> hardware walker ->
+// memory hierarchy).
+//
+// The five mechanisms:
+//
+//   - Radix: the conventional x86-64 4-level radix page table with
+//     PL4/PL3/PL2 page-walk caches (the baseline).
+//   - ECH: elastic cuckoo hash table; three parallel PTE probes per walk
+//     (Skarlatos et al., the paper's strongest prior mechanism).
+//   - HugePage: transparent 2 MB pages over a 3-level effective walk,
+//     trading fault latency and physical contiguity for TLB reach.
+//   - NDPage: this paper — the flattened L2/L1 page table (3-access
+//     walk), PL4/PL3 PWCs only, and the L1 metadata bypass.
+//   - Ideal: every translation resolves instantly (the performance upper
+//     bound used in Figures 12-14).
+package core
+
+import (
+	"fmt"
+
+	"ndpage/internal/osmm"
+	"ndpage/internal/pagetable"
+	"ndpage/internal/phys"
+	"ndpage/internal/pwc"
+)
+
+// Mechanism selects an address-translation design.
+type Mechanism int
+
+// The evaluated mechanisms.
+const (
+	Radix Mechanism = iota
+	ECH
+	HugePage
+	NDPage
+	Ideal
+
+	// Ablation variants (DESIGN.md Section 5): NDPage's two ideas in
+	// isolation.
+
+	// FlattenOnly is NDPage's flattened L2/L1 table without the L1
+	// metadata bypass.
+	FlattenOnly
+	// BypassOnly is the conventional radix table with NDPage's L1
+	// metadata bypass.
+	BypassOnly
+)
+
+// Mechanisms lists the paper's evaluated mechanisms in presentation order.
+var Mechanisms = []Mechanism{Radix, ECH, HugePage, NDPage, Ideal}
+
+// AblationMechanisms lists the NDPage decomposition variants.
+var AblationMechanisms = []Mechanism{Radix, BypassOnly, FlattenOnly, NDPage}
+
+// String names the mechanism as in the paper's figures.
+func (m Mechanism) String() string {
+	switch m {
+	case Radix:
+		return "Radix"
+	case ECH:
+		return "ECH"
+	case HugePage:
+		return "HugePage"
+	case NDPage:
+		return "NDPage"
+	case Ideal:
+		return "Ideal"
+	case FlattenOnly:
+		return "FlattenOnly"
+	case BypassOnly:
+		return "BypassOnly"
+	default:
+		return fmt.Sprintf("Mechanism(%d)", int(m))
+	}
+}
+
+// ParseMechanism resolves a case-sensitive mechanism name, including the
+// ablation variants.
+func ParseMechanism(s string) (Mechanism, error) {
+	for _, m := range []Mechanism{Radix, ECH, HugePage, NDPage, Ideal, FlattenOnly, BypassOnly} {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown mechanism %q (want Radix, ECH, HugePage, NDPage, Ideal, FlattenOnly or BypassOnly)", s)
+}
+
+// Policy returns the OS page-size policy the mechanism requires.
+func (m Mechanism) Policy() osmm.Policy {
+	if m == HugePage {
+		return osmm.Huge2M
+	}
+	return osmm.Base4K
+}
+
+// NewTable builds the page-table organization for the mechanism, backed
+// by alloc. ECH's initial way size is chosen small; elastic resizing grows
+// it with the workload.
+func (m Mechanism) NewTable(alloc *phys.Allocator) pagetable.Table {
+	switch m {
+	case ECH:
+		return pagetable.NewCuckoo(alloc, 4096)
+	case NDPage, FlattenOnly:
+		return pagetable.NewFlattened(alloc)
+	default:
+		return pagetable.NewRadix(alloc)
+	}
+}
+
+// PWCConfig returns the page-walk-cache configuration, or ok=false for
+// mechanisms without PWCs (ECH uses parallel hashing; Ideal walks never
+// happen).
+func (m Mechanism) PWCConfig() (pwc.Config, bool) {
+	switch m {
+	case Radix, HugePage, BypassOnly:
+		return pwc.Default(), true
+	case NDPage, FlattenOnly:
+		return pwc.NDPage(), true
+	default:
+		return pwc.Config{}, false
+	}
+}
+
+// BypassL1PTE reports whether the mechanism routes PTE accesses around
+// the L1 cache (NDPage's metadata bypass, Section V-A).
+func (m Mechanism) BypassL1PTE() bool { return m == NDPage || m == BypassOnly }

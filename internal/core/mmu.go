@@ -1,0 +1,285 @@
+package core
+
+import (
+	"fmt"
+
+	"ndpage/internal/access"
+	"ndpage/internal/addr"
+	"ndpage/internal/assoc"
+	"ndpage/internal/memsys"
+	"ndpage/internal/pagetable"
+	"ndpage/internal/pwc"
+	"ndpage/internal/stats"
+	"ndpage/internal/tlb"
+)
+
+// Stats aggregates one MMU's translation activity.
+type Stats struct {
+	Translations      stats.Counter
+	TranslationCycles stats.Counter
+	Walks             stats.Counter
+	WalkCycles        stats.Counter
+	MaxWalkCycles     uint64
+	PTEAccesses       stats.Counter // PTE memory requests actually issued
+}
+
+// MeanWalkLatency returns the average page-table-walk latency in cycles
+// (Figure 4's metric).
+func (s *Stats) MeanWalkLatency() float64 {
+	return stats.Ratio(s.WalkCycles.Value(), s.Walks.Value())
+}
+
+// MMU is one core's memory-management unit: L1 D/I TLBs, a unified L2
+// TLB, optional page-walk caches, and a hardware walker over the
+// mechanism's page table. Not safe for concurrent use.
+type MMU struct {
+	mech   Mechanism
+	coreID int
+	dtlb   *tlb.TLB
+	itlb   *tlb.TLB
+	stlb   *tlb.TLB
+	pwcs   *pwc.PWC // nil when the mechanism has none
+	table  pagetable.Table
+	mem    *memsys.Hierarchy
+
+	walk     pagetable.Walk
+	fillBuf  []addr.Level
+	wayCache *assoc.Table[uint8] // ECH cuckoo-walk cache (optional)
+	statsure Stats
+}
+
+// Options tunes an MMU away from the Table I defaults, for sensitivity
+// studies.
+type Options struct {
+	// DisablePWC removes the page-walk caches (DESIGN.md ablation 2).
+	DisablePWC bool
+	// ECHWayPrediction adds the ECH paper's cuckoo-walk cache: a small
+	// cache predicting which way holds a region's translations, so most
+	// hash walks probe one way instead of d. Off by default (the
+	// NDPage paper's ECH baseline figures match plain d-probe ECH).
+	ECHWayPrediction bool
+}
+
+// NewMMU assembles the MMU for mech on core coreID. The TLB geometry is
+// Table I's; the PWC geometry follows the mechanism.
+func NewMMU(mech Mechanism, coreID int, table pagetable.Table, mem *memsys.Hierarchy) *MMU {
+	return NewMMUWithOptions(mech, coreID, table, mem, Options{})
+}
+
+// NewMMUWithOptions is NewMMU with sensitivity knobs.
+func NewMMUWithOptions(mech Mechanism, coreID int, table pagetable.Table, mem *memsys.Hierarchy, opts Options) *MMU {
+	m := &MMU{
+		mech:   mech,
+		coreID: coreID,
+		dtlb:   tlb.New(tlb.L1D()),
+		itlb:   tlb.New(tlb.L1I()),
+		stlb:   tlb.New(tlb.L2()),
+		table:  table,
+		mem:    mem,
+	}
+	if cfg, ok := mech.PWCConfig(); ok && !opts.DisablePWC {
+		m.pwcs = pwc.New(cfg)
+	}
+	if opts.ECHWayPrediction && mech == ECH {
+		// 64 entries x 4-way over 32 KB regions (8 pages per entry).
+		m.wayCache = assoc.New[uint8](16, 4)
+	}
+	return m
+}
+
+// cwcRegion is the way-prediction granularity: one entry covers 8 pages.
+func cwcRegion(v addr.V) uint64 { return uint64(v.Page()) >> 3 }
+
+// Mechanism returns the translation mechanism this MMU implements.
+func (m *MMU) Mechanism() Mechanism { return m.mech }
+
+// Stats returns the live translation counters.
+func (m *MMU) Stats() *Stats { return &m.statsure }
+
+// DTLB returns the L1 data TLB (for statistics).
+func (m *MMU) DTLB() *tlb.TLB { return m.dtlb }
+
+// ITLB returns the L1 instruction TLB.
+func (m *MMU) ITLB() *tlb.TLB { return m.itlb }
+
+// STLB returns the unified second-level TLB.
+func (m *MMU) STLB() *tlb.TLB { return m.stlb }
+
+// PWC returns the page-walk caches, or nil.
+func (m *MMU) PWC() *pwc.PWC { return m.pwcs }
+
+// ResetStats zeroes all translation counters (TLB/PWC contents persist).
+func (m *MMU) ResetStats() {
+	m.statsure = Stats{}
+	m.dtlb.ResetStats()
+	m.itlb.ResetStats()
+	m.stlb.ResetStats()
+	if m.pwcs != nil {
+		m.pwcs.ResetStats()
+	}
+}
+
+// Translate resolves the data-side virtual address v at absolute time now
+// and returns the physical address plus the absolute completion time. The
+// page must already be mapped (the OS model faults before translation, as
+// a real OS resolves the fault and restarts the access).
+func (m *MMU) Translate(now uint64, v addr.V, op access.Op) (addr.P, uint64) {
+	m.statsure.Translations.Inc()
+	if m.mech == Ideal {
+		// Every request hits an L1 TLB of zero latency (Section VI).
+		e, ok := m.table.Lookup(v.Page())
+		if !ok {
+			panic(unmapped(v))
+		}
+		return physical(e, v), now
+	}
+	vpn := v.Page()
+	t := now + m.dtlb.Latency()
+	if e, ok := m.dtlb.Lookup(vpn); ok {
+		m.statsure.TranslationCycles.Add(t - now)
+		return physical(pagetable.Entry(e), v), t
+	}
+	t += m.stlb.Latency()
+	if e, ok := m.stlb.Lookup(vpn); ok {
+		m.dtlb.Insert(vpn, e)
+		m.statsure.TranslationCycles.Add(t - now)
+		return physical(pagetable.Entry(e), v), t
+	}
+	entry, end := m.walkTable(t, v)
+	te := tlb.Entry{PFN: entry.PFN, Huge: entry.Huge}
+	m.dtlb.Insert(vpn, te)
+	m.stlb.Insert(vpn, te)
+	m.statsure.TranslationCycles.Add(end - now)
+	return physical(entry, v), end
+}
+
+// TranslateCode resolves an instruction-fetch address. Fetch translation
+// runs ahead of the pipeline, so it contributes structure activity (ITLB,
+// shared L2 TLB) but no cycles; code-side walks resolve functionally —
+// the paper's workloads are data-bound and their code footprint is a few
+// pages (see DESIGN.md substitutions).
+func (m *MMU) TranslateCode(v addr.V) addr.P {
+	vpn := v.Page()
+	if m.mech != Ideal {
+		if e, ok := m.itlb.Lookup(vpn); ok {
+			return physical(pagetable.Entry(e), v)
+		}
+		if e, ok := m.stlb.Lookup(vpn); ok {
+			m.itlb.Insert(vpn, e)
+			return physical(pagetable.Entry(e), v)
+		}
+	}
+	e, ok := m.table.Lookup(vpn)
+	if !ok {
+		panic(unmapped(v))
+	}
+	if m.mech != Ideal {
+		te := tlb.Entry{PFN: e.PFN, Huge: e.Huge}
+		m.itlb.Insert(vpn, te)
+		m.stlb.Insert(vpn, te)
+	}
+	return physical(e, v)
+}
+
+// walkTable performs the hardware page-table walk starting at time t and
+// returns the leaf entry and completion time.
+func (m *MMU) walkTable(t0 uint64, v addr.V) (pagetable.Entry, uint64) {
+	m.statsure.Walks.Inc()
+	t := t0
+	m.table.WalkInto(v, &m.walk)
+
+	switch {
+	case len(m.walk.Par) > 0:
+		t = m.walkHash(t, v)
+
+	default:
+		// Radix-style sequential walk, shortened by the deepest PWC
+		// hit: a hit at level L supplies the child-table base below
+		// L, so only deeper entries are read from memory.
+		skipDepth := -1
+		if m.pwcs != nil {
+			t += m.pwcs.Latency()
+			if deepest, ok := m.pwcs.Probe(v); ok {
+				skipDepth = addr.Depth(deepest)
+			}
+		}
+		for _, a := range m.walk.Seq {
+			if addr.Depth(a.Level) <= skipDepth {
+				continue
+			}
+			t = m.mem.Access(m.coreID, t, a.PA, access.Read, access.PTE)
+			m.statsure.PTEAccesses.Inc()
+		}
+		if m.pwcs != nil {
+			// Record the non-leaf entries this walk resolved.
+			m.fillBuf = m.fillBuf[:0]
+			for i, a := range m.walk.Seq {
+				if i < len(m.walk.Seq)-1 {
+					m.fillBuf = append(m.fillBuf, a.Level)
+				}
+			}
+			m.pwcs.Fill(v, m.fillBuf)
+		}
+	}
+
+	if !m.walk.Found {
+		panic(unmapped(v))
+	}
+	lat := t - t0
+	m.statsure.WalkCycles.Add(lat)
+	if lat > m.statsure.MaxWalkCycles {
+		m.statsure.MaxWalkCycles = lat
+	}
+	return m.walk.Entry, t
+}
+
+// walkHash performs a hash-table (ECH) walk: d parallel probes, or — with
+// the cuckoo-walk cache — one predicted probe with a full second round on
+// misprediction.
+func (m *MMU) walkHash(t uint64, v addr.V) uint64 {
+	probeAll := func(t uint64, skip int) uint64 {
+		end := t
+		for i, a := range m.walk.Par {
+			if i == skip {
+				continue
+			}
+			done := m.mem.Access(m.coreID, t, a.PA, access.Read, access.PTE)
+			m.statsure.PTEAccesses.Inc()
+			if done > end {
+				end = done
+			}
+		}
+		return end
+	}
+
+	if m.wayCache == nil {
+		return probeAll(t, -1)
+	}
+	region := cwcRegion(v)
+	t++ // CWC probe
+	hint, ok := m.wayCache.Lookup(region)
+	if ok && int(hint) < len(m.walk.Par) {
+		a := m.walk.Par[hint]
+		t = m.mem.Access(m.coreID, t, a.PA, access.Read, access.PTE)
+		m.statsure.PTEAccesses.Inc()
+		if m.walk.FoundIdx != int(hint) {
+			// Mispredict: fall back to a full round for the rest.
+			t = probeAll(t, int(hint))
+		}
+	} else {
+		t = probeAll(t, -1)
+	}
+	if m.walk.FoundIdx >= 0 {
+		m.wayCache.Insert(region, uint8(m.walk.FoundIdx))
+	}
+	return t
+}
+
+// physical applies a leaf entry to v.
+func physical(e pagetable.Entry, v addr.V) addr.P {
+	return e.Translate(v.Page()).Addr() + addr.P(v.Offset())
+}
+
+func unmapped(v addr.V) string {
+	return fmt.Sprintf("core: translation of unmapped address %#x (OS fault model must run first)", uint64(v))
+}

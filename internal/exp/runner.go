@@ -1,0 +1,165 @@
+// Package exp regenerates every table and figure of the paper's
+// evaluation (DESIGN.md Section 4): the motivation studies (Figures 4-8,
+// the Section IV-A scalars, the Section V-C PWC rates), the headline
+// speedup figures (12, 13, 14), and the NDPage ablation called out in
+// DESIGN.md.
+//
+// A Runner memoizes simulation results by (system, mechanism, cores,
+// workload) so figures sharing runs (e.g. Figure 4 and Figure 6) execute
+// each configuration once, and prefetches independent runs across
+// goroutines (each run builds its own Machine; nothing is shared).
+package exp
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+
+	"ndpage/internal/core"
+	"ndpage/internal/memsys"
+	"ndpage/internal/sim"
+	"ndpage/internal/workload"
+)
+
+// Key identifies one simulation configuration.
+type Key struct {
+	System   memsys.Kind
+	Mech     core.Mechanism
+	Cores    int
+	Workload string
+}
+
+func (k Key) String() string {
+	return fmt.Sprintf("%s/%s/%dc/%s", k.System, k.Mech, k.Cores, k.Workload)
+}
+
+// Runner executes and memoizes simulations.
+type Runner struct {
+	// Instructions and Warmup override the per-core op budgets (0 =
+	// simulator defaults). Experiments and quick benches share all other
+	// configuration with sim.Config defaults.
+	Instructions uint64
+	Warmup       uint64
+	// Footprint overrides the dataset size (0 = core-scaled default).
+	Footprint uint64
+	// Workloads restricts the benchmark set (nil = all of Table II).
+	Workloads []string
+	// Parallel bounds concurrent simulations (0 = min(4, NumCPU)).
+	Parallel int
+	// Progress, when non-nil, receives one line per completed run.
+	Progress io.Writer
+
+	mu    sync.Mutex
+	cache map[Key]*sim.Result
+}
+
+// WorkloadNames returns the active benchmark set in paper order.
+func (r *Runner) WorkloadNames() []string {
+	if r.Workloads != nil {
+		return r.Workloads
+	}
+	return workload.Names()
+}
+
+// config builds the sim.Config for a key.
+func (r *Runner) config(k Key) sim.Config {
+	return sim.Config{
+		System:         k.System,
+		Cores:          k.Cores,
+		Mechanism:      k.Mech,
+		Workload:       k.Workload,
+		Instructions:   r.Instructions,
+		Warmup:         r.Warmup,
+		FootprintBytes: r.Footprint,
+	}
+}
+
+// Get returns the memoized result for k, running it if needed.
+func (r *Runner) Get(k Key) *sim.Result {
+	r.mu.Lock()
+	if r.cache == nil {
+		r.cache = make(map[Key]*sim.Result)
+	}
+	if res, ok := r.cache[k]; ok {
+		r.mu.Unlock()
+		return res
+	}
+	r.mu.Unlock()
+
+	res, err := sim.RunConfig(r.config(k))
+	if err != nil {
+		panic(fmt.Sprintf("exp: %s: %v", k, err))
+	}
+	r.mu.Lock()
+	r.cache[k] = res
+	r.mu.Unlock()
+	if r.Progress != nil {
+		fmt.Fprintf(r.Progress, "done %s (%.2fM cycles)\n", k, float64(res.Cycles)/1e6)
+	}
+	return res
+}
+
+// Prefetch runs the given keys concurrently (memoized; duplicates are
+// deduplicated).
+func (r *Runner) Prefetch(keys []Key) {
+	seen := map[Key]bool{}
+	var todo []Key
+	r.mu.Lock()
+	if r.cache == nil {
+		r.cache = make(map[Key]*sim.Result)
+	}
+	for _, k := range keys {
+		if _, cached := r.cache[k]; !cached && !seen[k] {
+			seen[k] = true
+			todo = append(todo, k)
+		}
+	}
+	r.mu.Unlock()
+
+	par := r.Parallel
+	if par <= 0 {
+		par = runtime.NumCPU()
+		if par > 4 {
+			par = 4
+		}
+	}
+	// Run heavier configurations first for better packing.
+	sort.SliceStable(todo, func(i, j int) bool { return todo[i].Cores > todo[j].Cores })
+
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	for _, k := range todo {
+		wg.Add(1)
+		go func(k Key) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			r.Get(k)
+		}(k)
+	}
+	wg.Wait()
+}
+
+// speedupKeys enumerates the Figure 12/13/14 matrix for one core count.
+func (r *Runner) speedupKeys(cores int) []Key {
+	var keys []Key
+	for _, wl := range r.WorkloadNames() {
+		for _, mech := range core.Mechanisms {
+			keys = append(keys, Key{memsys.NDP, mech, cores, wl})
+		}
+	}
+	return keys
+}
+
+// radixPairKeys enumerates CPU+NDP Radix runs (Figures 4-6).
+func (r *Runner) radixPairKeys(cores int) []Key {
+	var keys []Key
+	for _, wl := range r.WorkloadNames() {
+		keys = append(keys,
+			Key{memsys.NDP, core.Radix, cores, wl},
+			Key{memsys.CPU, core.Radix, cores, wl})
+	}
+	return keys
+}

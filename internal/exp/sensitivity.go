@@ -1,0 +1,131 @@
+package exp
+
+import (
+	"fmt"
+
+	"ndpage/internal/core"
+	"ndpage/internal/memsys"
+	"ndpage/internal/sim"
+	"ndpage/internal/stats"
+)
+
+// runCustom executes one non-matrix configuration (sensitivity knobs are
+// not part of the memoized Key space, so these run uncached).
+func (r *Runner) runCustom(cfg sim.Config) *sim.Result {
+	if cfg.Instructions == 0 {
+		cfg.Instructions = r.Instructions
+	}
+	if cfg.Warmup == 0 {
+		cfg.Warmup = r.Warmup
+	}
+	if cfg.FootprintBytes == 0 {
+		cfg.FootprintBytes = r.Footprint
+	}
+	res, err := sim.RunConfig(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("exp: sensitivity run: %v", err))
+	}
+	if r.Progress != nil {
+		fmt.Fprintf(r.Progress, "done sensitivity %s/%s/%dc/%s\n",
+			cfg.System, cfg.Mechanism, cfg.Cores, cfg.Workload)
+	}
+	return res
+}
+
+// PWCSensitivity measures DESIGN.md ablation 2: walks with and without
+// page-walk caches, Radix vs NDPage, on the 4-core NDP system.
+func (r *Runner) PWCSensitivity() *stats.Table {
+	t := stats.NewTable("Sensitivity: page-walk caches (4-core NDP)",
+		"workload", "mech", "ptw with pwc", "ptw without", "slowdown")
+	for _, wl := range r.WorkloadNames() {
+		for _, mech := range []core.Mechanism{core.Radix, core.NDPage} {
+			with := r.Get(Key{memsys.NDP, mech, 4, wl})
+			without := r.runCustom(sim.Config{
+				System: memsys.NDP, Cores: 4, Mechanism: mech,
+				Workload: wl, DisablePWC: true,
+			})
+			t.AddRow(wl, mech.String(),
+				stats.F(with.MeanPTWLatency()),
+				stats.F(without.MeanPTWLatency()),
+				stats.F(float64(without.Cycles)/float64(with.Cycles)))
+		}
+	}
+	t.AddNote("PWCs absorb the PL4/PL3 accesses; removing them lengthens every walk")
+	return t
+}
+
+// HBMChannelSensitivity measures DESIGN.md ablation 3: the Figure 6a
+// queueing driver as a function of the NDP vault partition width.
+func (r *Runner) HBMChannelSensitivity() *stats.Table {
+	t := stats.NewTable("Sensitivity: HBM channels visible to the NDP cluster (8-core Radix)",
+		"workload", "1ch ptw", "2ch ptw", "4ch ptw", "8ch ptw")
+	for _, wl := range r.WorkloadNames() {
+		row := []string{wl}
+		for _, ch := range []int{1, 2, 4, 8} {
+			res := r.runCustom(sim.Config{
+				System: memsys.NDP, Cores: 8, Mechanism: core.Radix,
+				Workload: wl, HBMChannels: ch,
+			})
+			row = append(row, stats.F(res.MeanPTWLatency()))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("narrower partitions queue concurrent walks; 2 channels is the default")
+	return t
+}
+
+// PopulationSensitivity measures DESIGN.md ablation 4: eager versus full
+// demand population, exposing fault costs per mechanism (2-core NDP keeps
+// the demand runs affordable).
+func (r *Runner) PopulationSensitivity() *stats.Table {
+	t := stats.NewTable("Sensitivity: eager vs demand population (2-core NDP)",
+		"workload", "mech", "eager cycles", "demand cycles", "demand faults")
+	for _, wl := range r.WorkloadNames() {
+		for _, mech := range []core.Mechanism{core.Radix, core.HugePage} {
+			eager := r.runCustom(sim.Config{
+				System: memsys.NDP, Cores: 2, Mechanism: mech, Workload: wl,
+			})
+			demand := r.runCustom(sim.Config{
+				System: memsys.NDP, Cores: 2, Mechanism: mech, Workload: wl,
+				DemandPaging: true,
+			})
+			t.AddRow(wl, mech.String(),
+				fmt.Sprintf("%.1fM", float64(eager.Cycles)/1e6),
+				fmt.Sprintf("%.1fM", float64(demand.Cycles)/1e6),
+				stats.I(demand.Faults4K+demand.Faults2M))
+		}
+	}
+	t.AddNote("demand population charges every first touch inside the window;")
+	t.AddNote("the paper's measurement windows (500M instr) amortize this, short windows cannot")
+	return t
+}
+
+// OversubscriptionStudy models datasets larger than memory (the paper's
+// GenomicsBench is 33 GB against 16 GB of DRAM): a resident-memory cap
+// forces FIFO chunk reclaim, so cold data re-faults inside the window.
+// This is the regime where transparent huge pages collapse — every
+// re-fault zero-fills 2 MB and stalls on compaction — and a key reason
+// the paper's 8-core Huge Page bar drops below Radix.
+func (r *Runner) OversubscriptionStudy() *stats.Table {
+	t := stats.NewTable("Extension: dataset larger than memory (2-core NDP, gen)",
+		"mech", "fits (cycles)", "oversubscribed", "slowdown", "reclaims", "faults")
+	const wl = "gen"
+	for _, mech := range []core.Mechanism{core.Radix, core.HugePage, core.NDPage} {
+		fits := r.runCustom(sim.Config{
+			System: memsys.NDP, Cores: 2, Mechanism: mech, Workload: wl,
+		})
+		over := r.runCustom(sim.Config{
+			System: memsys.NDP, Cores: 2, Mechanism: mech, Workload: wl,
+			ResidentLimitBytes: 3 << 30, FootprintBytes: 6 << 30,
+		})
+		t.AddRow(mech.String(),
+			fmt.Sprintf("%.1fM", float64(fits.Cycles)/1e6),
+			fmt.Sprintf("%.1fM", float64(over.Cycles)/1e6),
+			stats.F(float64(over.Cycles)/float64(fits.Cycles)),
+			stats.I(over.ReclaimedChunks),
+			stats.I(over.Faults4K+over.Faults2M))
+	}
+	t.AddNote("reclaim makes huge pages pay 2MB zero-fill + compaction per re-fault;")
+	t.AddNote("4KB mechanisms re-fault only the touched pages")
+	return t
+}

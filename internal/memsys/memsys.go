@@ -1,0 +1,254 @@
+// Package memsys composes the per-system memory hierarchy from Table I:
+//
+//	CPU:  per-core L1I/L1D (32 KB) -> per-core L2 (512 KB) ->
+//	      shared L3 (2 MB/core) -> 4-hop mesh -> DDR4-2400
+//	NDP:  per-core L1I/L1D (32 KB) -> 1-hop vault link -> HBM2
+//
+// Every request carries an access.Class. The hierarchy supports NDPage's
+// metadata bypass: when enabled, PTE-class requests skip the L1 entirely
+// and go straight to memory, so they are neither slowed by a pointless L1
+// probe-and-fill nor allowed to evict data lines (paper Section V-A).
+// Classes are otherwise treated identically, which is exactly the
+// baseline behaviour the paper criticizes.
+package memsys
+
+import (
+	"fmt"
+
+	"ndpage/internal/access"
+	"ndpage/internal/addr"
+	"ndpage/internal/cache"
+	"ndpage/internal/dram"
+	"ndpage/internal/noc"
+)
+
+// Kind selects CPU or NDP system organization.
+type Kind int
+
+// System kinds.
+const (
+	CPU Kind = iota
+	NDP
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	if k == NDP {
+		return "ndp"
+	}
+	return "cpu"
+}
+
+// Config describes the full memory system of one simulated machine.
+type Config struct {
+	Kind  Kind
+	Cores int
+	L1D   cache.Config
+	L1I   cache.Config
+	L2    cache.Config // per core; used when Kind == CPU
+	L3    cache.Config // shared; Size is per core and scaled by Cores
+	Mesh  noc.Config
+	DRAM  dram.Config
+	// BypassL1PTE enables NDPage's metadata bypass (PTE-class requests
+	// skip the L1 and go straight to memory).
+	BypassL1PTE bool
+}
+
+// Default returns the Table I configuration for the given kind and core
+// count.
+func Default(kind Kind, cores int) Config {
+	cfg := Config{
+		Kind:  kind,
+		Cores: cores,
+		L1D:   cache.Config{Name: "L1D", Size: 32 << 10, Ways: 8, Latency: 4},
+		L1I:   cache.Config{Name: "L1I", Size: 32 << 10, Ways: 8, Latency: 4},
+	}
+	if kind == CPU {
+		cfg.L2 = cache.Config{Name: "L2", Size: 512 << 10, Ways: 16, Latency: 16}
+		cfg.L3 = cache.Config{Name: "L3", Size: 2 << 20, Ways: 16, Latency: 35}
+		cfg.Mesh = noc.CPUMesh()
+		cfg.DRAM = dram.DDR4()
+	} else {
+		cfg.Mesh = noc.NDPMesh()
+		cfg.DRAM = dram.HBM2()
+	}
+	return cfg
+}
+
+// Hierarchy is the instantiated memory system. Not safe for concurrent
+// use; the simulator serializes accesses in global time order.
+type Hierarchy struct {
+	cfg  Config
+	l1d  []*cache.Cache
+	l1i  []*cache.Cache
+	l2   []*cache.Cache
+	l3   *cache.Cache
+	mesh *noc.Mesh
+	mem  *dram.Memory
+}
+
+// New instantiates the hierarchy.
+func New(cfg Config) *Hierarchy {
+	if cfg.Cores <= 0 {
+		panic(fmt.Sprintf("memsys: invalid core count %d", cfg.Cores))
+	}
+	h := &Hierarchy{
+		cfg:  cfg,
+		mesh: noc.New(cfg.Mesh),
+		mem:  dram.New(cfg.DRAM),
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		d := cfg.L1D
+		d.Name = fmt.Sprintf("L1D.%d", i)
+		h.l1d = append(h.l1d, cache.New(d))
+		ic := cfg.L1I
+		ic.Name = fmt.Sprintf("L1I.%d", i)
+		h.l1i = append(h.l1i, cache.New(ic))
+		if cfg.Kind == CPU {
+			l2 := cfg.L2
+			l2.Name = fmt.Sprintf("L2.%d", i)
+			h.l2 = append(h.l2, cache.New(l2))
+		}
+	}
+	if cfg.Kind == CPU {
+		l3 := cfg.L3
+		l3.Size *= uint64(cfg.Cores) // 2 MB per core, shared
+		h.l3 = cache.New(l3)
+	}
+	return h
+}
+
+// Config returns the configuration.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// L1D returns core i's L1 data cache (for statistics).
+func (h *Hierarchy) L1D(core int) *cache.Cache { return h.l1d[core] }
+
+// L1I returns core i's L1 instruction cache.
+func (h *Hierarchy) L1I(core int) *cache.Cache { return h.l1i[core] }
+
+// L2 returns core i's L2 cache, or nil on NDP systems.
+func (h *Hierarchy) L2(core int) *cache.Cache {
+	if h.l2 == nil {
+		return nil
+	}
+	return h.l2[core]
+}
+
+// L3 returns the shared L3, or nil on NDP systems.
+func (h *Hierarchy) L3() *cache.Cache { return h.l3 }
+
+// Mesh returns the interconnect.
+func (h *Hierarchy) Mesh() *noc.Mesh { return h.mesh }
+
+// DRAM returns the memory device.
+func (h *Hierarchy) DRAM() *dram.Memory { return h.mem }
+
+// Access issues one 64 B request from a core at absolute time now and
+// returns the absolute completion time.
+func (h *Hierarchy) Access(core int, now uint64, pa addr.P, op access.Op, class access.Class) uint64 {
+	if h.cfg.BypassL1PTE && class == access.PTE {
+		// NDPage metadata bypass: no L1 probe, no L1 fill. On CPU
+		// systems the deeper levels still apply; the evaluated NDP
+		// configuration has no deeper levels, so this goes straight
+		// to memory.
+		h.l1d[core].Stats().Bypassed.Inc()
+		if h.cfg.Kind == CPU {
+			return h.cpuBeyondL1(core, now, pa, op, class)
+		}
+		return h.memAccess(now, pa, op, class)
+	}
+
+	l1 := h.l1d[core]
+	if class == access.Code {
+		l1 = h.l1i[core]
+	}
+	line := pa.Line()
+	t := now + l1.Latency()
+	if l1.Lookup(line, op, class) {
+		return t
+	}
+	if h.cfg.Kind == CPU {
+		t = h.cpuBeyondL1(core, t, pa, op, class)
+	} else {
+		t = h.memAccess(t, pa, op, class)
+	}
+	h.fill(core, l1, 0, line, op, class, t)
+	return t
+}
+
+// cpuBeyondL1 walks L2 -> L3 -> memory on the CPU system, filling on the
+// way back.
+func (h *Hierarchy) cpuBeyondL1(core int, t uint64, pa addr.P, op access.Op, class access.Class) uint64 {
+	line := pa.Line()
+	l2 := h.l2[core]
+	t += l2.Latency()
+	if l2.Lookup(line, op, class) {
+		return t
+	}
+	t += h.l3.Latency()
+	if h.l3.Lookup(line, op, class) {
+		h.fill(core, l2, 1, line, op, class, t)
+		return t
+	}
+	t = h.memAccess(t, pa, op, class)
+	h.fill(core, h.l3, 2, line, op, class, t)
+	h.fill(core, l2, 1, line, op, class, t)
+	return t
+}
+
+// memAccess crosses the interconnect, accesses DRAM, and returns.
+func (h *Hierarchy) memAccess(t uint64, pa addr.P, op access.Op, class access.Class) uint64 {
+	t = h.mesh.Traverse(t)
+	t = h.mem.Access(t, pa, op, class)
+	return t + h.mesh.OneWay() // response path
+}
+
+// fill inserts a line into cache c (depth 0 = L1, 1 = L2, 2 = L3) and
+// routes any dirty victim outward: inner victims are absorbed by the next
+// level that holds the line; victims leaving the outermost level become
+// asynchronous DRAM writes (they occupy a bank but do not stall the core).
+func (h *Hierarchy) fill(core int, c *cache.Cache, depth int, line uint64, op access.Op, class access.Class, t uint64) {
+	ev, evicted := c.Fill(line, op, class)
+	if !evicted || !ev.Dirty {
+		return
+	}
+	switch {
+	case h.cfg.Kind == CPU && depth == 0:
+		if h.l2[core].WritebackInto(ev.Line) {
+			return
+		}
+		fallthrough
+	case h.cfg.Kind == CPU && depth == 1:
+		if h.l3.WritebackInto(ev.Line) {
+			return
+		}
+		fallthrough
+	default:
+		h.asyncWrite(ev.Line, ev.Class, t)
+	}
+}
+
+// asyncWrite models a write-back leaving the cache hierarchy.
+func (h *Hierarchy) asyncWrite(line uint64, class access.Class, t uint64) {
+	wt := h.mesh.Traverse(t)
+	h.mem.Access(wt, addr.P(line<<addr.LineShift), access.Write, class)
+}
+
+// ResetStats zeroes every component's counters; timing state (bank
+// occupancy, cache contents) is preserved so measurement windows start
+// warm.
+func (h *Hierarchy) ResetStats() {
+	for i := range h.l1d {
+		h.l1d[i].ResetStats()
+		h.l1i[i].ResetStats()
+	}
+	for i := range h.l2 {
+		h.l2[i].ResetStats()
+	}
+	if h.l3 != nil {
+		h.l3.ResetStats()
+	}
+	*h.mesh.Stats() = noc.Stats{}
+	*h.mem.Stats() = dram.Stats{}
+}

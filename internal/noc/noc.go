@@ -1,0 +1,84 @@
+// Package noc models the on-chip/in-package interconnect between cores
+// and memory as a fixed-hop mesh path with a serialized ingress link.
+//
+// Table I specifies a mesh with 4-cycle hop latency and 512-bit links.
+// The simulator uses the mesh asymmetrically, which is the architectural
+// point of NDP:
+//
+//   - CPU cores sit several mesh hops from the memory controllers
+//     (default 4 hops each way).
+//   - NDP cores sit in the logic layer of the 3D stack, one hop from
+//     their vault (default 1 hop).
+//
+// A 64 B message occupies one 512-bit link slot, so the ingress link
+// serializes at one message per cycle; under multi-core load this adds a
+// small queueing term on top of DRAM bank contention.
+package noc
+
+import (
+	"ndpage/internal/resource"
+	"ndpage/internal/stats"
+)
+
+// Config describes one core-to-memory path.
+type Config struct {
+	Name       string
+	Hops       int    // one-way hop count
+	HopLatency uint64 // cycles per hop
+	// LinkOccupancy is the serialization occupancy per message on the
+	// shared ingress link (cycles). 64 B / 512-bit link = 1 slot.
+	LinkOccupancy uint64
+}
+
+// CPUMesh returns the CPU-side path: cores reach the memory controller
+// across the chip mesh.
+func CPUMesh() Config {
+	return Config{Name: "cpu-mesh", Hops: 4, HopLatency: 4, LinkOccupancy: 1}
+}
+
+// NDPMesh returns the NDP-side path: logic-layer cores reach their local
+// vault controller in one hop.
+func NDPMesh() Config {
+	return Config{Name: "ndp-vault", Hops: 1, HopLatency: 4, LinkOccupancy: 1}
+}
+
+// Stats aggregates interconnect activity.
+type Stats struct {
+	Messages    stats.Counter
+	QueueCycles stats.Counter
+}
+
+// Mesh is a shared path from a set of cores to memory.
+// Not safe for concurrent use.
+type Mesh struct {
+	cfg   Config
+	link  resource.Slots
+	stats Stats
+}
+
+// New builds a mesh path from cfg.
+func New(cfg Config) *Mesh {
+	return &Mesh{cfg: cfg}
+}
+
+// Config returns the configured parameters.
+func (m *Mesh) Config() Config { return m.cfg }
+
+// Stats returns the live counters.
+func (m *Mesh) Stats() *Stats { return &m.stats }
+
+// OneWay returns the uncontended one-way traversal latency in cycles.
+func (m *Mesh) OneWay() uint64 {
+	return uint64(m.cfg.Hops) * m.cfg.HopLatency
+}
+
+// Traverse sends one message at time now and returns its arrival time at
+// the far side, including serialization on the shared ingress link.
+// Out-of-order-in-wall-time sends overlap correctly (see package
+// resource).
+func (m *Mesh) Traverse(now uint64) uint64 {
+	start := m.link.Reserve(now, m.cfg.LinkOccupancy)
+	m.stats.Messages.Inc()
+	m.stats.QueueCycles.Add(start - now)
+	return start + m.OneWay()
+}

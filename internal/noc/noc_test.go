@@ -1,0 +1,46 @@
+package noc
+
+import "testing"
+
+func TestOneWayLatency(t *testing.T) {
+	m := New(Config{Name: "t", Hops: 4, HopLatency: 4, LinkOccupancy: 1})
+	if m.OneWay() != 16 {
+		t.Fatalf("OneWay = %d, want 16", m.OneWay())
+	}
+	if got := m.Traverse(100); got != 116 {
+		t.Fatalf("Traverse(100) = %d, want 116", got)
+	}
+}
+
+func TestLinkSerialization(t *testing.T) {
+	m := New(Config{Name: "t", Hops: 1, HopLatency: 4, LinkOccupancy: 2})
+	a := m.Traverse(0)
+	b := m.Traverse(0) // same instant: waits one occupancy slot
+	c := m.Traverse(0)
+	if a != 4 || b != 6 || c != 8 {
+		t.Fatalf("serialized arrivals = %d,%d,%d, want 4,6,8", a, b, c)
+	}
+	if m.Stats().Messages.Value() != 3 {
+		t.Errorf("Messages = %d", m.Stats().Messages.Value())
+	}
+	if m.Stats().QueueCycles.Value() != 2+4 {
+		t.Errorf("QueueCycles = %d, want 6", m.Stats().QueueCycles.Value())
+	}
+}
+
+func TestNoQueueWhenSpaced(t *testing.T) {
+	m := New(Config{Name: "t", Hops: 2, HopLatency: 4, LinkOccupancy: 1})
+	m.Traverse(0)
+	m.Traverse(10)
+	if m.Stats().QueueCycles.Value() != 0 {
+		t.Error("spaced messages should not queue")
+	}
+}
+
+func TestPresets(t *testing.T) {
+	cpu, ndp := New(CPUMesh()), New(NDPMesh())
+	if cpu.OneWay() <= ndp.OneWay() {
+		t.Errorf("CPU mesh path (%d) must be longer than NDP vault path (%d)",
+			cpu.OneWay(), ndp.OneWay())
+	}
+}

@@ -1,0 +1,77 @@
+package pagetable
+
+import (
+	"testing"
+
+	"ndpage/internal/addr"
+	"ndpage/internal/phys"
+	"ndpage/internal/xrand"
+)
+
+// benchTable populates a table with mixed dense+sparse mappings.
+func benchTable(b *testing.B, t Table) []addr.V {
+	b.Helper()
+	t.MapRange(0, 1<<16, 0) // 256 MB dense
+	rng := xrand.New(1)
+	addrs := make([]addr.V, 4096)
+	for i := range addrs {
+		vpn := addr.VPN(rng.Uint64n(1 << 16))
+		addrs[i] = vpn.Addr()
+	}
+	return addrs
+}
+
+func BenchmarkRadixWalk(b *testing.B) {
+	t := NewRadix(phys.New(1 << 30))
+	addrs := benchTable(b, t)
+	var w Walk
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.WalkInto(addrs[i&4095], &w)
+	}
+}
+
+func BenchmarkFlattenedWalk(b *testing.B) {
+	t := NewFlattened(phys.New(1 << 30))
+	addrs := benchTable(b, t)
+	var w Walk
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.WalkInto(addrs[i&4095], &w)
+	}
+}
+
+func BenchmarkCuckooWalk(b *testing.B) {
+	t := NewCuckoo(phys.New(1<<30), 4096)
+	addrs := benchTable(b, t)
+	var w Walk
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.WalkInto(addrs[i&4095], &w)
+	}
+}
+
+func BenchmarkRadixMapRange(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := NewRadix(phys.New(1 << 30))
+		t.MapRange(0, 1<<16, 0)
+	}
+}
+
+func BenchmarkCuckooInsert(b *testing.B) {
+	t := NewCuckoo(phys.New(1<<30), 1<<16)
+	rng := xrand.New(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Map(addr.VPN(rng.Uint64n(1<<40)), addr.PFN(i))
+	}
+}
+
+func BenchmarkRadixLookup(b *testing.B) {
+	t := NewRadix(phys.New(1 << 30))
+	addrs := benchTable(b, t)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Lookup(addrs[i&4095].Page())
+	}
+}

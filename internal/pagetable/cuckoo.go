@@ -1,0 +1,374 @@
+package pagetable
+
+import (
+	"fmt"
+
+	"ndpage/internal/addr"
+	"ndpage/internal/phys"
+	"ndpage/internal/xrand"
+)
+
+// Cuckoo implements an elastic cuckoo hash page table (Skarlatos et al.,
+// "Elastic Cuckoo Page Tables", ASPLOS 2020) — the paper's ECH baseline.
+//
+// Translations live in d independent ways (d = 3), each a separate hash
+// table. A lookup computes one slot per way and probes all ways *in
+// parallel*: WalkInto reports the probes in Walk.Par, and the MMU charges
+// the maximum (not the sum) of their memory latencies. This is ECH's
+// advantage over the radix walk's four dependent accesses — and its cost
+// is d times the PTE memory traffic, which is what NDPage exploits at
+// high core counts.
+//
+// Elastic resizing follows the ECH scheme: when a way's load factor
+// crosses the threshold it begins a gradual migration into a table twice
+// the size, tracked by a migration pointer. Entries whose old-table slot
+// index is below the pointer have been rehashed into the new table, so a
+// lookup still needs exactly one probe per way during resizing.
+type Cuckoo struct {
+	alloc *phys.Allocator
+	ways  []*cuckooWay
+	salts []uint64
+	count uint64
+
+	// MigrateStep entries are rehashed per insert while a way resizes.
+	migrateStep int
+	// threshold is the per-way load factor that triggers a resize.
+	threshold float64
+
+	stats CuckooStats
+}
+
+// CuckooStats counts structural events.
+type CuckooStats struct {
+	Inserts  uint64
+	Kicks    uint64 // displacement steps
+	Resizes  uint64 // gradual resizes begun
+	Migrated uint64 // entries moved during gradual resizes
+}
+
+type cuckooSlot struct {
+	vpn  addr.VPN
+	pfn  addr.PFN
+	full bool
+}
+
+type cuckooWay struct {
+	slots  []cuckooSlot
+	frames []addr.P // one frame per slotsPerFrame slots
+	count  int
+
+	// resize state
+	resizing  bool
+	newSlots  []cuckooSlot
+	newFrames []addr.P
+	migPtr    int
+}
+
+// slotsPerFrame is how many 16-byte slots fit a 4 KB frame.
+const slotsPerFrame = addr.PageSize / 16
+
+// slotBytes is the size of one cuckoo PTE slot (VPN tag + PFN + flags).
+const slotBytes = 16
+
+// NewCuckoo builds an ECH table with the given initial slots per way
+// (rounded up to a power of two; minimum one frame's worth).
+func NewCuckoo(alloc *phys.Allocator, initialSlots int) *Cuckoo {
+	size := slotsPerFrame
+	for size < initialSlots {
+		size *= 2
+	}
+	c := &Cuckoo{
+		alloc:       alloc,
+		salts:       []uint64{0x9E3779B97F4A7C15, 0xC2B2AE3D27D4EB4F, 0x165667B19E3779F9},
+		migrateStep: 8,
+		threshold:   0.6,
+	}
+	for range c.salts {
+		c.ways = append(c.ways, c.newWay(size))
+	}
+	return c
+}
+
+// Kind implements Table.
+func (c *Cuckoo) Kind() string { return "cuckoo" }
+
+// Stats returns a copy of the structural counters.
+func (c *Cuckoo) Stats() CuckooStats { return c.stats }
+
+func (c *Cuckoo) newWay(size int) *cuckooWay {
+	return &cuckooWay{slots: make([]cuckooSlot, size), frames: c.allocFrames(size)}
+}
+
+func (c *Cuckoo) allocFrames(slots int) []addr.P {
+	n := (slots + slotsPerFrame - 1) / slotsPerFrame
+	frames := make([]addr.P, n)
+	for i := range frames {
+		pfn, ok := c.alloc.AllocFrame()
+		if !ok {
+			panic("pagetable: out of physical memory for a cuckoo way")
+		}
+		frames[i] = pfn.Addr()
+	}
+	return frames
+}
+
+func (c *Cuckoo) hash(w int, vpn addr.VPN, size int) int {
+	return int(xrand.Hash64(uint64(vpn)^c.salts[w])) & (size - 1)
+}
+
+// slotPA returns the physical address of slot i given the backing frames.
+func slotPA(frames []addr.P, i int) addr.P {
+	return frames[i/slotsPerFrame] + addr.P((i%slotsPerFrame)*slotBytes)
+}
+
+// probe resolves where a lookup for vpn lands in way w: the slot index,
+// which table (old or new), and the slot's physical address.
+func (c *Cuckoo) probe(w int, vpn addr.VPN) (slots []cuckooSlot, idx int, pa addr.P) {
+	way := c.ways[w]
+	hOld := c.hash(w, vpn, len(way.slots))
+	if way.resizing && hOld < way.migPtr {
+		hNew := c.hash(w, vpn, len(way.newSlots))
+		return way.newSlots, hNew, slotPA(way.newFrames, hNew)
+	}
+	return way.slots, hOld, slotPA(way.frames, hOld)
+}
+
+// Lookup implements Table.
+func (c *Cuckoo) Lookup(vpn addr.VPN) (Entry, bool) {
+	for w := range c.ways {
+		slots, idx, _ := c.probe(w, vpn)
+		if s := slots[idx]; s.full && s.vpn == vpn {
+			return Entry{PFN: s.pfn}, true
+		}
+	}
+	return Entry{}, false
+}
+
+// WalkInto implements Table: d parallel probes, one per way.
+func (c *Cuckoo) WalkInto(v addr.V, w *Walk) {
+	w.reset()
+	vpn := v.Page()
+	for way := range c.ways {
+		slots, idx, pa := c.probe(way, vpn)
+		w.Par = append(w.Par, Access{HashLevel, pa})
+		if s := slots[idx]; s.full && s.vpn == vpn {
+			w.Found = true
+			w.Entry = Entry{PFN: s.pfn}
+			w.FoundIdx = way
+		}
+	}
+}
+
+// Map implements Table.
+func (c *Cuckoo) Map(vpn addr.VPN, pfn addr.PFN) {
+	c.stats.Inserts++
+	// Update in place if present.
+	for w := range c.ways {
+		slots, idx, _ := c.probe(w, vpn)
+		if s := &slots[idx]; s.full && s.vpn == vpn {
+			s.pfn = pfn
+			return
+		}
+	}
+	c.advanceMigrations()
+	c.insert(vpn, pfn, 0)
+	c.count++
+	c.maybeResize()
+}
+
+// insert places (vpn,pfn) using cuckoo displacement, starting the way
+// search at startWay. attempts bounds forced-resize recursion.
+func (c *Cuckoo) insert(vpn addr.VPN, pfn addr.PFN, attempts int) {
+	if attempts > 8 {
+		panic("pagetable: cuckoo insertion failed after repeated resizes")
+	}
+	cur := cuckooSlot{vpn: vpn, pfn: pfn, full: true}
+	w := int(uint64(vpn)) % len(c.ways)
+	const maxKicks = 32
+	for kick := 0; kick < maxKicks; kick++ {
+		slots, idx, _ := c.probe(w, cur.vpn)
+		if !slots[idx].full {
+			slots[idx] = cur
+			c.wayFor(w, slots).count++
+			return
+		}
+		// Displace the occupant and move it to the next way.
+		slots[idx], cur = cur, slots[idx]
+		c.stats.Kicks++
+		w = (w + 1) % len(c.ways)
+	}
+	// Displacement path exhausted: force a resize of the fullest way
+	// and retry with the still-homeless entry.
+	c.forceResize()
+	c.advanceMigrations()
+	c.insert(cur.vpn, cur.pfn, attempts+1)
+}
+
+// wayFor maps a slots slice back to its way for count bookkeeping. The
+// slice identity tells old from new.
+func (c *Cuckoo) wayFor(w int, slots []cuckooSlot) *cuckooWay {
+	return c.ways[w]
+}
+
+// MapRange implements Table.
+func (c *Cuckoo) MapRange(vpn addr.VPN, count uint64, base addr.PFN) {
+	for k := uint64(0); k < count; k++ {
+		c.Map(vpn+addr.VPN(k), base+addr.PFN(k))
+	}
+}
+
+// MapHuge implements Table. The ECH design keeps separate per-page-size
+// hash tables; this reproduction pairs the Huge Page mechanism with the
+// radix table instead, so huge mappings are not supported here.
+func (c *Cuckoo) MapHuge(vpn addr.VPN, base addr.PFN) {
+	panic("pagetable: cuckoo table does not support huge mappings (use Radix.MapHuge)")
+}
+
+// Unmap implements Table.
+func (c *Cuckoo) Unmap(vpn addr.VPN) (Entry, bool) {
+	for w := range c.ways {
+		slots, idx, _ := c.probe(w, vpn)
+		if s := &slots[idx]; s.full && s.vpn == vpn {
+			e := Entry{PFN: s.pfn}
+			*s = cuckooSlot{}
+			c.ways[w].count--
+			c.count--
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// maybeResize begins a gradual resize of any way whose load factor
+// crossed the threshold.
+func (c *Cuckoo) maybeResize() {
+	for _, way := range c.ways {
+		if !way.resizing && float64(way.count) > c.threshold*float64(len(way.slots)) {
+			c.beginResize(way)
+		}
+	}
+}
+
+// forceResize doubles the fullest non-resizing way (insertion pressure
+// relief when displacement fails).
+func (c *Cuckoo) forceResize() {
+	var target *cuckooWay
+	best := -1.0
+	for _, way := range c.ways {
+		if way.resizing {
+			continue
+		}
+		lf := float64(way.count) / float64(len(way.slots))
+		if lf > best {
+			best, target = lf, way
+		}
+	}
+	if target == nil {
+		// Every way is already resizing; push all migrations to
+		// completion to free up space.
+		for _, way := range c.ways {
+			for way.resizing {
+				c.migrate(way, len(way.slots))
+			}
+		}
+		return
+	}
+	c.beginResize(target)
+}
+
+func (c *Cuckoo) beginResize(way *cuckooWay) {
+	way.resizing = true
+	way.newSlots = make([]cuckooSlot, 2*len(way.slots))
+	way.newFrames = c.allocFrames(2 * len(way.slots))
+	way.migPtr = 0
+	c.stats.Resizes++
+}
+
+// advanceMigrations moves migrateStep entries per resizing way.
+func (c *Cuckoo) advanceMigrations() {
+	for _, way := range c.ways {
+		if way.resizing {
+			c.migrate(way, c.migrateStep)
+		}
+	}
+}
+
+// migrate rehashes up to n old-table slots of way into its new table.
+func (c *Cuckoo) migrate(way *cuckooWay, n int) {
+	w := c.wayIndex(way)
+	for i := 0; i < n && way.migPtr < len(way.slots); i++ {
+		s := way.slots[way.migPtr]
+		way.migPtr++
+		if !s.full {
+			continue
+		}
+		hNew := c.hash(w, s.vpn, len(way.newSlots))
+		if way.newSlots[hNew].full {
+			// New-slot collision: bounce the entry through the
+			// regular insertion path (it may land in another way).
+			way.count--
+			c.insert(s.vpn, s.pfn, 0)
+		} else {
+			way.newSlots[hNew] = s
+		}
+		c.stats.Migrated++
+	}
+	if way.migPtr >= len(way.slots) {
+		// Migration complete: retire the old table.
+		for _, f := range way.frames {
+			c.alloc.Free(f.Page())
+		}
+		way.slots = way.newSlots
+		way.frames = way.newFrames
+		way.newSlots, way.newFrames = nil, nil
+		way.resizing = false
+	}
+}
+
+func (c *Cuckoo) wayIndex(way *cuckooWay) int {
+	for i, w := range c.ways {
+		if w == way {
+			return i
+		}
+	}
+	panic("pagetable: unknown cuckoo way")
+}
+
+// Occupancy implements Table: one pseudo-level row describing overall
+// hash-table load.
+func (c *Cuckoo) Occupancy() []LevelOccupancy {
+	var capacity uint64
+	for _, way := range c.ways {
+		capacity += uint64(len(way.slots))
+		if way.resizing {
+			capacity += uint64(len(way.newSlots))
+		}
+	}
+	return []LevelOccupancy{{
+		Level:       HashLevel,
+		Nodes:       uint64(len(c.ways)),
+		EntriesUsed: c.count,
+		Capacity:    capacity,
+	}}
+}
+
+// MappedPages implements Table.
+func (c *Cuckoo) MappedPages() uint64 { return c.count }
+
+// LoadFactors returns the per-way load factors, for tests and reports.
+func (c *Cuckoo) LoadFactors() []float64 {
+	out := make([]float64, len(c.ways))
+	for i, way := range c.ways {
+		size := len(way.slots)
+		if way.resizing {
+			size += len(way.newSlots)
+		}
+		out[i] = float64(way.count) / float64(size)
+	}
+	return out
+}
+
+// String summarizes the table state.
+func (c *Cuckoo) String() string {
+	return fmt.Sprintf("cuckoo{d=%d, entries=%d, resizes=%d}", len(c.ways), c.count, c.stats.Resizes)
+}

@@ -1,0 +1,196 @@
+package pagetable
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ndpage/internal/addr"
+	"ndpage/internal/xrand"
+)
+
+func TestCuckooMapLookup(t *testing.T) {
+	c := NewCuckoo(newAlloc(), 1024)
+	if _, ok := c.Lookup(42); ok {
+		t.Fatal("empty table lookup hit")
+	}
+	c.Map(42, 1000)
+	e, ok := c.Lookup(42)
+	if !ok || e.PFN != 1000 {
+		t.Fatalf("Lookup = %+v, %v", e, ok)
+	}
+	c.Map(42, 2000)
+	if e, _ := c.Lookup(42); e.PFN != 2000 {
+		t.Error("remap did not update in place")
+	}
+	if c.MappedPages() != 1 {
+		t.Errorf("MappedPages = %d, want 1", c.MappedPages())
+	}
+}
+
+func TestCuckooWalkIsParallel(t *testing.T) {
+	c := NewCuckoo(newAlloc(), 1024)
+	c.Map(7, 77)
+	var w Walk
+	c.WalkInto(addr.VPN(7).Addr(), &w)
+	if !w.Found || w.Entry.PFN != 77 {
+		t.Fatalf("walk = %+v", w)
+	}
+	if len(w.Par) != 3 || len(w.Seq) != 0 {
+		t.Fatalf("ECH walk must be 3 parallel probes, got par=%d seq=%d",
+			len(w.Par), len(w.Seq))
+	}
+	for _, a := range w.Par {
+		if a.Level != HashLevel {
+			t.Errorf("probe level = %v, want HashLevel", a.Level)
+		}
+	}
+}
+
+func TestCuckooMissedWalkStillProbesAllWays(t *testing.T) {
+	c := NewCuckoo(newAlloc(), 1024)
+	var w Walk
+	c.WalkInto(addr.VPN(123).Addr(), &w)
+	if w.Found || len(w.Par) != 3 {
+		t.Fatalf("miss walk = %+v", w)
+	}
+}
+
+func TestCuckooManyInsertsAllRetrievable(t *testing.T) {
+	c := NewCuckoo(newAlloc(), 512)
+	rng := xrand.New(11)
+	want := map[addr.VPN]addr.PFN{}
+	for i := 0; i < 50000; i++ {
+		vpn := addr.VPN(rng.Uint64n(1 << 40))
+		pfn := addr.PFN(i)
+		c.Map(vpn, pfn)
+		want[vpn] = pfn
+	}
+	if c.MappedPages() != uint64(len(want)) {
+		t.Fatalf("MappedPages = %d, want %d", c.MappedPages(), len(want))
+	}
+	for vpn, pfn := range want {
+		e, ok := c.Lookup(vpn)
+		if !ok || e.PFN != pfn {
+			t.Fatalf("vpn %#x: got %+v/%v want pfn %d", uint64(vpn), e, ok, pfn)
+		}
+	}
+	if c.Stats().Resizes == 0 {
+		t.Error("50k inserts into 512-slot ways must have resized")
+	}
+}
+
+func TestCuckooLoadFactorBounded(t *testing.T) {
+	c := NewCuckoo(newAlloc(), 512)
+	rng := xrand.New(13)
+	for i := 0; i < 20000; i++ {
+		c.Map(addr.VPN(rng.Uint64n(1<<40)), addr.PFN(i))
+	}
+	for w, lf := range c.LoadFactors() {
+		if lf > 0.85 {
+			t.Errorf("way %d load factor %.2f exceeds bound", w, lf)
+		}
+	}
+}
+
+func TestCuckooResizePreservesEntriesDuringMigration(t *testing.T) {
+	c := NewCuckoo(newAlloc(), 512)
+	rng := xrand.New(17)
+	var keys []addr.VPN
+	// Insert enough to trigger a resize but not complete migration, then
+	// verify every key mid-migration.
+	for i := 0; i < 400; i++ {
+		vpn := addr.VPN(rng.Uint64n(1 << 40))
+		c.Map(vpn, addr.PFN(i))
+		keys = append(keys, vpn)
+		for j, k := range keys {
+			if e, ok := c.Lookup(k); !ok || e.PFN != addr.PFN(j) {
+				t.Fatalf("after insert %d: key %d lost (%+v, %v)", i, j, e, ok)
+			}
+		}
+	}
+}
+
+func TestCuckooMapHugePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MapHuge on cuckoo did not panic")
+		}
+	}()
+	NewCuckoo(newAlloc(), 512).MapHuge(0, 0)
+}
+
+func TestCuckooProbeAddressesDistinctWays(t *testing.T) {
+	c := NewCuckoo(newAlloc(), 1024)
+	var w Walk
+	c.WalkInto(addr.VPN(99).Addr(), &w)
+	seen := map[addr.P]bool{}
+	for _, a := range w.Par {
+		if seen[a.PA] {
+			t.Errorf("two ways probed the same physical slot %#x", uint64(a.PA))
+		}
+		seen[a.PA] = true
+	}
+}
+
+func TestCuckooOccupancyReport(t *testing.T) {
+	c := NewCuckoo(newAlloc(), 1024)
+	for i := 0; i < 100; i++ {
+		c.Map(addr.VPN(i*977), addr.PFN(i))
+	}
+	occ := c.Occupancy()
+	if len(occ) != 1 || occ[0].Level != HashLevel {
+		t.Fatalf("occupancy = %+v", occ)
+	}
+	if occ[0].EntriesUsed != 100 || occ[0].Nodes != 3 {
+		t.Errorf("occupancy row = %+v", occ[0])
+	}
+}
+
+func TestCuckooMapRange(t *testing.T) {
+	c := NewCuckoo(newAlloc(), 1024)
+	c.MapRange(100, 600, 9000)
+	for _, k := range []uint64{0, 599} {
+		e, ok := c.Lookup(addr.VPN(100 + k))
+		if !ok || e.PFN != addr.PFN(9000+k) {
+			t.Fatalf("range page +%d: %+v, %v", k, e, ok)
+		}
+	}
+}
+
+// Property: Map then Lookup agrees for arbitrary key sets (cuckoo vs a
+// plain map as the model).
+func TestCuckooMatchesModel(t *testing.T) {
+	f := func(raw []uint32) bool {
+		c := NewCuckoo(newAlloc(), 256)
+		model := map[addr.VPN]addr.PFN{}
+		for i, r := range raw {
+			vpn := addr.VPN(r)
+			pfn := addr.PFN(i)
+			c.Map(vpn, pfn)
+			model[vpn] = pfn
+		}
+		for vpn, pfn := range model {
+			if e, ok := c.Lookup(vpn); !ok || e.PFN != pfn {
+				return false
+			}
+		}
+		return c.MappedPages() == uint64(len(model))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCuckooDeterministic(t *testing.T) {
+	run := func() CuckooStats {
+		c := NewCuckoo(newAlloc(), 256)
+		rng := xrand.New(5)
+		for i := 0; i < 5000; i++ {
+			c.Map(addr.VPN(rng.Uint64n(1<<30)), addr.PFN(i))
+		}
+		return c.Stats()
+	}
+	if run() != run() {
+		t.Error("cuckoo construction is not deterministic")
+	}
+}

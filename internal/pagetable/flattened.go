@@ -1,0 +1,270 @@
+package pagetable
+
+import (
+	"fmt"
+
+	"ndpage/internal/addr"
+	"ndpage/internal/phys"
+)
+
+// flatNode is one flattened L2/L1 node: 2^18 entries covering 1 GB of
+// virtual space, replacing one PL2 node and its 512 PL1 children (paper
+// Section V-B, Figure 9).
+//
+// Physically the paper allocates the node as a single 2 MB page. The
+// simulator first tries exactly that (one huge block from the allocator);
+// if contiguity is unavailable it backs the node with per-chunk 4 KB
+// frames. Either way the *walk* cost is identical — one directly indexed
+// PTE access — because flattening removes the dependent pointer chase,
+// not the physical placement.
+type flatNode struct {
+	// contiguous 2 MB backing (preferred); base is valid when huge.
+	huge bool
+	base addr.P
+	// chunked backing: one frame per 512-entry chunk, allocated lazily.
+	chunks  []addr.P
+	chunkOK []bool
+
+	pfns    []addr.PFN
+	present []bool
+	used    int
+}
+
+// Flattened is NDPage's page table: PL4 -> PL3 -> flattened L2/L1 leaf.
+type Flattened struct {
+	alloc *phys.Allocator
+	// root is the PL4 node; mid maps PL4 index -> PL3 node; flat maps
+	// (PL4,PL3) prefix -> flattened node. Node structures mirror the
+	// radix layout for the two upper levels.
+	root *radixNode
+	// flats holds the flattened nodes keyed by the PL3 child slot.
+	flats map[uint64]*flatNode
+
+	nodes      map[addr.Level]uint64
+	used       map[addr.Level]uint64
+	mapped     uint64
+	hugeBacked uint64 // flattened nodes that got a contiguous 2 MB block
+	chunkFalls uint64 // flattened nodes that fell back to chunked frames
+}
+
+// NewFlattened builds an empty NDPage table backed by alloc.
+func NewFlattened(alloc *phys.Allocator) *Flattened {
+	f := &Flattened{
+		alloc: alloc,
+		flats: make(map[uint64]*flatNode),
+		nodes: make(map[addr.Level]uint64),
+		used:  make(map[addr.Level]uint64),
+	}
+	f.root = f.newUpperNode(addr.PL4)
+	return f
+}
+
+// Kind implements Table.
+func (f *Flattened) Kind() string { return "flattened" }
+
+func (f *Flattened) newUpperNode(level addr.Level) *radixNode {
+	pfn, ok := f.alloc.AllocFrame()
+	if !ok {
+		panic("pagetable: out of physical memory for a flattened upper node")
+	}
+	n := &radixNode{basePA: pfn.Addr(), level: level, children: make([]*radixNode, addr.EntriesPerTable)}
+	f.nodes[level]++
+	return n
+}
+
+// newFlatNode allocates the 1 GB-span leaf node.
+func (f *Flattened) newFlatNode() *flatNode {
+	n := &flatNode{
+		pfns:    make([]addr.PFN, addr.FlatEntries),
+		present: make([]bool, addr.FlatEntries),
+	}
+	if base, ok := f.alloc.AllocHuge(); ok {
+		n.huge = true
+		n.base = base.Addr()
+		f.hugeBacked++
+	} else {
+		n.chunks = make([]addr.P, addr.EntriesPerTable)
+		n.chunkOK = make([]bool, addr.EntriesPerTable)
+		f.chunkFalls++
+	}
+	f.nodes[addr.L2L1]++
+	return n
+}
+
+// pteAddr returns the physical address of entry idx within the node.
+func (n *flatNode) pteAddr(alloc *phys.Allocator, idx uint64) addr.P {
+	if n.huge {
+		return n.base + addr.P(idx*addr.PTESize)
+	}
+	c := idx >> addr.LevelBits
+	if !n.chunkOK[c] {
+		pfn, ok := alloc.AllocFrame()
+		if !ok {
+			panic("pagetable: out of physical memory for a flattened chunk")
+		}
+		n.chunks[c] = pfn.Addr()
+		n.chunkOK[c] = true
+	}
+	return n.chunks[c] + addr.P((idx&(addr.EntriesPerTable-1))*addr.PTESize)
+}
+
+// pl3Slot returns the key identifying the flattened node for v: the
+// PL4+PL3 prefix (18 bits).
+func pl3Slot(v addr.V) uint64 { return uint64(v >> 30) }
+
+// flatFor returns the flattened node covering v, creating the upper path
+// if requested.
+func (f *Flattened) flatFor(v addr.V, create bool) *flatNode {
+	i4 := addr.Index(v, addr.PL4)
+	n3 := f.root.children[i4]
+	if n3 == nil {
+		if !create {
+			return nil
+		}
+		n3 = f.newUpperNode(addr.PL3)
+		f.root.children[i4] = n3
+		f.root.used++
+		f.used[addr.PL4]++
+	}
+	slot := pl3Slot(v)
+	fn := f.flats[slot]
+	if fn == nil {
+		if !create {
+			return nil
+		}
+		fn = f.newFlatNode()
+		f.flats[slot] = fn
+		n3.used++
+		f.used[addr.PL3]++
+	}
+	return fn
+}
+
+// Map implements Table.
+func (f *Flattened) Map(vpn addr.VPN, pfn addr.PFN) {
+	v := vpn.Addr()
+	fn := f.flatFor(v, true)
+	idx := addr.FlatIndex(v)
+	if !fn.present[idx] {
+		fn.present[idx] = true
+		fn.used++
+		f.used[addr.L2L1]++
+		f.mapped++
+	}
+	fn.pfns[idx] = pfn
+}
+
+// MapRange implements Table.
+func (f *Flattened) MapRange(vpn addr.VPN, count uint64, base addr.PFN) {
+	for count > 0 {
+		v := vpn.Addr()
+		fn := f.flatFor(v, true)
+		idx := addr.FlatIndex(v)
+		n := uint64(addr.FlatEntries) - idx
+		if n > count {
+			n = count
+		}
+		for k := uint64(0); k < n; k++ {
+			if !fn.present[idx+k] {
+				fn.present[idx+k] = true
+				fn.used++
+				f.used[addr.L2L1]++
+				f.mapped++
+			}
+			fn.pfns[idx+k] = base + addr.PFN(k)
+		}
+		vpn += addr.VPN(n)
+		base += addr.PFN(n)
+		count -= n
+	}
+}
+
+// MapHuge implements Table. NDPage keeps 4 KB mapping flexibility (that is
+// its advantage over Huge Page); 2 MB leaves are expressed as 512 base
+// entries.
+func (f *Flattened) MapHuge(vpn addr.VPN, base addr.PFN) {
+	if !vpn.HugeAligned() {
+		panic(fmt.Sprintf("pagetable: MapHuge of unaligned vpn %#x", uint64(vpn)))
+	}
+	f.MapRange(vpn, addr.EntriesPerTable, base)
+}
+
+// Lookup implements Table.
+func (f *Flattened) Lookup(vpn addr.VPN) (Entry, bool) {
+	v := vpn.Addr()
+	fn := f.flatFor(v, false)
+	if fn == nil {
+		return Entry{}, false
+	}
+	idx := addr.FlatIndex(v)
+	if !fn.present[idx] {
+		return Entry{}, false
+	}
+	return Entry{PFN: fn.pfns[idx]}, true
+}
+
+// Unmap implements Table.
+func (f *Flattened) Unmap(vpn addr.VPN) (Entry, bool) {
+	v := vpn.Addr()
+	fn := f.flatFor(v, false)
+	if fn == nil {
+		return Entry{}, false
+	}
+	idx := addr.FlatIndex(v)
+	if !fn.present[idx] {
+		return Entry{}, false
+	}
+	fn.present[idx] = false
+	fn.used--
+	f.used[addr.L2L1]--
+	f.mapped--
+	return Entry{PFN: fn.pfns[idx]}, true
+}
+
+// WalkInto implements Table: PL4 access, PL3 access, then one directly
+// indexed access into the flattened node — 3 sequential accesses instead
+// of the radix table's 4 (paper Figure 9).
+func (f *Flattened) WalkInto(v addr.V, w *Walk) {
+	w.reset()
+	i4 := addr.Index(v, addr.PL4)
+	w.Seq = append(w.Seq, Access{addr.PL4, pteAddr(f.root.basePA, i4)})
+	n3 := f.root.children[i4]
+	if n3 == nil {
+		return
+	}
+	w.Seq = append(w.Seq, Access{addr.PL3, pteAddr(n3.basePA, addr.Index(v, addr.PL3))})
+	fn := f.flats[pl3Slot(v)]
+	if fn == nil {
+		return
+	}
+	idx := addr.FlatIndex(v)
+	w.Seq = append(w.Seq, Access{addr.L2L1, fn.pteAddr(f.alloc, idx)})
+	if !fn.present[idx] {
+		return
+	}
+	w.Found = true
+	w.Entry = Entry{PFN: fn.pfns[idx]}
+}
+
+// Occupancy implements Table. The L2L1 row reports the paper's "combined
+// PL2/PL1" occupancy over 2^18-entry nodes.
+func (f *Flattened) Occupancy() []LevelOccupancy {
+	out := []LevelOccupancy{
+		{Level: addr.PL4, Nodes: f.nodes[addr.PL4], EntriesUsed: f.used[addr.PL4],
+			Capacity: f.nodes[addr.PL4] * addr.EntriesPerTable},
+		{Level: addr.PL3, Nodes: f.nodes[addr.PL3], EntriesUsed: f.used[addr.PL3],
+			Capacity: f.nodes[addr.PL3] * addr.EntriesPerTable},
+		{Level: addr.L2L1, Nodes: f.nodes[addr.L2L1], EntriesUsed: f.used[addr.L2L1],
+			Capacity: f.nodes[addr.L2L1] * addr.FlatEntries},
+	}
+	return out
+}
+
+// MappedPages implements Table.
+func (f *Flattened) MappedPages() uint64 { return f.mapped }
+
+// HugeBackedNodes returns how many flattened nodes obtained a contiguous
+// 2 MB physical block versus falling back to chunked frames.
+func (f *Flattened) HugeBackedNodes() (huge, chunked uint64) {
+	return f.hugeBacked, f.chunkFalls
+}

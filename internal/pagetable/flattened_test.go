@@ -1,0 +1,194 @@
+package pagetable
+
+import (
+	"testing"
+
+	"ndpage/internal/addr"
+	"ndpage/internal/phys"
+	"ndpage/internal/xrand"
+)
+
+func TestFlattenedMapLookup(t *testing.T) {
+	f := NewFlattened(newAlloc())
+	if _, ok := f.Lookup(42); ok {
+		t.Fatal("empty table lookup found a mapping")
+	}
+	f.Map(42, 1000)
+	e, ok := f.Lookup(42)
+	if !ok || e.PFN != 1000 {
+		t.Fatalf("Lookup = %+v, %v", e, ok)
+	}
+	f.Map(42, 2000)
+	if f.MappedPages() != 1 {
+		t.Errorf("MappedPages after remap = %d", f.MappedPages())
+	}
+}
+
+func TestFlattenedWalkIsThreeAccesses(t *testing.T) {
+	f := NewFlattened(newAlloc())
+	vpn := addr.VPN(0x12345)
+	f.Map(vpn, 7)
+	var w Walk
+	f.WalkInto(vpn.Addr(), &w)
+	if !w.Found || w.Entry.PFN != 7 {
+		t.Fatalf("walk = %+v", w)
+	}
+	if len(w.Seq) != 3 {
+		t.Fatalf("flattened walk = %d accesses, want 3 (paper Fig 9)", len(w.Seq))
+	}
+	want := []addr.Level{addr.PL4, addr.PL3, addr.L2L1}
+	for i, a := range w.Seq {
+		if a.Level != want[i] {
+			t.Errorf("Seq[%d].Level = %v, want %v", i, a.Level, want[i])
+		}
+	}
+}
+
+// TestFlattenedAgreesWithRadix: the flattened table is a different
+// *organization* of the same function — both must produce identical
+// translations for identical Map calls.
+func TestFlattenedAgreesWithRadix(t *testing.T) {
+	f := NewFlattened(newAlloc())
+	r := NewRadix(newAlloc())
+	rng := xrand.New(3)
+	var vpns []addr.VPN
+	for i := 0; i < 2000; i++ {
+		vpn := addr.VPN(rng.Uint64n(1 << 30)) // spread across many nodes
+		pfn := addr.PFN(rng.Uint64n(1 << 22))
+		f.Map(vpn, pfn)
+		r.Map(vpn, pfn)
+		vpns = append(vpns, vpn)
+	}
+	for _, vpn := range vpns {
+		ef, okf := f.Lookup(vpn)
+		er, okr := r.Lookup(vpn)
+		if okf != okr || ef.PFN != er.PFN {
+			t.Fatalf("vpn %#x: flattened %+v/%v vs radix %+v/%v",
+				uint64(vpn), ef, okf, er, okr)
+		}
+	}
+}
+
+func TestFlattenedSiblingRegionsShareFlatNode(t *testing.T) {
+	f := NewFlattened(newAlloc())
+	// Two pages in different 2 MB regions of the same 1 GB span: a radix
+	// table would need two PL1 nodes under two PL2 entries; the
+	// flattened table serves both from one node with direct indexing.
+	a := addr.VPN(0)
+	b := addr.VPN(addr.EntriesPerTable * 7) // 7 regions away
+	f.Map(a, 1)
+	f.Map(b, 2)
+	occ := f.Occupancy()
+	var flat LevelOccupancy
+	for _, o := range occ {
+		if o.Level == addr.L2L1 {
+			flat = o
+		}
+	}
+	if flat.Nodes != 1 {
+		t.Fatalf("flattened nodes = %d, want 1", flat.Nodes)
+	}
+	var wa, wb Walk
+	f.WalkInto(a.Addr(), &wa)
+	f.WalkInto(b.Addr(), &wb)
+	da := wa.Seq[2].PA
+	db := wb.Seq[2].PA
+	if da == db {
+		t.Error("distinct pages read the same flattened PTE")
+	}
+}
+
+func TestFlattenedMapRange(t *testing.T) {
+	f := NewFlattened(newAlloc())
+	const start, count = addr.VPN(1000), uint64(3000)
+	f.MapRange(start, count, 5000)
+	if f.MappedPages() != count {
+		t.Fatalf("MappedPages = %d, want %d", f.MappedPages(), count)
+	}
+	for _, k := range []uint64{0, 1, 1500, count - 1} {
+		e, ok := f.Lookup(start + addr.VPN(k))
+		if !ok || e.PFN != 5000+addr.PFN(k) {
+			t.Fatalf("page +%d: %+v, %v", k, e, ok)
+		}
+	}
+}
+
+func TestFlattenedMapHugeExpandsTo512(t *testing.T) {
+	f := NewFlattened(newAlloc())
+	base := addr.VPN(addr.EntriesPerTable * 2)
+	f.MapHuge(base, 7000)
+	if f.MappedPages() != addr.EntriesPerTable {
+		t.Fatalf("MappedPages = %d", f.MappedPages())
+	}
+	e, ok := f.Lookup(base + 100)
+	if !ok || e.PFN != 7100 || e.Huge {
+		t.Fatalf("Lookup = %+v, %v (flattened stores 4K entries)", e, ok)
+	}
+}
+
+func TestFlattenedHugeBackingPreferred(t *testing.T) {
+	f := NewFlattened(newAlloc())
+	f.Map(1, 1)
+	huge, chunked := f.HugeBackedNodes()
+	if huge != 1 || chunked != 0 {
+		t.Errorf("fresh allocator: huge=%d chunked=%d, want 1/0", huge, chunked)
+	}
+}
+
+func TestFlattenedChunkFallbackWhenFragmented(t *testing.T) {
+	alloc := phys.New(64 << 20)
+	// Destroy all 2 MB contiguity.
+	blocks := int(64 << 20 / addr.HugePageSize)
+	alloc.InjectFragmentation(xrand.New(1), blocks*16, 1)
+	for alloc.IntactHugeBlocks() > 0 {
+		if _, ok := alloc.AllocHuge(); !ok {
+			break
+		}
+	}
+	f := NewFlattened(alloc)
+	f.Map(1, 1)
+	huge, chunked := f.HugeBackedNodes()
+	if chunked != 1 || huge != 0 {
+		t.Fatalf("fragmented allocator: huge=%d chunked=%d, want 0/1", huge, chunked)
+	}
+	// Walks still produce valid, distinct PTE addresses.
+	var w Walk
+	f.WalkInto(addr.VPN(1).Addr(), &w)
+	if !w.Found || len(w.Seq) != 3 {
+		t.Fatalf("walk on chunk-backed node = %+v", w)
+	}
+}
+
+func TestFlattenedOccupancy(t *testing.T) {
+	f := NewFlattened(newAlloc())
+	// Fill one full 1 GB span: flattened occupancy 100%.
+	f.MapRange(0, addr.FlatEntries, 0)
+	for _, o := range f.Occupancy() {
+		switch o.Level {
+		case addr.L2L1:
+			if o.Rate() != 1.0 || o.Nodes != 1 {
+				t.Errorf("L2L1 occupancy = %+v", o)
+			}
+		case addr.PL3:
+			if o.EntriesUsed != 1 {
+				t.Errorf("PL3 entries used = %d, want 1", o.EntriesUsed)
+			}
+		}
+	}
+}
+
+func TestFlattenedWalkUnmapped(t *testing.T) {
+	f := NewFlattened(newAlloc())
+	f.Map(0, 1)
+	var w Walk
+	// Unmapped page in the mapped 1 GB span: 3 accesses, not found.
+	f.WalkInto(addr.V(addr.PageSize*99), &w)
+	if w.Found || len(w.Seq) != 3 {
+		t.Fatalf("walk = found=%v len=%d", w.Found, len(w.Seq))
+	}
+	// Different 1 GB span: stops after PL3 lookup fails (2 accesses).
+	f.WalkInto(addr.V(1)<<30, &w)
+	if w.Found || len(w.Seq) != 2 {
+		t.Fatalf("cross-span walk = found=%v len=%d", w.Found, len(w.Seq))
+	}
+}

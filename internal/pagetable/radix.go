@@ -1,0 +1,292 @@
+package pagetable
+
+import (
+	"fmt"
+
+	"ndpage/internal/addr"
+	"ndpage/internal/phys"
+)
+
+// radixNode is one 4 KB table node. Interior nodes hold child pointers;
+// PL2 nodes may also hold 2 MB leaf entries; PL1 nodes hold frame numbers.
+type radixNode struct {
+	basePA addr.P
+	level  addr.Level
+	used   int
+	// children is populated for interior nodes (PL4, PL3, PL2).
+	children []*radixNode
+	// hugeLeaf marks PL2 slots that are 2 MB leaf entries; hugePFN holds
+	// the base frame. Only allocated for PL2 nodes that need it.
+	hugeLeaf []bool
+	hugePFN  []addr.PFN
+	// pfns/present are populated for PL1 leaf nodes.
+	pfns    []addr.PFN
+	present []bool
+}
+
+// Radix is the conventional x86-64 4-level page table. It also serves the
+// Huge Page mechanism via MapHuge (2 MB leaves at PL2).
+type Radix struct {
+	alloc  *phys.Allocator
+	root   *radixNode
+	nodes  map[addr.Level]uint64
+	used   map[addr.Level]uint64
+	mapped uint64
+}
+
+// NewRadix builds an empty 4-level table whose nodes are backed by frames
+// from alloc.
+func NewRadix(alloc *phys.Allocator) *Radix {
+	r := &Radix{
+		alloc: alloc,
+		nodes: make(map[addr.Level]uint64),
+		used:  make(map[addr.Level]uint64),
+	}
+	r.root = r.newNode(addr.PL4)
+	return r
+}
+
+// Kind implements Table.
+func (r *Radix) Kind() string { return "radix" }
+
+func (r *Radix) newNode(level addr.Level) *radixNode {
+	pfn, ok := r.alloc.AllocFrame()
+	if !ok {
+		panic("pagetable: out of physical memory for a radix node")
+	}
+	n := &radixNode{basePA: pfn.Addr(), level: level}
+	if level == addr.PL1 {
+		n.pfns = make([]addr.PFN, addr.EntriesPerTable)
+		n.present = make([]bool, addr.EntriesPerTable)
+	} else {
+		n.children = make([]*radixNode, addr.EntriesPerTable)
+	}
+	r.nodes[level]++
+	return n
+}
+
+// child returns (creating if create is set) the child node under n at idx.
+func (r *Radix) child(n *radixNode, idx uint64, create bool) *radixNode {
+	if c := n.children[idx]; c != nil {
+		return c
+	}
+	if !create {
+		return nil
+	}
+	var lvl addr.Level
+	switch n.level {
+	case addr.PL4:
+		lvl = addr.PL3
+	case addr.PL3:
+		lvl = addr.PL2
+	case addr.PL2:
+		lvl = addr.PL1
+	default:
+		panic("pagetable: child of leaf level")
+	}
+	c := r.newNode(lvl)
+	n.children[idx] = c
+	n.used++
+	r.used[n.level]++
+	return c
+}
+
+// pl1For returns the PL1 node covering vpn, creating the path if needed.
+func (r *Radix) pl1For(vpn addr.VPN, create bool) *radixNode {
+	v := vpn.Addr()
+	n := r.child(r.root, addr.Index(v, addr.PL4), create)
+	if n == nil {
+		return nil
+	}
+	n = r.child(n, addr.Index(v, addr.PL3), create)
+	if n == nil {
+		return nil
+	}
+	i2 := addr.Index(v, addr.PL2)
+	if n.hugeLeaf != nil && n.hugeLeaf[i2] {
+		panic(fmt.Sprintf("pagetable: 4K map under existing 2MB mapping at vpn %#x", uint64(vpn)))
+	}
+	return r.child(n, i2, create)
+}
+
+// Map implements Table.
+func (r *Radix) Map(vpn addr.VPN, pfn addr.PFN) {
+	leaf := r.pl1For(vpn, true)
+	i1 := addr.Index(vpn.Addr(), addr.PL1)
+	if !leaf.present[i1] {
+		leaf.present[i1] = true
+		leaf.used++
+		r.used[addr.PL1]++
+		r.mapped++
+	}
+	leaf.pfns[i1] = pfn
+}
+
+// MapRange implements Table with a fast path that fills PL1 nodes block
+// by block.
+func (r *Radix) MapRange(vpn addr.VPN, count uint64, base addr.PFN) {
+	for count > 0 {
+		leaf := r.pl1For(vpn, true)
+		i1 := addr.Index(vpn.Addr(), addr.PL1)
+		n := addr.EntriesPerTable - i1
+		if n > count {
+			n = count
+		}
+		for k := uint64(0); k < n; k++ {
+			if !leaf.present[i1+k] {
+				leaf.present[i1+k] = true
+				leaf.used++
+				r.used[addr.PL1]++
+				r.mapped++
+			}
+			leaf.pfns[i1+k] = base + addr.PFN(k)
+		}
+		vpn += addr.VPN(n)
+		base += addr.PFN(n)
+		count -= n
+	}
+}
+
+// MapHuge implements Table: installs a 2 MB leaf at PL2.
+func (r *Radix) MapHuge(vpn addr.VPN, base addr.PFN) {
+	if !vpn.HugeAligned() {
+		panic(fmt.Sprintf("pagetable: MapHuge of unaligned vpn %#x", uint64(vpn)))
+	}
+	v := vpn.Addr()
+	n := r.child(r.root, addr.Index(v, addr.PL4), true)
+	n = r.child(n, addr.Index(v, addr.PL3), true)
+	i2 := addr.Index(v, addr.PL2)
+	if n.children[i2] != nil {
+		panic(fmt.Sprintf("pagetable: 2MB map over existing 4K table at vpn %#x", uint64(vpn)))
+	}
+	if n.hugeLeaf == nil {
+		n.hugeLeaf = make([]bool, addr.EntriesPerTable)
+		n.hugePFN = make([]addr.PFN, addr.EntriesPerTable)
+	}
+	if !n.hugeLeaf[i2] {
+		n.hugeLeaf[i2] = true
+		n.used++
+		r.used[n.level]++
+		r.mapped += addr.EntriesPerTable
+	}
+	n.hugePFN[i2] = base
+}
+
+// Lookup implements Table.
+func (r *Radix) Lookup(vpn addr.VPN) (Entry, bool) {
+	v := vpn.Addr()
+	n := r.root.children[addr.Index(v, addr.PL4)]
+	if n == nil {
+		return Entry{}, false
+	}
+	n = n.children[addr.Index(v, addr.PL3)]
+	if n == nil {
+		return Entry{}, false
+	}
+	i2 := addr.Index(v, addr.PL2)
+	if n.hugeLeaf != nil && n.hugeLeaf[i2] {
+		return Entry{PFN: n.hugePFN[i2], Huge: true}, true
+	}
+	leaf := n.children[i2]
+	if leaf == nil {
+		return Entry{}, false
+	}
+	i1 := addr.Index(v, addr.PL1)
+	if !leaf.present[i1] {
+		return Entry{}, false
+	}
+	return Entry{PFN: leaf.pfns[i1]}, true
+}
+
+// Unmap implements Table.
+func (r *Radix) Unmap(vpn addr.VPN) (Entry, bool) {
+	v := vpn.Addr()
+	n := r.root.children[addr.Index(v, addr.PL4)]
+	if n == nil {
+		return Entry{}, false
+	}
+	n = n.children[addr.Index(v, addr.PL3)]
+	if n == nil {
+		return Entry{}, false
+	}
+	i2 := addr.Index(v, addr.PL2)
+	if n.hugeLeaf != nil && n.hugeLeaf[i2] {
+		n.hugeLeaf[i2] = false
+		n.used--
+		r.used[addr.PL2]--
+		r.mapped -= addr.EntriesPerTable
+		return Entry{PFN: n.hugePFN[i2], Huge: true}, true
+	}
+	leaf := n.children[i2]
+	if leaf == nil {
+		return Entry{}, false
+	}
+	i1 := addr.Index(v, addr.PL1)
+	if !leaf.present[i1] {
+		return Entry{}, false
+	}
+	leaf.present[i1] = false
+	leaf.used--
+	r.used[addr.PL1]--
+	r.mapped--
+	return Entry{PFN: leaf.pfns[i1]}, true
+}
+
+// WalkInto implements Table: a sequential walk from PL4 downward. The walk
+// records every PTE it reads, stopping at the first non-present entry or
+// at the leaf (PL1 entry, or a 2 MB leaf at PL2).
+func (r *Radix) WalkInto(v addr.V, w *Walk) {
+	w.reset()
+	n := r.root
+	w.Seq = append(w.Seq, Access{addr.PL4, pteAddr(n.basePA, addr.Index(v, addr.PL4))})
+	n = n.children[addr.Index(v, addr.PL4)]
+	if n == nil {
+		return
+	}
+	w.Seq = append(w.Seq, Access{addr.PL3, pteAddr(n.basePA, addr.Index(v, addr.PL3))})
+	n = n.children[addr.Index(v, addr.PL3)]
+	if n == nil {
+		return
+	}
+	i2 := addr.Index(v, addr.PL2)
+	w.Seq = append(w.Seq, Access{addr.PL2, pteAddr(n.basePA, i2)})
+	if n.hugeLeaf != nil && n.hugeLeaf[i2] {
+		w.Found = true
+		w.Entry = Entry{PFN: n.hugePFN[i2], Huge: true}
+		return
+	}
+	leaf := n.children[i2]
+	if leaf == nil {
+		return
+	}
+	i1 := addr.Index(v, addr.PL1)
+	w.Seq = append(w.Seq, Access{addr.PL1, pteAddr(leaf.basePA, i1)})
+	if !leaf.present[i1] {
+		return
+	}
+	w.Found = true
+	w.Entry = Entry{PFN: leaf.pfns[i1]}
+}
+
+// pteAddr returns the physical address of entry idx in the table at base.
+func pteAddr(base addr.P, idx uint64) addr.P {
+	return base + addr.P(idx*addr.PTESize)
+}
+
+// Occupancy implements Table.
+func (r *Radix) Occupancy() []LevelOccupancy {
+	levels := []addr.Level{addr.PL4, addr.PL3, addr.PL2, addr.PL1}
+	out := make([]LevelOccupancy, 0, len(levels))
+	for _, l := range levels {
+		out = append(out, LevelOccupancy{
+			Level:       l,
+			Nodes:       r.nodes[l],
+			EntriesUsed: r.used[l],
+			Capacity:    r.nodes[l] * addr.EntriesPerTable,
+		})
+	}
+	return out
+}
+
+// MappedPages implements Table.
+func (r *Radix) MappedPages() uint64 { return r.mapped }

@@ -1,0 +1,284 @@
+package phys
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ndpage/internal/addr"
+	"ndpage/internal/xrand"
+)
+
+const testMem = 64 << 20 // 64 MB = 16384 frames = 32 huge blocks
+
+func TestNewAccounting(t *testing.T) {
+	a := New(testMem)
+	if got := a.TotalFrames(); got != testMem/addr.PageSize {
+		t.Fatalf("TotalFrames = %d", got)
+	}
+	if a.FreeFrames() != a.TotalFrames() {
+		t.Fatal("fresh allocator must be fully free")
+	}
+	if got := a.IntactHugeBlocks(); got != testMem/addr.HugePageSize {
+		t.Fatalf("IntactHugeBlocks = %d, want %d", got, testMem/addr.HugePageSize)
+	}
+}
+
+func TestNewRejectsBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(4096) should panic: not a 2MB multiple")
+		}
+	}()
+	New(4096)
+}
+
+func TestAllocFrameUnique(t *testing.T) {
+	a := New(testMem)
+	seen := map[addr.PFN]bool{}
+	for i := uint64(0); i < a.TotalFrames(); i++ {
+		pfn, ok := a.AllocFrame()
+		if !ok {
+			t.Fatalf("allocation %d failed with %d frames free", i, a.FreeFrames())
+		}
+		if seen[pfn] {
+			t.Fatalf("frame %d handed out twice", pfn)
+		}
+		seen[pfn] = true
+	}
+	if _, ok := a.AllocFrame(); ok {
+		t.Fatal("allocation succeeded from an exhausted allocator")
+	}
+}
+
+func TestAllocHugeAlignment(t *testing.T) {
+	a := New(testMem)
+	for {
+		pfn, ok := a.AllocHuge()
+		if !ok {
+			break
+		}
+		if !addr.VPN(pfn).HugeAligned() {
+			t.Fatalf("huge block at frame %d not 2MB-aligned", pfn)
+		}
+	}
+	if a.FreeFrames() != 0 {
+		t.Fatalf("%d frames stranded after exhausting huge blocks", a.FreeFrames())
+	}
+	if a.Stats().HugeFailures == 0 {
+		t.Error("failed huge alloc not counted")
+	}
+}
+
+func TestFreeCoalescesToHuge(t *testing.T) {
+	a := New(testMem)
+	var frames []addr.PFN
+	for i := uint64(0); i < a.TotalFrames(); i++ {
+		pfn, ok := a.AllocFrame()
+		if !ok {
+			t.Fatal("alloc failed")
+		}
+		frames = append(frames, pfn)
+	}
+	if a.IntactHugeBlocks() != 0 {
+		t.Fatal("no huge blocks should remain")
+	}
+	for _, pfn := range frames {
+		a.Free(pfn)
+	}
+	if got := a.IntactHugeBlocks(); got != testMem/addr.HugePageSize {
+		t.Fatalf("after freeing everything: %d intact huge blocks, want %d",
+			got, testMem/addr.HugePageSize)
+	}
+	if a.FreeFrames() != a.TotalFrames() {
+		t.Fatal("frame accounting leaked")
+	}
+}
+
+func TestFreeUnallocatedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Free of unallocated frame should panic")
+		}
+	}()
+	New(testMem).Free(addr.PFN(3))
+}
+
+func TestMixedOrderRoundTrip(t *testing.T) {
+	a := New(testMem)
+	type block struct {
+		pfn   addr.PFN
+		order int
+	}
+	rng := xrand.New(5)
+	var blocks []block
+	for i := 0; i < 200; i++ {
+		o := rng.Intn(MaxOrder + 1)
+		if pfn, ok := a.AllocOrder(o); ok {
+			blocks = append(blocks, block{pfn, o})
+		}
+	}
+	// Free in shuffled order.
+	perm := make([]int, len(blocks))
+	rng.Perm(perm)
+	for _, i := range perm {
+		a.Free(blocks[i].pfn)
+	}
+	if a.FreeFrames() != a.TotalFrames() {
+		t.Fatalf("leak: %d free of %d", a.FreeFrames(), a.TotalFrames())
+	}
+	if got := a.IntactHugeBlocks(); got != testMem/addr.HugePageSize {
+		t.Fatalf("coalescing incomplete: %d huge blocks", got)
+	}
+}
+
+func TestAllocAt(t *testing.T) {
+	a := New(testMem)
+	if !a.AllocAt(addr.PFN(1000)) {
+		t.Fatal("AllocAt on free memory failed")
+	}
+	if a.AllocAt(addr.PFN(1000)) {
+		t.Fatal("AllocAt twice on same frame succeeded")
+	}
+	if a.AllocAt(addr.PFN(a.TotalFrames())) {
+		t.Fatal("AllocAt out of range succeeded")
+	}
+	// The hole must have destroyed exactly one huge block.
+	if got := a.IntactHugeBlocks(); got != testMem/addr.HugePageSize-1 {
+		t.Fatalf("IntactHugeBlocks = %d after one hole", got)
+	}
+	// Freeing the hole restores it.
+	a.Free(addr.PFN(1000))
+	if got := a.IntactHugeBlocks(); got != testMem/addr.HugePageSize {
+		t.Fatalf("IntactHugeBlocks = %d after healing", got)
+	}
+}
+
+func TestAllocAtThenFrameAllocNoOverlap(t *testing.T) {
+	a := New(testMem)
+	a.AllocAt(addr.PFN(7))
+	seen := map[addr.PFN]bool{7: true}
+	for {
+		pfn, ok := a.AllocFrame()
+		if !ok {
+			break
+		}
+		if seen[pfn] {
+			t.Fatalf("frame %d double-allocated", pfn)
+		}
+		seen[pfn] = true
+	}
+	if uint64(len(seen)) != a.TotalFrames() {
+		t.Fatalf("allocated %d frames, want %d", len(seen), a.TotalFrames())
+	}
+}
+
+func TestInjectFragmentationDestroysContiguity(t *testing.T) {
+	a := New(testMem)
+	blocks := testMem / addr.HugePageSize
+	claimed := a.InjectFragmentation(xrand.New(1), blocks*4, 1)
+	if claimed == 0 {
+		t.Fatal("no frames claimed")
+	}
+	got := a.IntactHugeBlocks()
+	if got >= blocks/2 {
+		t.Errorf("fragmentation too weak: %d of %d huge blocks intact", got, blocks)
+	}
+	// Frame-level allocation must still serve everything that is free.
+	free := a.FreeFrames()
+	for i := uint64(0); i < free; i++ {
+		if _, ok := a.AllocFrame(); !ok {
+			t.Fatalf("frame alloc %d of %d failed after fragmentation", i, free)
+		}
+	}
+}
+
+func TestInjectFragmentationDeterministic(t *testing.T) {
+	a1, a2 := New(testMem), New(testMem)
+	c1 := a1.InjectFragmentation(xrand.New(42), 100, 3)
+	c2 := a2.InjectFragmentation(xrand.New(42), 100, 3)
+	if c1 != c2 || a1.IntactHugeBlocks() != a2.IntactHugeBlocks() {
+		t.Error("fragmentation injection is not deterministic")
+	}
+}
+
+// Property: for any interleaving of small allocations and frees, the free
+// frame count is consistent and nothing is handed out twice.
+func TestAllocFreeProperty(t *testing.T) {
+	f := func(ops []byte) bool {
+		a := New(8 << 20) // small: 2048 frames
+		live := map[addr.PFN]bool{}
+		var order []addr.PFN
+		for _, op := range ops {
+			if op%3 != 0 || len(order) == 0 {
+				if pfn, ok := a.AllocFrame(); ok {
+					if live[pfn] {
+						return false
+					}
+					live[pfn] = true
+					order = append(order, pfn)
+				}
+			} else {
+				pfn := order[len(order)-1]
+				order = order[:len(order)-1]
+				delete(live, pfn)
+				a.Free(pfn)
+			}
+		}
+		return a.FreeFrames() == a.TotalFrames()-uint64(len(live))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHugeCounterTracksExactly(t *testing.T) {
+	a := New(testMem)
+	count := func() int {
+		// Reference: scan freeOrder.
+		n := 0
+		for _, o := range a.freeOrder {
+			if o == MaxOrder {
+				n++
+			}
+		}
+		return n
+	}
+	rng := xrand.New(77)
+	var blocks []addr.PFN
+	for i := 0; i < 500; i++ {
+		switch rng.Intn(4) {
+		case 0:
+			if pfn, ok := a.AllocHuge(); ok {
+				blocks = append(blocks, pfn)
+			}
+		case 1:
+			if pfn, ok := a.AllocFrame(); ok {
+				blocks = append(blocks, pfn)
+			}
+		case 2:
+			a.AllocAt(addr.PFN(rng.Uint64n(a.TotalFrames())))
+		case 3:
+			if len(blocks) > 0 {
+				a.Free(blocks[len(blocks)-1])
+				blocks = blocks[:len(blocks)-1]
+			}
+		}
+		if got, want := a.IntactHugeBlocks(), count(); got != want {
+			t.Fatalf("step %d: counter %d != scan %d", i, got, want)
+		}
+	}
+}
+
+func TestContiguityRatio(t *testing.T) {
+	a := New(testMem)
+	if a.ContiguityRatio() != 1.0 {
+		t.Fatalf("fresh ratio = %v", a.ContiguityRatio())
+	}
+	half := a.TotalHugeBlocks() / 2
+	for i := 0; i < half; i++ {
+		a.AllocHuge()
+	}
+	if got := a.ContiguityRatio(); got != 0.5 {
+		t.Fatalf("ratio after half = %v", got)
+	}
+}

@@ -1,0 +1,146 @@
+package pwc
+
+import (
+	"testing"
+
+	"ndpage/internal/addr"
+)
+
+// va builds an address from per-level indices.
+func va(i4, i3, i2, i1 uint64) addr.V {
+	return addr.V(i4<<39 | i3<<30 | i2<<21 | i1<<12)
+}
+
+func TestGeometryValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid geometry did not panic")
+		}
+	}()
+	New(Config{Levels: []addr.Level{addr.PL4}, Entries: 5, Ways: 4})
+}
+
+func TestColdProbeMisses(t *testing.T) {
+	p := New(Default())
+	if _, ok := p.Probe(va(1, 2, 3, 4)); ok {
+		t.Fatal("cold probe hit")
+	}
+	for _, l := range p.Levels() {
+		if p.Stats(l).Misses != 1 {
+			t.Errorf("level %v misses = %d, want 1", l, p.Stats(l).Misses)
+		}
+	}
+}
+
+func TestFillThenDeepestHit(t *testing.T) {
+	p := New(Default())
+	v := va(1, 2, 3, 4)
+	// A full walk traverses PL4, PL3, PL2 (entries above the leaf).
+	p.Fill(v, []addr.Level{addr.PL4, addr.PL3, addr.PL2})
+	deepest, ok := p.Probe(v)
+	if !ok || deepest != addr.PL2 {
+		t.Fatalf("Probe = %v, %v; want PL2 hit", deepest, ok)
+	}
+}
+
+func TestPartialFillHitsUpperLevelOnly(t *testing.T) {
+	p := New(Default())
+	v := va(1, 2, 3, 4)
+	p.Fill(v, []addr.Level{addr.PL4})
+	// Same PL4 index, different PL3/PL2 path: only PL4 can hit.
+	v2 := va(1, 9, 9, 9)
+	deepest, ok := p.Probe(v2)
+	if !ok || deepest != addr.PL4 {
+		t.Fatalf("Probe = %v, %v; want PL4 hit", deepest, ok)
+	}
+}
+
+func TestPrefixSharingAcrossPages(t *testing.T) {
+	p := New(Default())
+	// Walk for one page fills PWCs; a *different page in the same 2 MB
+	// region* shares the PL2 prefix and must hit at PL2.
+	p.Fill(va(0, 1, 2, 3), []addr.Level{addr.PL4, addr.PL3, addr.PL2})
+	deepest, ok := p.Probe(va(0, 1, 2, 400))
+	if !ok || deepest != addr.PL2 {
+		t.Fatalf("sibling page: Probe = %v %v, want PL2", deepest, ok)
+	}
+	// A page in a different 2 MB region but the same 1 GB region hits
+	// at PL3.
+	deepest, ok = p.Probe(va(0, 1, 99, 3))
+	if !ok || deepest != addr.PL3 {
+		t.Fatalf("sibling 2MB region: Probe = %v %v, want PL3", deepest, ok)
+	}
+}
+
+func TestNDPageConfigHasNoPL2(t *testing.T) {
+	p := New(NDPage())
+	if p.Has(addr.PL2) {
+		t.Fatal("NDPage PWC must not cache PL2")
+	}
+	if !p.Has(addr.PL4) || !p.Has(addr.PL3) {
+		t.Fatal("NDPage PWC must cache PL4 and PL3")
+	}
+	v := va(1, 2, 3, 4)
+	p.Fill(v, []addr.Level{addr.PL4, addr.PL3, addr.PL2}) // PL2 fill ignored
+	deepest, ok := p.Probe(v)
+	if !ok || deepest != addr.PL3 {
+		t.Fatalf("Probe = %v %v, want PL3 (deepest NDPage PWC)", deepest, ok)
+	}
+}
+
+func TestHitRateAccounting(t *testing.T) {
+	p := New(Default())
+	v := va(3, 3, 3, 3)
+	p.Probe(v)                                            // all miss
+	p.Fill(v, []addr.Level{addr.PL4, addr.PL3, addr.PL2}) //
+	p.Probe(v)                                            // all hit
+	if got := p.HitRate(addr.PL4); got != 0.5 {
+		t.Errorf("PL4 hit rate = %v, want 0.5", got)
+	}
+	if got := p.HitRate(addr.PL1); got != 0 {
+		t.Errorf("HitRate of uncached level = %v, want 0", got)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	p := New(Default())
+	p.Probe(va(1, 1, 1, 1))
+	p.ResetStats()
+	for _, l := range p.Levels() {
+		if p.Stats(l).Total() != 0 {
+			t.Errorf("level %v counters not reset", l)
+		}
+	}
+}
+
+func TestFlush(t *testing.T) {
+	p := New(Default())
+	v := va(1, 2, 3, 4)
+	p.Fill(v, []addr.Level{addr.PL4, addr.PL3, addr.PL2})
+	p.Flush()
+	if _, ok := p.Probe(v); ok {
+		t.Error("probe hit after Flush")
+	}
+}
+
+func TestCapacityChurn(t *testing.T) {
+	// Far more distinct PL2 prefixes than entries: hit rate must stay
+	// low — the regime that motivates NDPage's flattening (paper: 15.4%).
+	p := New(Default())
+	hits := 0
+	const n = 4096
+	for i := uint64(0); i < n; i++ {
+		v := va(0, i>>9, i&511, 0) // distinct 2 MB regions
+		if deepest, ok := p.Probe(v); ok && deepest == addr.PL2 {
+			hits++
+		}
+		p.Fill(v, []addr.Level{addr.PL4, addr.PL3, addr.PL2})
+	}
+	if rate := float64(hits) / n; rate > 0.10 {
+		t.Errorf("PL2 hit rate %.3f under churn, want near 0", rate)
+	}
+	// PL4 should be hitting nearly always (single root prefix).
+	if r := p.HitRate(addr.PL4); r < 0.99 {
+		t.Errorf("PL4 hit rate = %.3f, want ~1", r)
+	}
+}

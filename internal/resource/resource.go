@@ -1,0 +1,125 @@
+// Package resource provides busy-interval tracking for shared hardware
+// resources (DRAM banks, channel buses, mesh links) under the simulator's
+// blocking-core interleaving.
+//
+// The engine steps the core with the smallest local clock, but one step
+// executes a whole dependent access chain (translate, then load), pushing
+// that core's clock far ahead. The next core then issues requests with
+// *earlier* timestamps. A naive single free-at timestamp would serialize
+// those earlier requests behind the first core's entire chain, collapsing
+// all parallelism (measured: 4-core runtime exactly 4x 1-core). A Slots
+// tracker instead remembers a sliding window of recent busy intervals and
+// places each request in the earliest gap at or after its arrival, so
+// out-of-order-in-wall-time requests overlap exactly as the hardware
+// would have overlapped them.
+package resource
+
+// window is the number of busy intervals remembered. It bounds how far
+// out-of-order request timestamps may interleave: with blocking cores,
+// at most one chain per core is in flight, so a window a few times the
+// maximum core count is ample.
+const window = 48
+
+type interval struct {
+	start, end uint64
+}
+
+// Slots is one resource's reservation book. The zero value is ready to
+// use (fully idle). Not safe for concurrent use.
+type Slots struct {
+	// busy intervals, sorted by start time.
+	busy [window]interval
+	n    int
+	// floor is the highest end time among evicted (forgotten)
+	// intervals: placement never dips below it, so forgetting an old
+	// interval can never resurrect an already-spent gap.
+	floor uint64
+}
+
+// Reserve books the earliest interval of length dur starting at or after
+// `now`, records it, and returns its start time. dur must be positive.
+func (s *Slots) Reserve(now, dur uint64) uint64 {
+	if dur == 0 {
+		panic("resource: zero-duration reservation")
+	}
+	// Find the earliest gap >= max(now, floor) that fits dur.
+	candidate := now
+	if s.floor > candidate {
+		candidate = s.floor
+	}
+	idx := s.n // insertion position
+	for i := 0; i < s.n; i++ {
+		iv := s.busy[i]
+		if candidate+dur <= iv.start {
+			idx = i
+			break
+		}
+		if iv.end > candidate {
+			candidate = iv.end
+		}
+	}
+	s.insert(idx, interval{candidate, candidate + dur})
+	return candidate
+}
+
+// insert places iv at position idx, keeping order and evicting the
+// oldest-ending interval when full.
+func (s *Slots) insert(idx int, iv interval) {
+	if s.n == window {
+		// Evict the interval with the smallest end: it constrains the
+		// least future placement. (Ties: first found.) Its end becomes
+		// the placement floor.
+		ev := 0
+		for i := 1; i < s.n; i++ {
+			if s.busy[i].end < s.busy[ev].end {
+				ev = i
+			}
+		}
+		if s.busy[ev].end > s.floor {
+			s.floor = s.busy[ev].end
+		}
+		copy(s.busy[ev:], s.busy[ev+1:s.n])
+		s.n--
+		if ev < idx {
+			idx--
+		}
+	}
+	copy(s.busy[idx+1:s.n+1], s.busy[idx:s.n])
+	s.busy[idx] = iv
+	s.n++
+}
+
+// NextFree returns the earliest time at or after now at which the
+// resource could begin a reservation of length dur, without booking it.
+func (s *Slots) NextFree(now, dur uint64) uint64 {
+	candidate := now
+	if s.floor > candidate {
+		candidate = s.floor
+	}
+	for i := 0; i < s.n; i++ {
+		iv := s.busy[i]
+		if candidate+dur <= iv.start {
+			return candidate
+		}
+		if iv.end > candidate {
+			candidate = iv.end
+		}
+	}
+	return candidate
+}
+
+// IdleAt reports whether no booked interval covers or follows t.
+func (s *Slots) IdleAt(t uint64) bool {
+	for i := 0; i < s.n; i++ {
+		if s.busy[i].end > t {
+			return false
+		}
+	}
+	return true
+}
+
+// Reset clears all reservations and the eviction floor.
+func (s *Slots) Reset() {
+	s.n = 0
+	s.floor = 0
+}

@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"testing"
+
+	"ndpage/internal/core"
+	"ndpage/internal/memsys"
+)
+
+// BenchmarkStepThroughput measures raw engine speed in simulated
+// instructions per second for each mechanism (the simulator's own
+// performance, not the simulated machine's).
+func BenchmarkStepThroughput(b *testing.B) {
+	for _, mech := range core.Mechanisms {
+		b.Run(mech.String(), func(b *testing.B) {
+			m, err := New(Config{
+				System:         memsys.NDP,
+				Cores:          4,
+				Mechanism:      mech,
+				Workload:       "pr",
+				FootprintBytes: 512 << 20,
+				MemoryBytes:    4 << 30,
+				FragHoles:      200,
+				Warmup:         1,
+				Instructions:   1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			m.run(1) // settle init
+			b.ResetTimer()
+			target := uint64(1)
+			for i := 0; i < b.N; i++ {
+				target++
+				m.run(target)
+			}
+			b.ReportMetric(float64(len(m.cores)), "cores")
+		})
+	}
+}
+
+// BenchmarkMachineConstruction measures setup cost (allocator,
+// fragmentation, dataset population, table build).
+func BenchmarkMachineConstruction(b *testing.B) {
+	for _, mech := range []core.Mechanism{core.Radix, core.NDPage, core.ECH} {
+		b.Run(mech.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := New(Config{
+					System:         memsys.NDP,
+					Cores:          2,
+					Mechanism:      mech,
+					Workload:       "rnd",
+					FootprintBytes: 512 << 20,
+					MemoryBytes:    4 << 30,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

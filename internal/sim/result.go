@@ -1,0 +1,176 @@
+package sim
+
+import (
+	"ndpage/internal/access"
+	"ndpage/internal/addr"
+	"ndpage/internal/pagetable"
+	"ndpage/internal/stats"
+)
+
+// Result aggregates one measurement window across all cores: everything
+// the paper's figures report.
+type Result struct {
+	Config Config
+
+	// Cycles is the parallel completion time: the maximum per-core
+	// measured cycle count. TotalCycles is the sum across cores (the
+	// denominator for overhead fractions).
+	Cycles      uint64
+	TotalCycles uint64
+
+	Instructions uint64
+	Loads        uint64
+	Stores       uint64
+
+	// Cycle attribution (sums across cores).
+	TranslationCycles uint64
+	DataCycles        uint64
+	ComputeCycles     uint64
+	FaultCycles       uint64
+
+	// Translation micro-metrics.
+	Walks       uint64
+	WalkCycles  uint64
+	PTEAccesses uint64
+	L1TLB       stats.HitMiss // DTLB, aggregated over cores
+	L2TLB       stats.HitMiss
+	PWC         map[addr.Level]stats.HitMiss
+
+	// L1 data-cache behaviour (aggregated over cores).
+	L1Data           stats.HitMiss
+	L1PTE            stats.HitMiss
+	L1Bypassed       uint64
+	DataEvictedByPTE uint64
+
+	// Memory traffic by class.
+	DRAM            [access.NumClasses]uint64
+	DRAMMeanLatency float64
+	DRAMMeanQueue   float64
+
+	// Page-table structure (shared table).
+	Occupancy   []pagetable.LevelOccupancy
+	MappedPages uint64
+
+	// OS events in the window.
+	Faults4K         uint64
+	Faults2M         uint64
+	HugeFallbacks    uint64
+	CompactionCycles uint64
+	ReclaimedChunks  uint64
+}
+
+// collect gathers the Result after the measurement window.
+func (m *Machine) collect() *Result {
+	r := &Result{
+		Config: m.cfg,
+		PWC:    make(map[addr.Level]stats.HitMiss),
+	}
+	for _, c := range m.cores {
+		elapsed := c.clock - c.start
+		if elapsed > r.Cycles {
+			r.Cycles = elapsed
+		}
+		r.TotalCycles += elapsed
+		r.Instructions += c.instructions
+		r.Loads += c.loads
+		r.Stores += c.stores
+		r.TranslationCycles += c.translationCycles
+		r.DataCycles += c.dataCycles
+		r.ComputeCycles += c.computeCycles
+		r.FaultCycles += c.faultCycles
+
+		ms := c.mmu.Stats()
+		r.Walks += ms.Walks.Value()
+		r.WalkCycles += ms.WalkCycles.Value()
+		r.PTEAccesses += ms.PTEAccesses.Value()
+		r.L1TLB.Merge(*c.mmu.DTLB().Stats())
+		r.L2TLB.Merge(*c.mmu.STLB().Stats())
+		if pwcs := c.mmu.PWC(); pwcs != nil {
+			for _, l := range pwcs.Levels() {
+				hm := r.PWC[l]
+				hm.Merge(*pwcs.Stats(l))
+				r.PWC[l] = hm
+			}
+		}
+
+		l1 := m.hier.L1D(c.id).Stats()
+		r.L1Data.Merge(l1.PerClass[access.Data])
+		r.L1PTE.Merge(l1.PerClass[access.PTE])
+		r.L1Bypassed += l1.Bypassed.Value()
+		r.DataEvictedByPTE += l1.DataEvictedByPTE.Value()
+	}
+
+	ds := m.hier.DRAM().Stats()
+	for cls := 0; cls < access.NumClasses; cls++ {
+		r.DRAM[cls] = ds.PerClass[cls].Value()
+	}
+	r.DRAMMeanLatency = ds.MeanLatency()
+	r.DRAMMeanQueue = ds.MeanQueue()
+
+	r.Occupancy = m.space.Table().Occupancy()
+	r.MappedPages = m.space.Table().MappedPages()
+
+	os := m.space.Stats()
+	r.Faults4K = os.Faults4K
+	r.Faults2M = os.Faults2M
+	r.HugeFallbacks = os.HugeFallbacks
+	r.CompactionCycles = os.CompactionCycles
+	r.ReclaimedChunks = os.ReclaimedChunks
+	return r
+}
+
+// MeanPTWLatency returns the average page-table-walk latency in cycles
+// (Figure 4 / Figure 6a).
+func (r *Result) MeanPTWLatency() float64 {
+	return stats.Ratio(r.WalkCycles, r.Walks)
+}
+
+// TranslationOverhead returns the fraction of execution time spent on
+// address translation (Figure 5 / Figure 6b).
+func (r *Result) TranslationOverhead() float64 {
+	return stats.Ratio(r.TranslationCycles, r.TotalCycles)
+}
+
+// TLBMissRate returns the overall TLB miss rate: the fraction of
+// translations that missed both TLB levels and walked (Section IV-A's
+// 91.27%).
+func (r *Result) TLBMissRate() float64 {
+	return stats.Ratio(r.Walks, r.L1TLB.Total())
+}
+
+// PTEAccessShare returns the fraction of memory-system requests that
+// carry PTEs (Section IV-A's 65.8%).
+func (r *Result) PTEAccessShare() float64 {
+	return stats.Ratio(r.PTEAccesses, r.PTEAccesses+r.Loads+r.Stores)
+}
+
+// L1DataMissRate returns the L1 miss rate of normal data (Figure 7).
+func (r *Result) L1DataMissRate() float64 { return r.L1Data.MissRate() }
+
+// L1PTEMissRate returns the L1 miss rate of metadata (Figure 7); 0 when
+// PTEs bypass the L1.
+func (r *Result) L1PTEMissRate() float64 { return r.L1PTE.MissRate() }
+
+// PWCHitRate returns the hit rate of the level-l page-walk cache.
+func (r *Result) PWCHitRate(l addr.Level) float64 {
+	hm, ok := r.PWC[l]
+	if !ok {
+		return 0
+	}
+	return hm.HitRate()
+}
+
+// CPI returns cycles (parallel) per instruction (per core).
+func (r *Result) CPI() float64 {
+	return stats.Ratio(r.TotalCycles, r.Instructions)
+}
+
+// OccupancyRate returns the occupancy of the given table level (Figure 8).
+func (r *Result) OccupancyRate(l addr.Level) float64 {
+	for _, o := range r.Occupancy {
+		if o.Level == l {
+			return o.Rate()
+		}
+	}
+	return 0
+}

@@ -1,0 +1,317 @@
+// Package sim is the trace-driven, cycle-approximate multicore simulator:
+// in-order blocking cores execute workload op streams through per-core
+// MMUs and the shared memory hierarchy, interleaved in global time order
+// (the core with the smallest local clock steps next), so cross-core
+// queueing in DRAM banks, channel buses, and the mesh emerges naturally.
+//
+// One simulation = one machine (CPU or NDP, Table I), one translation
+// mechanism, one multithreaded workload sharing an address space across
+// cores (the paper's methodology: 500M instructions per core; this
+// reproduction's instruction budget is configurable and defaults far
+// smaller — rates converge quickly at scaled footprints).
+package sim
+
+import (
+	"fmt"
+
+	"ndpage/internal/access"
+	"ndpage/internal/addr"
+	"ndpage/internal/core"
+	"ndpage/internal/memsys"
+	"ndpage/internal/osmm"
+	"ndpage/internal/phys"
+	"ndpage/internal/workload"
+	"ndpage/internal/xrand"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	System    memsys.Kind
+	Cores     int
+	Mechanism core.Mechanism
+	// Workload names a Table II benchmark (see workload.Names).
+	Workload string
+	// FootprintBytes is the shared dataset budget. Zero selects the
+	// core-count-scaled default ((5+cores) GB), mirroring the paper's
+	// "workload scale grows with the number of cores". Footprints must
+	// comfortably exceed both TLB reach and the L1's ability to cache
+	// upper-level PTEs for the paper's regime to appear.
+	FootprintBytes uint64
+	// MemoryBytes is physical memory (Table I: 16 GB).
+	MemoryBytes uint64
+	// FragHoles scatters single-frame background allocations that break
+	// up 2 MB contiguity before the workload starts. Zero selects the
+	// default (3700 holes ~ 36% of blocks damaged on 16 GB).
+	FragHoles int
+	// Warmup and Instructions are per-core op budgets; statistics reset
+	// after warmup. Zeros select defaults (60k warmup, 240k measured).
+	Warmup       uint64
+	Instructions uint64
+	// FetchEvery models one instruction fetch per N ops through the
+	// ITLB/L1I (0 selects the default of 8).
+	FetchEvery int
+	Seed       uint64
+
+	// Sensitivity knobs (DESIGN.md Section 5). Zero values are the
+	// paper configuration.
+
+	// DisablePWC removes the page-walk caches.
+	DisablePWC bool
+	// HBMChannels overrides the NDP memory channel count (0 = default).
+	HBMChannels int
+	// DemandPaging disables eager dataset population: every page faults
+	// on first touch inside the window.
+	DemandPaging bool
+	// ResidentLimitBytes caps resident memory, modelling datasets larger
+	// than DRAM (the paper's GenomicsBench is 33 GB against 16 GB):
+	// beyond it, faults reclaim the oldest 2 MB chunks, so cold data
+	// re-faults. Zero disables (default).
+	ResidentLimitBytes uint64
+	// ECHWayPrediction equips ECH walkers with the original ECH paper's
+	// cuckoo-walk cache (way prediction), cutting most walks from d
+	// probes to one. Off by default to match the NDPage paper's ECH
+	// baseline.
+	ECHWayPrediction bool
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Cores == 0 {
+		c.Cores = 1
+	}
+	if c.FootprintBytes == 0 {
+		// 9.5 GB at 1 core up to 13.5 GB at 8 cores: the paper's
+		// datasets (8-33 GB) scaled to the 16 GB machine, growing with
+		// core count ("as the workload scale and the number of NDP
+		// cores increase", Section VII-B).
+		c.FootprintBytes = uint64(19+c.Cores) << 29
+	}
+	if c.MemoryBytes == 0 {
+		c.MemoryBytes = 16 << 30
+	}
+	if c.FragHoles == 0 {
+		c.FragHoles = int(800 * (c.MemoryBytes >> 30) / 16)
+	}
+	if c.Instructions == 0 {
+		c.Instructions = 300_000
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 30_000
+	}
+	if c.FetchEvery == 0 {
+		c.FetchEvery = 8
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	return c
+}
+
+// Machine is an assembled simulation ready to run.
+type Machine struct {
+	cfg   Config
+	alloc *phys.Allocator
+	hier  *memsys.Hierarchy
+	space *osmm.AddressSpace
+	cores []*simCore
+}
+
+// simCore is one in-order core: its op stream, MMU, and local clock.
+type simCore struct {
+	id    int
+	clock uint64
+	gen   workload.Generator
+	mmu   *core.MMU
+	op    workload.Op
+
+	codeBase addr.V
+	codePos  uint64
+	fetchCnt int
+
+	// measurement-window counters
+	start             uint64
+	instructions      uint64
+	loads, stores     uint64
+	computeCycles     uint64
+	translationCycles uint64
+	dataCycles        uint64
+	faultCycles       uint64
+}
+
+// codeBytes is the per-core instruction footprint (a loop of a few pages).
+const codeBytes = 16 << 10
+
+// New builds the machine: physical memory with background fragmentation,
+// the memory hierarchy, the shared address space with the mechanism's
+// page table, the workload dataset, and one MMU + op stream per core.
+func New(cfg Config) (*Machine, error) {
+	cfg = cfg.withDefaults()
+	spec, err := workload.Lookup(cfg.Workload)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Cores < 1 || cfg.Cores > 64 {
+		return nil, fmt.Errorf("sim: core count %d out of range", cfg.Cores)
+	}
+
+	alloc := phys.New(cfg.MemoryBytes)
+	rng := xrand.New(cfg.Seed)
+	alloc.InjectFragmentation(rng, cfg.FragHoles, 1)
+
+	mcfg := memsys.Default(cfg.System, cfg.Cores)
+	mcfg.BypassL1PTE = cfg.Mechanism.BypassL1PTE()
+	if cfg.HBMChannels > 0 {
+		mcfg.DRAM.Channels = cfg.HBMChannels
+	}
+	hier := memsys.New(mcfg)
+
+	table := cfg.Mechanism.NewTable(alloc)
+	oscfg := osmm.DefaultConfig(cfg.Mechanism.Policy(), alloc.TotalFrames())
+	// Datasets are ~97.5% resident when the window opens; the remaining
+	// chunks fault on first touch inside the window (cold-start tail).
+	oscfg.HoleFraction = 0.025
+	oscfg.HoleSeed = cfg.Seed * 7919
+	oscfg.DemandPaging = cfg.DemandPaging
+	oscfg.ResidentLimitFrames = cfg.ResidentLimitBytes / addr.PageSize
+	space := osmm.New(table, alloc, oscfg)
+
+	w := spec.New()
+	w.Init(space, rng, cfg.FootprintBytes, cfg.Cores)
+
+	m := &Machine{cfg: cfg, alloc: alloc, hier: hier, space: space}
+	for i := 0; i < cfg.Cores; i++ {
+		c := &simCore{
+			id:  i,
+			gen: w.Thread(i, cfg.Seed*1_000_003+uint64(i)),
+			mmu: core.NewMMUWithOptions(cfg.Mechanism, i, table, hier,
+				core.Options{DisablePWC: cfg.DisablePWC, ECHWayPrediction: cfg.ECHWayPrediction}),
+			codeBase: space.Alloc(codeBytes, fmt.Sprintf("code.%d", i)),
+		}
+		m.cores = append(m.cores, c)
+	}
+	return m, nil
+}
+
+// Config returns the (defaults-resolved) configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Space returns the shared address space (tests and tools).
+func (m *Machine) Space() *osmm.AddressSpace { return m.space }
+
+// Hierarchy returns the memory system (tests and tools).
+func (m *Machine) Hierarchy() *memsys.Hierarchy { return m.hier }
+
+// Allocator returns the physical allocator (tests and tools).
+func (m *Machine) Allocator() *phys.Allocator { return m.alloc }
+
+// MMU returns core i's MMU (tests and tools).
+func (m *Machine) MMU(i int) *core.MMU { return m.cores[i].mmu }
+
+// step executes one op on core c.
+func (m *Machine) step(c *simCore) {
+	c.gen.Next(&c.op)
+	c.instructions++
+	switch c.op.Kind {
+	case workload.Compute:
+		c.clock += uint64(c.op.Cycles)
+		c.computeCycles += uint64(c.op.Cycles)
+		return
+	case workload.Load, workload.Store:
+	default:
+		panic(fmt.Sprintf("sim: unknown op kind %d", c.op.Kind))
+	}
+
+	// Instruction fetch: every FetchEvery-th op walks the code region
+	// through the ITLB/L1I (overlapped with the pipeline: structure
+	// activity, no cycle charge).
+	c.fetchCnt++
+	if c.fetchCnt >= m.cfg.FetchEvery {
+		c.fetchCnt = 0
+		va := c.codeBase + addr.V(c.codePos)
+		c.codePos = (c.codePos + addr.LineSize) % codeBytes
+		if cost := m.space.Touch(va); cost > 0 {
+			c.clock += cost
+			c.faultCycles += cost
+		}
+		pa := c.mmu.TranslateCode(va)
+		m.hier.Access(c.id, c.clock, pa, access.Read, access.Code)
+	}
+
+	v := c.op.Addr
+	op := access.Read
+	if c.op.Kind == workload.Store {
+		op = access.Write
+		c.stores++
+	} else {
+		c.loads++
+	}
+
+	// OS demand paging resolves before the hardware retry of the access.
+	if cost := m.space.Touch(v); cost > 0 {
+		c.clock += cost
+		c.faultCycles += cost
+	}
+
+	// Address translation.
+	pa, tEnd := c.mmu.Translate(c.clock, v, op)
+	c.translationCycles += tEnd - c.clock
+	c.clock = tEnd
+
+	// The data access itself.
+	done := m.hier.Access(c.id, c.clock, pa, op, access.Data)
+	c.dataCycles += done - c.clock
+	c.clock = done
+}
+
+// run advances all cores to the target instruction count (per core).
+func (m *Machine) run(target uint64) {
+	for {
+		var next *simCore
+		for _, c := range m.cores {
+			if c.instructions >= target {
+				continue
+			}
+			if next == nil || c.clock < next.clock {
+				next = c
+			}
+		}
+		if next == nil {
+			return
+		}
+		m.step(next)
+	}
+}
+
+// resetStats zeroes every statistic at the warmup/measurement boundary.
+func (m *Machine) resetStats() {
+	m.hier.ResetStats()
+	m.space.ResetFaultStats()
+	for _, c := range m.cores {
+		c.mmu.ResetStats()
+		c.start = c.clock
+		c.instructions = 0
+		c.loads, c.stores = 0, 0
+		c.computeCycles = 0
+		c.translationCycles = 0
+		c.dataCycles = 0
+		c.faultCycles = 0
+	}
+}
+
+// Run executes warmup, resets statistics, executes the measurement
+// window, and collects results.
+func (m *Machine) Run() *Result {
+	m.run(m.cfg.Warmup)
+	m.resetStats() // zeroes per-core instruction counters too
+	m.run(m.cfg.Instructions)
+	return m.collect()
+}
+
+// RunConfig builds a machine from cfg and runs it.
+func RunConfig(cfg Config) (*Result, error) {
+	m, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return m.Run(), nil
+}

@@ -1,0 +1,177 @@
+// Package tlb models translation lookaside buffers: set-associative,
+// LRU-replaced caches of virtual-to-physical page translations supporting
+// mixed 4 KB and 2 MB entries (Table I: L1 ITLB 128-entry/4-way, L1 DTLB
+// 64-entry/4-way, unified L2 TLB 1536-entry).
+//
+// A huge-page entry covers 512 base pages, which is how the Huge Page
+// mechanism multiplies TLB reach. Both page sizes share the same physical
+// array; a lookup probes the 4 KB tag and the 2 MB tag (in hardware these
+// are parallel sub-arrays probed in the same cycle, so a single latency is
+// charged).
+package tlb
+
+import (
+	"fmt"
+
+	"ndpage/internal/addr"
+	"ndpage/internal/assoc"
+	"ndpage/internal/stats"
+)
+
+// Config describes one TLB level.
+type Config struct {
+	Name    string
+	Entries int
+	Ways    int
+	Latency uint64 // cycles
+	// NoHuge marks a TLB that holds only 4 KB entries. Many x86 second-
+	// level TLBs do not cache 2 MB translations (e.g. Sandy-Bridge-class
+	// STLBs), which bounds the Huge Page mechanism's reach to the small
+	// first-level array — one of the reasons huge pages underdeliver in
+	// the paper's evaluation.
+	NoHuge bool
+	// HugeEntries, when positive, gives 2 MB translations their own
+	// sub-array of this many entries (HugeWays-associative) instead of
+	// sharing the main array — the usual x86 first-level organization
+	// (e.g. 32-entry 2M DTLBs on Haswell-class cores).
+	HugeEntries int
+	HugeWays    int
+}
+
+// L1D returns the Table I L1 data TLB: 64-entry, 4-way, 1 cycle, with a
+// separate 32-entry 2M sub-array.
+func L1D() Config {
+	return Config{Name: "L1-DTLB", Entries: 64, Ways: 4, Latency: 1, HugeEntries: 32, HugeWays: 4}
+}
+
+// L1I returns the Table I L1 instruction TLB: 128-entry, 4-way, 1 cycle,
+// with a separate 8-entry 2M sub-array.
+func L1I() Config {
+	return Config{Name: "L1-ITLB", Entries: 128, Ways: 4, Latency: 1, HugeEntries: 8, HugeWays: 8}
+}
+
+// L2 returns the Table I unified L2 TLB: 1536-entry, 12-way, 12 cycles,
+// 4 KB entries only.
+func L2() Config {
+	return Config{Name: "L2-TLB", Entries: 1536, Ways: 12, Latency: 12, NoHuge: true}
+}
+
+// Entry is a cached translation. For Huge entries, PFN is the frame of the
+// first 4 KB page of the 2 MB region.
+type Entry struct {
+	PFN  addr.PFN
+	Huge bool
+}
+
+// Translate applies the entry to a specific VPN, resolving the frame for
+// that page (identity for 4 KB entries; base+offset within huge regions).
+func (e Entry) Translate(vpn addr.VPN) addr.PFN {
+	if !e.Huge {
+		return e.PFN
+	}
+	return e.PFN + addr.PFN(uint64(vpn)&(addr.EntriesPerTable-1))
+}
+
+// key4 and keyHuge embed the page size in the tag so both sizes coexist.
+func key4(vpn addr.VPN) uint64    { return uint64(vpn) << 1 }
+func keyHuge(vpn addr.VPN) uint64 { return uint64(vpn)>>addr.LevelBits<<1 | 1 }
+
+// TLB is one translation cache level. Not safe for concurrent use.
+type TLB struct {
+	cfg   Config
+	table *assoc.Table[Entry]
+	huge  *assoc.Table[Entry] // separate 2M sub-array, nil when shared
+	stats stats.HitMiss
+}
+
+// New builds a TLB; Entries/Ways must give a power-of-two set count.
+func New(cfg Config) *TLB {
+	if cfg.Entries <= 0 || cfg.Ways <= 0 || cfg.Entries%cfg.Ways != 0 {
+		panic(fmt.Sprintf("tlb %q: invalid geometry %+v", cfg.Name, cfg))
+	}
+	t := &TLB{cfg: cfg, table: assoc.New[Entry](cfg.Entries/cfg.Ways, cfg.Ways)}
+	if cfg.HugeEntries > 0 {
+		if cfg.HugeWays <= 0 || cfg.HugeEntries%cfg.HugeWays != 0 {
+			panic(fmt.Sprintf("tlb %q: invalid huge sub-array geometry %+v", cfg.Name, cfg))
+		}
+		t.huge = assoc.New[Entry](cfg.HugeEntries/cfg.HugeWays, cfg.HugeWays)
+	}
+	return t
+}
+
+// Name returns the configured name.
+func (t *TLB) Name() string { return t.cfg.Name }
+
+// Latency returns the probe latency in cycles.
+func (t *TLB) Latency() uint64 { return t.cfg.Latency }
+
+// Stats returns the live hit/miss counters.
+func (t *TLB) Stats() *stats.HitMiss { return &t.stats }
+
+// ResetStats zeroes the counters (array contents are preserved).
+func (t *TLB) ResetStats() { t.stats = stats.HitMiss{} }
+
+// Lookup probes for vpn at both page sizes (parallel sub-arrays in
+// hardware, one latency), recording one hit or miss.
+func (t *TLB) Lookup(vpn addr.VPN) (Entry, bool) {
+	if e, ok := t.table.Lookup(key4(vpn)); ok {
+		t.stats.Hit()
+		return e, true
+	}
+	if !t.cfg.NoHuge {
+		arr := t.table
+		if t.huge != nil {
+			arr = t.huge
+		}
+		if e, ok := arr.Lookup(keyHuge(vpn)); ok {
+			t.stats.Hit()
+			return e, true
+		}
+	}
+	t.stats.Miss()
+	return Entry{}, false
+}
+
+// Insert caches a translation for the page containing vpn. Huge entries
+// are tagged by their 2 MB region and go to the huge sub-array when one
+// exists; a NoHuge TLB silently drops them.
+func (t *TLB) Insert(vpn addr.VPN, e Entry) {
+	if e.Huge {
+		if t.cfg.NoHuge {
+			return
+		}
+		if t.huge != nil {
+			t.huge.Insert(keyHuge(vpn), e)
+		} else {
+			t.table.Insert(keyHuge(vpn), e)
+		}
+	} else {
+		t.table.Insert(key4(vpn), e)
+	}
+}
+
+// Invalidate removes any entry covering vpn (both page sizes).
+func (t *TLB) Invalidate(vpn addr.VPN) {
+	t.table.Invalidate(key4(vpn))
+	t.table.Invalidate(keyHuge(vpn))
+	if t.huge != nil {
+		t.huge.Invalidate(keyHuge(vpn))
+	}
+}
+
+// Flush empties the TLB (counters preserved).
+func (t *TLB) Flush() {
+	t.table.Flush()
+	if t.huge != nil {
+		t.huge.Flush()
+	}
+}
+
+// Len returns the number of valid entries across both arrays.
+func (t *TLB) Len() int {
+	n := t.table.Len()
+	if t.huge != nil {
+		n += t.huge.Len()
+	}
+	return n
+}

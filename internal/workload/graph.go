@@ -1,0 +1,519 @@
+package workload
+
+import (
+	"fmt"
+
+	"ndpage/internal/addr"
+	"ndpage/internal/xrand"
+)
+
+// graphData is the shared synthetic graph used by the GraphBIG kernels:
+// a CSR-like layout with fixed-stride adjacency slots. Topology is
+// derived from a stateless hash, so the multi-GB edge array exists only
+// as virtual addresses; the *structure* (degrees, neighbor ids) is still
+// deterministic and consistent across traversals, which is what the
+// kernels' control flow needs.
+type graphData struct {
+	n       uint64 // vertices
+	maxDeg  uint64 // adjacency slots per vertex
+	seed    uint64
+	local   uint64 // percent of edges to nearby vertices (community locality)
+	threads int
+
+	// vertices is an array-of-structs region of 64 B vertex records —
+	// GraphBIG is a property-graph framework whose vertices are fat
+	// objects (row pointers, properties, framework metadata). The AoS
+	// layout is what makes neighbour gathers touch a multi-GB region,
+	// which is the paper's address-translation stress.
+	vertices addr.V
+	// edges holds fixed-stride CSR adjacency slots, 4 B per slot.
+	edges addr.V
+}
+
+// vertexRecord is the size of one vertex object. Field offsets within it:
+// row pointers at +0, primary property (rank/sigma) at +8, secondary
+// property (next rank/dependency) at +16, label (component/color/dist)
+// at +24; the rest is framework metadata.
+const (
+	vertexRecord = 64
+	fieldRow     = 0
+	fieldPropA   = 8
+	fieldPropB   = 16
+	fieldLabel   = 24
+)
+
+// graphBytesPerVertex is the virtual footprint per vertex:
+// the 64 B vertex object plus 4 B per adjacency slot.
+func graphBytesPerVertex(maxDeg uint64) uint64 { return vertexRecord + 4*maxDeg }
+
+// initGraph sizes the graph to the footprint and reserves its regions.
+func (g *graphData) initGraph(mem Mem, rng *xrand.RNG, footprint uint64, threads int) {
+	if g.maxDeg == 0 {
+		g.maxDeg = 16
+	}
+	g.threads = threads
+	g.seed = rng.Uint64()
+	g.n = footprint / graphBytesPerVertex(g.maxDeg)
+	if g.n < 1<<16 {
+		g.n = 1 << 16
+	}
+	g.vertices = mem.Alloc(vertexRecord*g.n, "vertex-objects")
+	g.edges = mem.Alloc(4*g.n*g.maxDeg, "csr-edges")
+}
+
+// degree returns vertex u's degree in [maxDeg/2, maxDeg].
+func (g *graphData) degree(u uint64) uint64 {
+	return g.maxDeg/2 + xrand.Hash64(g.seed^u)%(g.maxDeg/2+1)
+}
+
+// hubPct is the percentage of edges that point at power-law hub vertices.
+// Real graph datasets are scale-free: a thin head of hubs receives a
+// large share of all edges, giving neighbour gathers genuine cache
+// locality — the locality that PTE pollution destroys (Figure 7).
+const hubPct = 30
+
+// neighbor returns the k-th neighbor of u: a mix of power-law hubs,
+// community-local vertices, and uniform-random vertices.
+func (g *graphData) neighbor(u, k uint64) uint64 {
+	h := xrand.Hash64(g.seed ^ (u*64 + k + 1))
+	r := h % 100
+	if r < hubPct {
+		// Zipf-like hub selection: frac^8 concentrates ~22% of hub
+		// draws on the hottest few hundred vertices.
+		f := float64(h>>8&0xFFFFFF) / float64(1<<24)
+		f2 := f * f
+		f4 := f2 * f2
+		return uint64(f4 * f4 * float64(g.n))
+	}
+	if g.local > 0 && r < hubPct+g.local {
+		return (u + 1 + (h>>8)%4096) % g.n
+	}
+	return (h >> 8) % g.n
+}
+
+func (g *graphData) field(u uint64, off uint64) addr.V {
+	return g.vertices + addr.V(vertexRecord*u+off)
+}
+func (g *graphData) edgeAddr(u, k uint64) addr.V {
+	return g.edges + addr.V(4*(u*g.maxDeg+k))
+}
+func (g *graphData) propAAddr(u uint64) addr.V { return g.field(u, fieldPropA) }
+func (g *graphData) propBAddr(u uint64) addr.V { return g.field(u, fieldPropB) }
+func (g *graphData) labelAddr(u uint64) addr.V { return g.field(u, fieldLabel) }
+
+// emitRow emits the row-pointer load for vertex u (both row bounds sit in
+// the vertex object's first word pair — one line).
+func (g *graphData) emitRow(e *emitter, u uint64) {
+	e.load(g.field(u, fieldRow))
+}
+
+// sweeper iterates vertices in thread-strided order, the GraphBIG OpenMP
+// partitioning.
+type sweeper struct {
+	g    *graphData
+	next uint64
+}
+
+func newSweeper(g *graphData, core int) *sweeper {
+	return &sweeper{g: g, next: uint64(core) % g.n}
+}
+
+func (s *sweeper) vertex() uint64 {
+	u := s.next
+	s.next += uint64(s.g.threads)
+	if s.next >= s.g.n {
+		s.next %= uint64(s.g.threads)
+	}
+	return u
+}
+
+// ---------------------------------------------------------------------------
+// PR: PageRank. Sequential vertex sweep; per edge a random rank gather;
+// one rank store per vertex.
+
+type pagerank struct{ graphData }
+
+// NewPR returns the GraphBIG PageRank workload.
+func NewPR() Workload { return &pagerank{graphData{local: 20}} }
+
+func (p *pagerank) Name() string { return "pr" }
+
+func (p *pagerank) Init(mem Mem, rng *xrand.RNG, footprint uint64, threads int) {
+	p.initGraph(mem, rng, footprint, threads)
+}
+
+func (p *pagerank) Thread(core int, seed uint64) Generator {
+	sw := newSweeper(&p.graphData, core)
+	return newThread(func(e *emitter) {
+		u := sw.vertex()
+		p.emitRow(e, u)
+		for k, d := uint64(0), p.degree(u); k < d; k++ {
+			e.load(p.edgeAddr(u, k))
+			e.load(p.propAAddr(p.neighbor(u, k))) // gather neighbor rank
+			e.compute(1)
+		}
+		e.compute(2)            // damping arithmetic
+		e.store(p.propBAddr(u)) // scatter new rank
+	})
+}
+
+// ---------------------------------------------------------------------------
+// CC: connected components by label propagation.
+
+type concomp struct{ graphData }
+
+// NewCC returns the GraphBIG Connected Components workload.
+func NewCC() Workload { return &concomp{graphData{local: 30}} }
+
+func (c *concomp) Name() string { return "cc" }
+
+func (c *concomp) Init(mem Mem, rng *xrand.RNG, footprint uint64, threads int) {
+	c.initGraph(mem, rng, footprint, threads)
+}
+
+func (c *concomp) Thread(core int, seed uint64) Generator {
+	sw := newSweeper(&c.graphData, core)
+	return newThread(func(e *emitter) {
+		u := sw.vertex()
+		c.emitRow(e, u)
+		e.load(c.labelAddr(u))
+		for k, d := uint64(0), c.degree(u); k < d; k++ {
+			e.load(c.edgeAddr(u, k))
+			e.load(c.labelAddr(c.neighbor(u, k)))
+			e.compute(1) // min
+		}
+		e.store(c.labelAddr(u))
+	})
+}
+
+// ---------------------------------------------------------------------------
+// GC: greedy graph coloring.
+
+type coloring struct{ graphData }
+
+// NewGC returns the GraphBIG Graph Coloring workload.
+func NewGC() Workload { return &coloring{graphData{local: 30}} }
+
+func (c *coloring) Name() string { return "gc" }
+
+func (c *coloring) Init(mem Mem, rng *xrand.RNG, footprint uint64, threads int) {
+	c.initGraph(mem, rng, footprint, threads)
+}
+
+func (c *coloring) Thread(core int, seed uint64) Generator {
+	sw := newSweeper(&c.graphData, core)
+	return newThread(func(e *emitter) {
+		u := sw.vertex()
+		c.emitRow(e, u)
+		for k, d := uint64(0), c.degree(u); k < d; k++ {
+			e.load(c.edgeAddr(u, k))
+			e.load(c.labelAddr(c.neighbor(u, k))) // neighbor color
+			e.compute(1)                          // mark used color
+		}
+		e.compute(2) // first-fit scan
+		e.store(c.labelAddr(u))
+	})
+}
+
+// ---------------------------------------------------------------------------
+// TC: triangle counting by adjacency-list intersection.
+
+type triangles struct{ graphData }
+
+// NewTC returns the GraphBIG Triangle Counting workload.
+func NewTC() Workload { return &triangles{graphData{local: 40}} }
+
+func (t *triangles) Name() string { return "tc" }
+
+func (t *triangles) Init(mem Mem, rng *xrand.RNG, footprint uint64, threads int) {
+	t.initGraph(mem, rng, footprint, threads)
+}
+
+func (t *triangles) Thread(core int, seed uint64) Generator {
+	sw := newSweeper(&t.graphData, core)
+	return newThread(func(e *emitter) {
+		u := sw.vertex()
+		t.emitRow(e, u)
+		du := t.degree(u)
+		for k := uint64(0); k < du; k++ {
+			e.load(t.edgeAddr(u, k))
+			v := t.neighbor(u, k)
+			t.emitRow(e, v)
+			// Merge-intersect adj(u) x adj(v): two sequential streams.
+			dv := t.degree(v)
+			for i, j := uint64(0), uint64(0); i < du && j < dv; {
+				e.load(t.edgeAddr(u, i))
+				e.load(t.edgeAddr(v, j))
+				e.compute(1)
+				if xrand.Hash64(u+i)&1 == 0 {
+					i++
+				} else {
+					j++
+				}
+			}
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// BFS: level-synchronous breadth-first search. Real visited state drives
+// control flow; the frontier queue lives in a lazily populated region
+// that grows inside the measurement window.
+
+type bfs struct {
+	graphData
+	queueVA   addr.V
+	queueSpan uint64
+	visitedVA addr.V
+}
+
+// NewBFS returns the GraphBIG Breadth-First Search workload.
+func NewBFS() Workload { return &bfs{graphData: graphData{local: 25}} }
+
+func (b *bfs) Name() string { return "bfs" }
+
+func (b *bfs) Init(mem Mem, rng *xrand.RNG, footprint uint64, threads int) {
+	// Reserve ~1/8 of the budget for traversal state.
+	b.initGraph(mem, rng, footprint*7/8, threads)
+	b.visitedVA = mem.Alloc(b.n/8+addr.PageSize, "bfs-visited")
+	b.queueSpan = 4 * b.n
+	b.queueVA = mem.AllocLazy(b.queueSpan*uint64(threads), "bfs-frontier")
+}
+
+// bfsThread holds one traversal's real state.
+type bfsThread struct {
+	b       *bfs
+	rng     *xrand.RNG
+	visited []uint64
+	queue   []uint32
+	head    int
+	qBase   addr.V // this thread's slice of the frontier region
+	qPos    uint64 // monotonically increasing append cursor
+}
+
+func (b *bfs) Thread(core int, seed uint64) Generator {
+	t := &bfsThread{
+		b:       b,
+		rng:     xrand.New(seed),
+		visited: make([]uint64, b.n/64+1),
+		qBase:   b.queueVA + addr.V(b.queueSpan*uint64(core)),
+	}
+	return newThread(t.step)
+}
+
+const bfsQueueCap = 1 << 15
+
+func (t *bfsThread) qAddr() addr.V {
+	a := t.qBase + addr.V(4*(t.qPos%(t.b.queueSpan/4)))
+	t.qPos++
+	return a
+}
+
+func (t *bfsThread) step(e *emitter) {
+	b := t.b
+	if t.head >= len(t.queue) {
+		// Frontier exhausted: restart from a fresh source.
+		for i := range t.visited {
+			t.visited[i] = 0
+		}
+		t.queue = t.queue[:0]
+		t.head = 0
+		src := t.rng.Uint64n(b.n)
+		t.visited[src/64] |= 1 << (src % 64)
+		t.queue = append(t.queue, uint32(src))
+		e.store(t.qAddr())
+		return
+	}
+	u := uint64(t.queue[t.head])
+	t.head++
+	if t.head > bfsQueueCap {
+		// Compact the consumed prefix to bound Go-side memory.
+		t.queue = append(t.queue[:0], t.queue[t.head:]...)
+		t.head = 0
+	}
+	e.load(t.qAddr()) // dequeue
+	b.emitRow(e, u)
+	for k, d := uint64(0), b.degree(u); k < d; k++ {
+		e.load(b.edgeAddr(u, k))
+		v := b.neighbor(u, k)
+		e.load(b.visitedVA + addr.V(v/8)) // visited probe
+		if t.visited[v/64]&(1<<(v%64)) == 0 {
+			t.visited[v/64] |= 1 << (v % 64)
+			e.store(b.visitedVA + addr.V(v/8))
+			if len(t.queue)-t.head < bfsQueueCap {
+				t.queue = append(t.queue, uint32(v))
+			}
+			e.store(t.qAddr()) // enqueue (append to frontier region)
+			e.compute(1)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// BC: betweenness centrality — BFS forward passes plus a reverse
+// dependency-accumulation sweep over the discovered order.
+
+type bc struct {
+	bfs
+}
+
+// NewBC returns the GraphBIG Betweenness Centrality workload.
+func NewBC() Workload { return &bc{bfs{graphData: graphData{local: 25}}} }
+
+func (b *bc) Name() string { return "bc" }
+
+type bcThread struct {
+	bfsThread
+	order   []uint32 // visit order of the current traversal
+	backPos int      // reverse sweep position, -1 when in forward phase
+}
+
+func (b *bc) Thread(core int, seed uint64) Generator {
+	t := &bcThread{
+		bfsThread: bfsThread{
+			b:       &b.bfs,
+			rng:     xrand.New(seed),
+			visited: make([]uint64, b.n/64+1),
+			qBase:   b.queueVA + addr.V(b.queueSpan*uint64(core)),
+		},
+		backPos: -1,
+	}
+	return newThread(t.step)
+}
+
+func (t *bcThread) step(e *emitter) {
+	b := t.b
+	if t.backPos >= 0 {
+		// Reverse phase: accumulate dependencies.
+		u := uint64(t.order[t.backPos])
+		t.backPos--
+		e.load(b.propAAddr(u)) // sigma[u]
+		for k, d := uint64(0), b.degree(u); k < d; k++ {
+			v := b.neighbor(u, k)
+			e.load(b.propAAddr(v)) // sigma[v]
+			e.load(b.propBAddr(v)) // dep[v]
+			e.compute(1)
+		}
+		e.store(b.propBAddr(u)) // dep[u]
+		if t.backPos < 0 {
+			t.order = t.order[:0] // traversal finished
+		}
+		return
+	}
+	if t.head >= len(t.queue) {
+		if len(t.order) > 0 {
+			// Forward phase done: switch to the reverse sweep.
+			t.backPos = len(t.order) - 1
+			return
+		}
+		for i := range t.visited {
+			t.visited[i] = 0
+		}
+		t.queue = t.queue[:0]
+		t.head = 0
+		src := t.rng.Uint64n(b.n)
+		t.visited[src/64] |= 1 << (src % 64)
+		t.queue = append(t.queue, uint32(src))
+		e.store(t.qAddr())
+		return
+	}
+	u := uint64(t.queue[t.head])
+	t.head++
+	if t.head > bfsQueueCap {
+		t.queue = append(t.queue[:0], t.queue[t.head:]...)
+		t.head = 0
+	}
+	if len(t.order) < 4*bfsQueueCap {
+		t.order = append(t.order, uint32(u))
+	}
+	e.load(t.qAddr())
+	b.emitRow(e, u)
+	e.load(b.propAAddr(u)) // sigma[u]
+	e.compute(1)
+	for k, d := uint64(0), b.degree(u); k < d; k++ {
+		e.load(b.edgeAddr(u, k))
+		v := b.neighbor(u, k)
+		e.load(b.visitedVA + addr.V(v/8))
+		e.compute(1) // path-count arithmetic
+		if t.visited[v/64]&(1<<(v%64)) == 0 {
+			t.visited[v/64] |= 1 << (v % 64)
+			e.store(b.visitedVA + addr.V(v/8))
+			e.store(b.propAAddr(v)) // sigma[v] += sigma[u]
+			if len(t.queue)-t.head < bfsQueueCap {
+				t.queue = append(t.queue, uint32(v))
+			}
+			e.store(t.qAddr())
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// SP: single-source shortest path, delta-stepping flavour: a worklist of
+// relaxations with hash-derived improvement decisions.
+
+type sssp struct {
+	bfs
+}
+
+// NewSP returns the GraphBIG Shortest Path workload.
+func NewSP() Workload { return &sssp{bfs{graphData: graphData{local: 20}}} }
+
+func (s *sssp) Name() string { return "sp" }
+
+type spThread struct {
+	bfsThread
+	round uint64
+}
+
+func (s *sssp) Thread(core int, seed uint64) Generator {
+	t := &spThread{bfsThread: bfsThread{
+		b:       &s.bfs,
+		rng:     xrand.New(seed),
+		visited: make([]uint64, s.n/64+1),
+		qBase:   s.queueVA + addr.V(s.queueSpan*uint64(core)),
+	}}
+	return newThread(t.step)
+}
+
+func (t *spThread) step(e *emitter) {
+	b := t.b
+	if t.head >= len(t.queue) {
+		t.round++
+		t.queue = t.queue[:0]
+		t.head = 0
+		src := t.rng.Uint64n(b.n)
+		t.queue = append(t.queue, uint32(src))
+		e.store(t.qAddr())
+		e.store(b.labelAddr(src)) // dist[src] = 0
+		return
+	}
+	u := uint64(t.queue[t.head])
+	t.head++
+	if t.head > bfsQueueCap {
+		t.queue = append(t.queue[:0], t.queue[t.head:]...)
+		t.head = 0
+	}
+	e.load(t.qAddr())
+	b.emitRow(e, u)
+	e.load(b.labelAddr(u)) // dist[u]
+	for k, d := uint64(0), b.degree(u); k < d; k++ {
+		e.load(b.edgeAddr(u, k)) // edge + weight
+		v := b.neighbor(u, k)
+		e.load(b.labelAddr(v)) // dist[v]
+		e.compute(1)
+		// Improvement probability decays as relaxation converges.
+		h := xrand.Hash64(b.seed ^ (u*131 + v + t.round))
+		if h%100 < 30/(1+t.round%8) {
+			e.store(b.labelAddr(v))
+			if len(t.queue)-t.head < bfsQueueCap {
+				t.queue = append(t.queue, uint32(v))
+			}
+			e.store(t.qAddr())
+		}
+	}
+}
+
+// String helps debugging.
+func (g *graphData) String() string {
+	return fmt.Sprintf("graph{n=%d, maxDeg=%d}", g.n, g.maxDeg)
+}

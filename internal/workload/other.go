@@ -1,0 +1,253 @@
+package workload
+
+import (
+	"ndpage/internal/addr"
+	"ndpage/internal/xrand"
+)
+
+// ---------------------------------------------------------------------------
+// XS: XSBench — Monte Carlo neutron transport cross-section lookups. Each
+// lookup binary-searches the unionized energy grid and gathers one point
+// per nuclide of a randomly chosen material.
+
+type xsbench struct {
+	gridPoints uint64
+	nuclides   uint64
+	egrid      addr.V // 8 B per grid point
+	xsdata     addr.V // 16 B per (nuclide, grid point)
+	seed       uint64
+}
+
+// NewXS returns the XSBench workload.
+func NewXS() Workload { return &xsbench{nuclides: 64} }
+
+func (x *xsbench) Name() string { return "xs" }
+
+func (x *xsbench) Init(mem Mem, rng *xrand.RNG, footprint uint64, threads int) {
+	// bytes/gridpoint = 8 (egrid) + 16*nuclides (xsdata).
+	x.seed = rng.Uint64()
+	x.gridPoints = footprint / (8 + 16*x.nuclides)
+	if x.gridPoints < 1<<14 {
+		x.gridPoints = 1 << 14
+	}
+	x.egrid = mem.Alloc(8*x.gridPoints, "xs-egrid")
+	x.xsdata = mem.Alloc(16*x.gridPoints*x.nuclides, "xs-data")
+}
+
+func (x *xsbench) Thread(core int, seed uint64) Generator {
+	rng := xrand.New(seed)
+	return newThread(func(e *emitter) {
+		// Sample a particle energy: binary search the energy grid.
+		// Particle energies cluster (thermal spectrum), so hot grid
+		// ranges see real reuse.
+		target := rng.Zipf(x.gridPoints, 0.6)
+		lo, hi := uint64(0), x.gridPoints-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			// The comparison overlaps the next probe; only the load is
+			// on the critical path.
+			e.load(x.egrid + addr.V(8*mid))
+			if mid < target {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		e.compute(1)
+		// Gather cross sections for the material's nuclides.
+		mat := 5 + rng.Uint64n(25)
+		for i := uint64(0); i < mat; i++ {
+			nuc := (xrand.Hash64(x.seed^(target*64+i)) % x.nuclides)
+			e.load(x.xsdata + addr.V(16*(nuc*x.gridPoints+target)))
+			e.compute(1)
+		}
+		e.compute(3) // macroscopic XS accumulation
+	})
+}
+
+// ---------------------------------------------------------------------------
+// RND: GUPS random access — read-modify-write of random table entries.
+
+type gups struct {
+	tableLen uint64 // 8 B entries
+	table    addr.V
+}
+
+// NewRND returns the GUPS random-access workload.
+func NewRND() Workload { return &gups{} }
+
+func (g *gups) Name() string { return "rnd" }
+
+func (g *gups) Init(mem Mem, rng *xrand.RNG, footprint uint64, threads int) {
+	g.tableLen = footprint / 8
+	if g.tableLen < 1<<16 {
+		g.tableLen = 1 << 16
+	}
+	g.table = mem.Alloc(8*g.tableLen, "gups-table")
+}
+
+func (g *gups) Thread(core int, seed uint64) Generator {
+	rng := xrand.New(seed)
+	return newThread(func(e *emitter) {
+		a := g.table + addr.V(8*rng.Uint64n(g.tableLen))
+		e.load(a)
+		e.compute(1) // xor
+		e.store(a)
+	})
+}
+
+// ---------------------------------------------------------------------------
+// DLRM: sparse-length-sum — gather embedding rows from many tables,
+// reduce, and append the result to an output buffer.
+
+type dlrm struct {
+	tables  uint64
+	rows    uint64 // per table
+	rowB    uint64 // bytes per row
+	lookups uint64 // per table per sample
+	emb     addr.V
+	out     addr.V
+	outSpan uint64
+}
+
+// NewDLRM returns the DLRM sparse-length-sum workload.
+func NewDLRM() Workload {
+	return &dlrm{tables: 16, rowB: 128, lookups: 4}
+}
+
+func (d *dlrm) Name() string { return "dlrm" }
+
+func (d *dlrm) Init(mem Mem, rng *xrand.RNG, footprint uint64, threads int) {
+	d.rows = footprint / (d.tables * d.rowB)
+	if d.rows < 1<<14 {
+		d.rows = 1 << 14
+	}
+	d.emb = mem.Alloc(d.tables*d.rows*d.rowB, "dlrm-embeddings")
+	d.outSpan = 64 << 20
+	d.out = mem.AllocLazy(d.outSpan*uint64(threads), "dlrm-output")
+}
+
+type dlrmThread struct {
+	d      *dlrm
+	rng    *xrand.RNG
+	outPos uint64
+	base   addr.V
+}
+
+func (d *dlrm) Thread(core int, seed uint64) Generator {
+	t := &dlrmThread{d: d, rng: xrand.New(seed), base: d.out + addr.V(d.outSpan*uint64(core))}
+	return newThread(t.step)
+}
+
+func (t *dlrmThread) step(e *emitter) {
+	d := t.d
+	for tab := uint64(0); tab < d.tables; tab++ {
+		for l := uint64(0); l < d.lookups; l++ {
+			row := t.rng.Zipf(d.rows, 0.9) // hot embeddings dominate
+			rowBase := d.emb + addr.V((tab*d.rows+row)*d.rowB)
+			for b := uint64(0); b < d.rowB; b += addr.LineSize {
+				e.load(rowBase + addr.V(b))
+			}
+			e.compute(1) // accumulate
+		}
+	}
+	// Append the pooled result (one row) to the output buffer.
+	o := t.base + addr.V(t.outPos%t.d.outSpan)
+	t.outPos += d.rowB
+	for b := uint64(0); b < d.rowB; b += addr.LineSize {
+		e.store(o + addr.V(b))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// GEN: GenomicsBench k-mer counting — stream the genome, hash each k-mer,
+// and bump a counter in a huge hash table. The table grows inside the
+// window (lazy region) with the heavy-tailed reuse of real k-mer spectra:
+// hot k-mers dominate, the cold tail keeps touching fresh pages.
+
+type genomics struct {
+	genomeLen uint64
+	hotLen    uint64 // 16 B buckets in the established (eager) table
+	coldLen   uint64 // 16 B slots in the growth arena (lazy)
+	genome    addr.V
+	hot       addr.V
+	cold      addr.V
+	seed      uint64
+	threads   int
+}
+
+// NewGEN returns the k-mer counting workload.
+func NewGEN() Workload { return &genomics{} }
+
+func (g *genomics) Name() string { return "gen" }
+
+func (g *genomics) Init(mem Mem, rng *xrand.RNG, footprint uint64, threads int) {
+	g.seed = rng.Uint64()
+	g.threads = threads
+	g.genomeLen = footprint / 4
+	if g.genomeLen < 1<<20 {
+		g.genomeLen = 1 << 20
+	}
+	// The established table (k-mers counted so far) dominates the
+	// footprint and exists before the window; the growth arena receives
+	// newly discovered k-mers and faults inside the window.
+	hotBytes := footprint - g.genomeLen - footprint/8
+	g.hotLen = hotBytes / 16
+	g.coldLen = footprint / 8 / 16 * uint64(g.threads)
+	g.genome = mem.Alloc(g.genomeLen, "genome")
+	g.hot = mem.Alloc(16*g.hotLen, "kmer-table")
+	g.cold = mem.AllocLazy(16*g.coldLen, "kmer-growth")
+}
+
+type genThread struct {
+	g        *genomics
+	rng      *xrand.RNG
+	pos      uint64
+	partBase uint64 // this thread's growth-arena partition (byte offset)
+	partLen  uint64 // partition length in bytes
+	frontier uint64 // discovery cursor within the partition
+}
+
+func (g *genomics) Thread(core int, seed uint64) Generator {
+	part := (16 * g.coldLen / uint64(g.threads)) &^ 15
+	t := &genThread{
+		g:        g,
+		rng:      xrand.New(seed),
+		partBase: part * uint64(core),
+		partLen:  part,
+	}
+	// Threads scan staggered genome segments.
+	t.pos = xrand.Hash64(seed) % g.genomeLen
+	return newThread(t.step)
+}
+
+// genGrowProb is the fraction of table accesses that insert a *new*
+// k-mer; genGrowStride spaces the claimed slots (new k-mers hash into
+// fresh bucket neighbourhoods, so discovery touches the arena sparsely —
+// the access class that makes transparent huge pages expensive under
+// contiguity pressure, Section VII-B).
+const (
+	genGrowProb   = 0.01
+	genGrowStride = 32 << 10
+)
+
+func (t *genThread) step(e *emitter) {
+	g := t.g
+	// Slide the k-mer window: sequential genome bytes.
+	e.load(g.genome + addr.V(t.pos))
+	t.pos = (t.pos + 4) % g.genomeLen
+	e.compute(2) // rolling hash
+	var a addr.V
+	if t.rng.Bool(genGrowProb) {
+		// New k-mer: claim a slot at the growth-arena frontier.
+		a = g.cold + addr.V(t.partBase+t.frontier)
+		t.frontier = (t.frontier + genGrowStride) % t.partLen
+	} else {
+		// Known k-mer: heavy-tailed popularity over the established
+		// table (hot k-mers concentrate at low offsets).
+		a = g.hot + addr.V(16*t.rng.Zipf(g.hotLen, 0.6))
+	}
+	e.load(a)
+	e.compute(1) // compare/increment
+	e.store(a)
+}

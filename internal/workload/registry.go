@@ -1,0 +1,64 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Spec describes one benchmark of Table II.
+type Spec struct {
+	Name        string
+	Suite       string
+	Description string
+	// PaperDataset is the dataset size the paper used (Table II); this
+	// reproduction scales footprints down (see DESIGN.md).
+	PaperDataset string
+	New          func() Workload
+}
+
+// specs is the Table II registry.
+var specs = map[string]Spec{
+	"bc":   {"bc", "GraphBIG", "Betweenness centrality", "8 GB", NewBC},
+	"bfs":  {"bfs", "GraphBIG", "Breadth-first search", "8 GB", NewBFS},
+	"cc":   {"cc", "GraphBIG", "Connected components", "8 GB", NewCC},
+	"gc":   {"gc", "GraphBIG", "Graph coloring", "8 GB", NewGC},
+	"pr":   {"pr", "GraphBIG", "PageRank", "8 GB", NewPR},
+	"tc":   {"tc", "GraphBIG", "Triangle counting", "8 GB", NewTC},
+	"sp":   {"sp", "GraphBIG", "Shortest path", "8 GB", NewSP},
+	"xs":   {"xs", "XSBench", "Particle simulation", "9 GB", NewXS},
+	"rnd":  {"rnd", "GUPS", "Random access", "10 GB", NewRND},
+	"dlrm": {"dlrm", "DLRM", "Sparse-length sum", "10 GB", NewDLRM},
+	"gen":  {"gen", "GenomicsBench", "k-mer counting", "33 GB", NewGEN},
+}
+
+// paperOrder is the presentation order of the paper's figures.
+var paperOrder = []string{"bc", "bfs", "cc", "gc", "pr", "tc", "sp", "xs", "rnd", "dlrm", "gen"}
+
+// Names returns all workload names in the paper's figure order.
+func Names() []string {
+	out := make([]string, len(paperOrder))
+	copy(out, paperOrder)
+	return out
+}
+
+// Lookup returns the spec for a workload name.
+func Lookup(name string) (Spec, error) {
+	if s, ok := specs[name]; ok {
+		return s, nil
+	}
+	all := make([]string, 0, len(specs))
+	for n := range specs {
+		all = append(all, n)
+	}
+	sort.Strings(all)
+	return Spec{}, fmt.Errorf("unknown workload %q (have %v)", name, all)
+}
+
+// MustLookup is Lookup for static names.
+func MustLookup(name string) Spec {
+	s, err := Lookup(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

@@ -1,0 +1,116 @@
+// Package workload implements the eleven data-intensive benchmarks of
+// Table II as synthetic kernels: the GraphBIG suite (BC, BFS, CC, GC, PR,
+// TC, SP), XSBench particle transport lookups (XS), GUPS random access
+// (RND), DLRM sparse-length-sum (DLRM), and GenomicsBench k-mer counting
+// (GEN).
+//
+// A workload is the *address stream* of the real kernel, not its
+// arithmetic: each generator executes the kernel's control flow over a
+// synthetic dataset and emits the loads, stores and compute gaps the real
+// program would issue. Dataset topology (graph adjacency, k-mer hashes,
+// embedding rows) is derived from a stateless hash so multi-gigabyte
+// virtual footprints need no Go-side storage; only state that feeds back
+// into control flow (BFS visited sets, work queues) is materialized.
+//
+// Following the paper's multicore methodology, one workload instance owns
+// a shared dataset and serves one Generator per simulated core (the
+// paper's suites are multithreaded; cores share an address space and
+// partition work).
+package workload
+
+import (
+	"ndpage/internal/addr"
+	"ndpage/internal/xrand"
+)
+
+// OpKind is the kind of one instruction-level operation.
+type OpKind uint8
+
+// Operation kinds.
+const (
+	// Compute is a non-memory instruction burst of Op.Cycles cycles.
+	Compute OpKind = iota
+	// Load reads Op.Addr.
+	Load
+	// Store writes Op.Addr.
+	Store
+)
+
+// Op is one instruction emitted by a generator.
+type Op struct {
+	Kind   OpKind
+	Addr   addr.V
+	Cycles uint32
+}
+
+// Mem is the allocation interface a workload uses to reserve its dataset.
+// It is implemented by the OS model's AddressSpace.
+type Mem interface {
+	// Alloc reserves and eagerly populates memory (datasets that exist
+	// before the measurement window).
+	Alloc(size uint64, name string) addr.V
+	// AllocLazy reserves memory populated on first touch (structures
+	// that grow during execution and fault inside the window).
+	AllocLazy(size uint64, name string) addr.V
+}
+
+// Workload is a benchmark: a shared dataset plus per-core op streams.
+type Workload interface {
+	// Name returns the paper's workload abbreviation (lowercase).
+	Name() string
+	// Init allocates the shared dataset sized to roughly footprint
+	// bytes, for the given thread count.
+	Init(mem Mem, rng *xrand.RNG, footprint uint64, threads int)
+	// Thread returns the op stream for one core. Init must have been
+	// called. Streams are infinite.
+	Thread(core int, seed uint64) Generator
+}
+
+// Generator is an infinite instruction stream.
+type Generator interface {
+	Next(op *Op)
+}
+
+// emitter is a small FIFO op buffer shared by all generators: kernels
+// refill it a step at a time, Next drains it. The backing array is reused
+// so steady-state generation does not allocate.
+type emitter struct {
+	buf  []Op
+	head int
+}
+
+func (e *emitter) empty() bool { return e.head >= len(e.buf) }
+
+func (e *emitter) reset() {
+	e.buf = e.buf[:0]
+	e.head = 0
+}
+
+func (e *emitter) pop(op *Op) {
+	*op = e.buf[e.head]
+	e.head++
+}
+
+func (e *emitter) load(a addr.V)    { e.buf = append(e.buf, Op{Kind: Load, Addr: a}) }
+func (e *emitter) store(a addr.V)   { e.buf = append(e.buf, Op{Kind: Store, Addr: a}) }
+func (e *emitter) compute(c uint32) { e.buf = append(e.buf, Op{Kind: Compute, Cycles: c}) }
+
+// thread adapts a refill function to the Generator interface.
+type thread struct {
+	emitter
+	refill func(e *emitter)
+}
+
+// Next implements Generator.
+func (t *thread) Next(op *Op) {
+	for t.empty() {
+		t.reset()
+		t.refill(&t.emitter)
+	}
+	t.pop(op)
+}
+
+// newThread builds a Generator from a refill step.
+func newThread(refill func(e *emitter)) Generator {
+	return &thread{refill: refill}
+}

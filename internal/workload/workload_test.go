@@ -1,0 +1,302 @@
+package workload
+
+import (
+	"testing"
+
+	"ndpage/internal/addr"
+	"ndpage/internal/xrand"
+)
+
+// fakeMem is a Mem that just bump-allocates virtual regions and remembers
+// them, so workload tests need no OS model.
+type fakeMem struct {
+	brk     addr.V
+	regions []struct {
+		base addr.V
+		size uint64
+		name string
+		lazy bool
+	}
+}
+
+func newFakeMem() *fakeMem { return &fakeMem{brk: 1 << 39} }
+
+func (m *fakeMem) alloc(size uint64, name string, lazy bool) addr.V {
+	size = addr.AlignUp(size, addr.HugePageSize)
+	base := m.brk
+	m.brk += addr.V(size)
+	m.regions = append(m.regions, struct {
+		base addr.V
+		size uint64
+		name string
+		lazy bool
+	}{base, size, name, lazy})
+	return base
+}
+
+func (m *fakeMem) Alloc(size uint64, name string) addr.V { return m.alloc(size, name, false) }
+func (m *fakeMem) AllocLazy(size uint64, name string) addr.V {
+	return m.alloc(size, name, true)
+}
+
+func (m *fakeMem) contains(a addr.V) bool {
+	for _, r := range m.regions {
+		if a >= r.base && a < r.base+addr.V(r.size) {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *fakeMem) total() uint64 {
+	var t uint64
+	for _, r := range m.regions {
+		t += r.size
+	}
+	return t
+}
+
+const testFootprint = 64 << 20
+
+func drive(t *testing.T, w Workload, threads, opsPerThread int) (*fakeMem, []Op) {
+	t.Helper()
+	mem := newFakeMem()
+	w.Init(mem, xrand.New(1), testFootprint, threads)
+	var ops []Op
+	for c := 0; c < threads; c++ {
+		g := w.Thread(c, uint64(100+c))
+		var op Op
+		for i := 0; i < opsPerThread; i++ {
+			g.Next(&op)
+			ops = append(ops, op)
+		}
+	}
+	return mem, ops
+}
+
+func TestAllWorkloadsEmitValidStreams(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			spec := MustLookup(name)
+			mem, ops := drive(t, spec.New(), 2, 20000)
+			loads, stores, computes := 0, 0, 0
+			for _, op := range ops {
+				switch op.Kind {
+				case Load:
+					loads++
+				case Store:
+					stores++
+				case Compute:
+					computes++
+					if op.Cycles == 0 {
+						t.Fatal("compute op with zero cycles")
+					}
+					continue
+				}
+				if !mem.contains(op.Addr) {
+					t.Fatalf("%v op to %#x outside any region", op.Kind, uint64(op.Addr))
+				}
+				if !addr.Canonical(op.Addr) {
+					t.Fatalf("non-canonical address %#x", uint64(op.Addr))
+				}
+			}
+			if loads == 0 {
+				t.Error("no loads emitted")
+			}
+			if computes == 0 {
+				t.Error("no compute ops emitted")
+			}
+			// Data-intensive: memory ops dominate (paper's premise).
+			if memOps := loads + stores; memOps < computes {
+				t.Errorf("not memory-bound: %d mem ops vs %d compute", memOps, computes)
+			}
+		})
+	}
+}
+
+func TestWorkloadsAreDeterministic(t *testing.T) {
+	for _, name := range Names() {
+		spec := MustLookup(name)
+		_, a := drive(t, spec.New(), 1, 5000)
+		_, b := drive(t, spec.New(), 1, 5000)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: op %d differs between identical runs", name, i)
+			}
+		}
+	}
+}
+
+func TestThreadsEmitDistinctStreams(t *testing.T) {
+	for _, name := range []string{"pr", "rnd", "gen"} {
+		spec := MustLookup(name)
+		mem := newFakeMem()
+		w := spec.New()
+		w.Init(mem, xrand.New(1), testFootprint, 2)
+		g0, g1 := w.Thread(0, 100), w.Thread(1, 101)
+		same := 0
+		var a, b Op
+		for i := 0; i < 1000; i++ {
+			g0.Next(&a)
+			g1.Next(&b)
+			if a == b {
+				same++
+			}
+		}
+		if same > 900 {
+			t.Errorf("%s: threads emitted %d/1000 identical ops", name, same)
+		}
+	}
+}
+
+func TestFootprintScalesWithBudget(t *testing.T) {
+	for _, name := range Names() {
+		spec := MustLookup(name)
+		small := newFakeMem()
+		spec.New().Init(small, xrand.New(1), 32<<20, 1)
+		big := newFakeMem()
+		spec.New().Init(big, xrand.New(1), 256<<20, 1)
+		if big.total() <= small.total() {
+			t.Errorf("%s: footprint did not grow with budget (%d vs %d)",
+				name, small.total(), big.total())
+		}
+		// Total stays within ~2x of the budget (lazy growth regions may
+		// exceed it virtually).
+		if small.total() > 4*32<<20 {
+			t.Errorf("%s: small budget ballooned to %d", name, small.total())
+		}
+	}
+}
+
+func TestGraphTopologyConsistency(t *testing.T) {
+	g := &graphData{maxDeg: 8}
+	mem := newFakeMem()
+	g.initGraph(mem, xrand.New(3), testFootprint, 1)
+	for u := uint64(0); u < 100; u++ {
+		d := g.degree(u)
+		if d < g.maxDeg/2 || d > g.maxDeg {
+			t.Fatalf("degree(%d) = %d out of range", u, d)
+		}
+		if g.degree(u) != d {
+			t.Fatal("degree not stable")
+		}
+		for k := uint64(0); k < d; k++ {
+			v := g.neighbor(u, k)
+			if v >= g.n {
+				t.Fatalf("neighbor(%d,%d) = %d out of range", u, k, v)
+			}
+			if g.neighbor(u, k) != v {
+				t.Fatal("neighbor not stable")
+			}
+		}
+	}
+}
+
+func TestBFSVisitsEachVertexOnce(t *testing.T) {
+	// The BFS thread must never enqueue a visited vertex: stores to the
+	// visited bitmap for one vertex happen at most once per traversal.
+	spec := MustLookup("bfs")
+	w := spec.New().(*bfs)
+	mem := newFakeMem()
+	w.Init(mem, xrand.New(5), 32<<20, 1)
+	g := w.Thread(0, 7)
+	storeCount := map[addr.V]int{}
+	restarts := 0
+	var op Op
+	for i := 0; i < 200000 && restarts == 0; i++ {
+		g.Next(&op)
+		if op.Kind == Store && op.Addr >= w.visitedVA && op.Addr < w.visitedVA+addr.V(w.n/8) {
+			storeCount[op.Addr]++
+		}
+	}
+	// A visited-word can be stored up to 8 times (8 vertices/byte), never
+	// more within one traversal.
+	for a, c := range storeCount {
+		if c > 8 {
+			t.Fatalf("visited word %#x stored %d times (revisit bug)", uint64(a), c)
+		}
+	}
+}
+
+func TestSweeperCoversAllResidues(t *testing.T) {
+	g := &graphData{maxDeg: 8}
+	mem := newFakeMem()
+	g.initGraph(mem, xrand.New(3), 32<<20, 4)
+	sw := newSweeper(g, 1)
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		u := sw.vertex()
+		if u%4 != 1 {
+			t.Fatalf("thread 1 visited vertex %d (wrong residue)", u)
+		}
+		seen[u] = true
+	}
+	if len(seen) < 900 {
+		t.Errorf("sweeper revisits too early: %d distinct of 1000", len(seen))
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	names := Names()
+	if len(names) != 11 {
+		t.Fatalf("Table II has 11 workloads, registry has %d", len(names))
+	}
+	suites := map[string]bool{}
+	for _, n := range names {
+		s := MustLookup(n)
+		if s.New == nil || s.Suite == "" || s.PaperDataset == "" {
+			t.Errorf("incomplete spec for %s", n)
+		}
+		if got := s.New().Name(); got != n {
+			t.Errorf("workload %s reports name %s", n, got)
+		}
+		suites[s.Suite] = true
+	}
+	if len(suites) != 5 {
+		t.Errorf("Table II spans 5 suites, registry has %d", len(suites))
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Error("Lookup accepted junk")
+	}
+}
+
+func TestLazyRegionsExistWhereExpected(t *testing.T) {
+	// BFS/BC/SP frontiers, DLRM output and GEN table grow in-window.
+	lazyExpected := map[string]bool{"bfs": true, "bc": true, "sp": true, "dlrm": true, "gen": true}
+	for _, name := range Names() {
+		mem := newFakeMem()
+		w := MustLookup(name).New()
+		w.Init(mem, xrand.New(1), testFootprint, 1)
+		hasLazy := false
+		for _, r := range mem.regions {
+			if r.lazy {
+				hasLazy = true
+			}
+		}
+		if lazyExpected[name] && !hasLazy {
+			t.Errorf("%s: expected a lazily populated growth region", name)
+		}
+		if !lazyExpected[name] && hasLazy {
+			t.Errorf("%s: unexpected lazy region", name)
+		}
+	}
+}
+
+func TestGeneratorsDoNotAllocateInSteadyState(t *testing.T) {
+	spec := MustLookup("pr")
+	mem := newFakeMem()
+	w := spec.New()
+	w.Init(mem, xrand.New(1), 32<<20, 1)
+	g := w.Thread(0, 9)
+	var op Op
+	for i := 0; i < 10000; i++ {
+		g.Next(&op) // warm up buffers
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		g.Next(&op)
+	})
+	if allocs > 0.1 {
+		t.Errorf("PR generator allocates %.2f per op in steady state", allocs)
+	}
+}

@@ -1,0 +1,199 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestDistinctSeedsDecorrelate(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("seeds 1 and 2 produced %d identical draws out of 1000", same)
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var r RNG
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 100 {
+		t.Errorf("zero-value RNG produced only %d distinct values in 100 draws", len(seen))
+	}
+}
+
+func TestUint64nRange(t *testing.T) {
+	r := New(7)
+	f := func(n uint32) bool {
+		m := uint64(n%1000) + 1
+		v := r.Uint64n(m)
+		return v < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUint64nPowerOfTwo(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 10000; i++ {
+		if v := r.Uint64n(1 << 10); v >= 1<<10 {
+			t.Fatalf("out of range: %d", v)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Uint64n(0) did not panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestZipfPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Zipf(0, s) did not panic")
+		}
+	}()
+	New(1).Zipf(0, 0.9)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestUniformity(t *testing.T) {
+	// Chi-squared-ish sanity: bucket 100k draws into 16 buckets; each
+	// should be within 10% of the expected count.
+	r := New(11)
+	const draws, buckets = 100000, 16
+	var counts [buckets]int
+	for i := 0; i < draws; i++ {
+		counts[r.Uint64n(buckets)]++
+	}
+	want := draws / buckets
+	for i, c := range counts {
+		if math.Abs(float64(c-want)) > 0.1*float64(want) {
+			t.Errorf("bucket %d: %d draws, want ~%d", i, c, want)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	// With skew, low indices must be drawn much more often than the tail.
+	r := New(13)
+	const n = 1 << 20
+	head, tail := 0, 0
+	for i := 0; i < 100000; i++ {
+		v := r.Zipf(n, 0.9)
+		if v >= n {
+			t.Fatalf("Zipf out of range: %d", v)
+		}
+		if v < n/100 {
+			head++
+		}
+		if v > n-n/100 {
+			tail++
+		}
+	}
+	if head < 10*tail {
+		t.Errorf("Zipf(0.9) head=%d tail=%d: expected strong head skew", head, tail)
+	}
+	// Zero skew degenerates to uniform: head and tail buckets comparable.
+	head, tail = 0, 0
+	for i := 0; i < 100000; i++ {
+		v := r.Zipf(n, 0)
+		if v < n/100 {
+			head++
+		}
+		if v > n-n/100 {
+			tail++
+		}
+	}
+	if head > 3*tail || tail > 3*head {
+		t.Errorf("Zipf(0) head=%d tail=%d: expected roughly uniform", head, tail)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(17)
+	hits := 0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		if r.Bool(0.25) {
+			hits++
+		}
+	}
+	got := float64(hits) / draws
+	if got < 0.23 || got > 0.27 {
+		t.Errorf("Bool(0.25) observed rate %.4f", got)
+	}
+}
+
+func TestPerm(t *testing.T) {
+	r := New(19)
+	p := make([]int, 257)
+	r.Perm(p)
+	seen := make([]bool, len(p))
+	for _, v := range p {
+		if v < 0 || v >= len(p) || seen[v] {
+			t.Fatalf("not a permutation: value %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestHash64Stateless(t *testing.T) {
+	if Hash64(12345) != Hash64(12345) {
+		t.Error("Hash64 is not deterministic")
+	}
+	if Hash64(1) == Hash64(2) {
+		t.Error("Hash64 collides trivially")
+	}
+	// Avalanche sanity: flipping one input bit flips ~half the output bits.
+	a, b := Hash64(0xdeadbeef), Hash64(0xdeadbeef^1)
+	diff := a ^ b
+	bits := 0
+	for diff != 0 {
+		bits += int(diff & 1)
+		diff >>= 1
+	}
+	if bits < 16 || bits > 48 {
+		t.Errorf("poor avalanche: %d bits flipped", bits)
+	}
+}

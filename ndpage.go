@@ -1,0 +1,113 @@
+// Package ndpage reproduces "NDPage: Efficient Address Translation for
+// Near-Data Processing Architectures via Tailored Page Table" (DATE 2025)
+// as a self-contained architectural simulation library.
+//
+// The package simulates CPU and NDP systems (Table I of the paper): x86-64
+// cores with two-level TLBs and page-walk caches, cache hierarchies, a
+// mesh interconnect, DDR4/HBM2 memory with bank/channel timing, an OS
+// memory manager with demand paging and transparent-huge-page policy, and
+// five address-translation mechanisms:
+//
+//   - Radix — the conventional 4-level x86-64 page table (baseline)
+//   - ECH — elastic cuckoo hash page table (parallel probes)
+//   - HugePage — transparent 2 MB pages
+//   - NDPage — the paper's design: flattened L2/L1 page table plus an L1
+//     cache bypass for page-table entries
+//   - Ideal — zero-cost translation (upper bound)
+//
+// Eleven data-intensive workloads (Table II: GraphBIG BC/BFS/CC/GC/PR/TC/
+// SP, XSBench, GUPS, DLRM, GenomicsBench k-mer counting) drive the
+// simulations as synthetic kernels that reproduce the originals' memory
+// access patterns.
+//
+// Quick start:
+//
+//	res, err := ndpage.Run(ndpage.Config{
+//		System:    ndpage.NDP,
+//		Cores:     4,
+//		Mechanism: ndpage.NDPage,
+//		Workload:  "bfs",
+//	})
+//	fmt.Printf("CPI %.1f, PTW %.1f cycles\n", res.CPI(), res.MeanPTWLatency())
+//
+// Use Experiments to regenerate every figure of the paper's evaluation;
+// see EXPERIMENTS.md for measured-versus-paper results.
+package ndpage
+
+import (
+	"ndpage/internal/core"
+	"ndpage/internal/memsys"
+	"ndpage/internal/sim"
+	"ndpage/internal/workload"
+)
+
+// System selects the simulated machine organization (Table I).
+type System = memsys.Kind
+
+// Simulated systems.
+const (
+	// CPU is the host-processor configuration: three cache levels,
+	// DDR4-2400, cores four mesh hops from memory.
+	CPU System = memsys.CPU
+	// NDP is the near-data configuration: L1 only, HBM2, cores in the
+	// logic layer one hop from their vault.
+	NDP System = memsys.NDP
+)
+
+// Mechanism selects the address-translation design.
+type Mechanism = core.Mechanism
+
+// Translation mechanisms (paper Section VI), plus the two NDPage
+// ablation variants.
+const (
+	Radix       Mechanism = core.Radix
+	ECH         Mechanism = core.ECH
+	HugePage    Mechanism = core.HugePage
+	NDPage      Mechanism = core.NDPage
+	Ideal       Mechanism = core.Ideal
+	FlattenOnly Mechanism = core.FlattenOnly
+	BypassOnly  Mechanism = core.BypassOnly
+)
+
+// Mechanisms lists the paper's evaluated mechanisms in figure order.
+func Mechanisms() []Mechanism {
+	out := make([]Mechanism, len(core.Mechanisms))
+	copy(out, core.Mechanisms)
+	return out
+}
+
+// ParseMechanism resolves a mechanism name ("Radix", "ECH", "HugePage",
+// "NDPage", "Ideal", "FlattenOnly", "BypassOnly").
+func ParseMechanism(s string) (Mechanism, error) { return core.ParseMechanism(s) }
+
+// Config describes one simulation. The zero values of the optional
+// fields select the defaults used throughout the paper reproduction.
+type Config = sim.Config
+
+// Result carries every metric a run produces; see the methods
+// (CPI, MeanPTWLatency, TranslationOverhead, TLBMissRate, ...).
+type Result = sim.Result
+
+// Run executes one simulation: build the machine, warm it up, measure,
+// and collect statistics.
+func Run(cfg Config) (*Result, error) { return sim.RunConfig(cfg) }
+
+// WorkloadInfo describes one Table II benchmark.
+type WorkloadInfo struct {
+	Name        string // registry name passed to Config.Workload
+	Suite       string
+	Description string
+	// PaperDataset is the dataset size the paper evaluated with; this
+	// reproduction scales footprints to the simulated 16 GB machine.
+	PaperDataset string
+}
+
+// Workloads lists the Table II benchmarks in the paper's figure order.
+func Workloads() []WorkloadInfo {
+	var out []WorkloadInfo
+	for _, name := range workload.Names() {
+		s := workload.MustLookup(name)
+		out = append(out, WorkloadInfo{s.Name, s.Suite, s.Description, s.PaperDataset})
+	}
+	return out
+}

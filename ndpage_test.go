@@ -1,0 +1,111 @@
+package ndpage_test
+
+import (
+	"strings"
+	"testing"
+
+	"ndpage"
+)
+
+func quick(mech ndpage.Mechanism, system ndpage.System, cores int, wl string) ndpage.Config {
+	return ndpage.Config{
+		System:         system,
+		Cores:          cores,
+		Mechanism:      mech,
+		Workload:       wl,
+		FootprintBytes: 256 << 20,
+		MemoryBytes:    4 << 30,
+		FragHoles:      200,
+		Warmup:         3_000,
+		Instructions:   12_000,
+	}
+}
+
+func TestRunQuickstart(t *testing.T) {
+	res, err := ndpage.Run(quick(ndpage.NDPage, ndpage.NDP, 2, "bfs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles == 0 || res.Instructions != 24_000 {
+		t.Fatalf("unexpected result: cycles=%d instr=%d", res.Cycles, res.Instructions)
+	}
+	if res.CPI() <= 0 {
+		t.Error("CPI not positive")
+	}
+}
+
+func TestRunRejectsUnknownWorkload(t *testing.T) {
+	if _, err := ndpage.Run(ndpage.Config{Workload: "bogus"}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestWorkloadsRegistry(t *testing.T) {
+	wls := ndpage.Workloads()
+	if len(wls) != 11 {
+		t.Fatalf("Workloads() = %d entries, want 11 (Table II)", len(wls))
+	}
+	for _, w := range wls {
+		if w.Name == "" || w.Suite == "" || w.PaperDataset == "" {
+			t.Errorf("incomplete workload info: %+v", w)
+		}
+		// Every registered workload must actually run.
+		if _, err := ndpage.Run(quick(ndpage.Ideal, ndpage.NDP, 1, w.Name)); err != nil {
+			t.Errorf("workload %s does not run: %v", w.Name, err)
+		}
+	}
+}
+
+func TestMechanismRoundTrip(t *testing.T) {
+	for _, m := range ndpage.Mechanisms() {
+		got, err := ndpage.ParseMechanism(m.String())
+		if err != nil || got != m {
+			t.Errorf("ParseMechanism(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	if len(ndpage.Mechanisms()) != 5 {
+		t.Error("the paper evaluates 5 mechanisms")
+	}
+}
+
+// TestHeadlineOrdering is the paper's core claim through the public API:
+// on the NDP system NDPage outperforms Radix and ECH, and Ideal bounds
+// everything translation-only.
+func TestHeadlineOrdering(t *testing.T) {
+	cycles := func(m ndpage.Mechanism) uint64 {
+		res, err := ndpage.Run(quick(m, ndpage.NDP, 1, "rnd"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Cycles
+	}
+	radix, ech, ndp, ideal := cycles(ndpage.Radix), cycles(ndpage.ECH),
+		cycles(ndpage.NDPage), cycles(ndpage.Ideal)
+	if !(ndp < radix && ndp < ech && ideal < ndp) {
+		t.Errorf("ordering violated: radix=%d ech=%d ndpage=%d ideal=%d",
+			radix, ech, ndp, ideal)
+	}
+}
+
+func TestExperimentsQuick(t *testing.T) {
+	e := &ndpage.Experiments{
+		Instructions: 8_000,
+		Warmup:       2_000,
+		Footprint:    192 << 20,
+		Workloads:    []string{"rnd"},
+	}
+	tab := e.Fig12()
+	if !strings.Contains(tab.String(), "geomean") {
+		t.Errorf("Fig12 table missing geomean:\n%s", tab)
+	}
+	if csv := tab.CSV(); !strings.Contains(csv, "workload,ECH") {
+		t.Errorf("CSV header wrong: %s", csv)
+	}
+}
+
+func TestTableII(t *testing.T) {
+	tab := ndpage.TableII()
+	if !strings.Contains(tab.String(), "k-mer") {
+		t.Error("Table II missing GenomicsBench description")
+	}
+}

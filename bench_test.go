@@ -26,6 +26,17 @@ func benchExperiments() *ndpage.Experiments {
 	}
 }
 
+// benchTable fails the benchmark on a simulation error and returns the
+// table otherwise.
+func benchTable(b *testing.B, f func() (*ndpage.Table, error)) *ndpage.Table {
+	b.Helper()
+	t, err := f()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return t
+}
+
 // lastCell parses the numeric cell at the given column of a table's last
 // (summary) row. Cells may carry a % or x suffix.
 func lastCell(b *testing.B, t *ndpage.Table, col int) float64 {
@@ -44,7 +55,7 @@ func lastCell(b *testing.B, t *ndpage.Table, col int) float64 {
 
 func BenchmarkFig04_PTWLatency(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := benchExperiments().Fig4()
+		t := benchTable(b, benchExperiments().Fig4)
 		b.ReportMetric(lastCell(b, t, 1), "cpu-ptw-cycles")
 		b.ReportMetric(lastCell(b, t, 2), "ndp-ptw-cycles")
 	}
@@ -52,7 +63,7 @@ func BenchmarkFig04_PTWLatency(b *testing.B) {
 
 func BenchmarkFig05_TranslationOverhead(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := benchExperiments().Fig5()
+		t := benchTable(b, benchExperiments().Fig5)
 		b.ReportMetric(lastCell(b, t, 1), "cpu-xlat-pct")
 		b.ReportMetric(lastCell(b, t, 2), "ndp-xlat-pct")
 	}
@@ -60,7 +71,7 @@ func BenchmarkFig05_TranslationOverhead(b *testing.B) {
 
 func BenchmarkFig06_CoreScaling(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := benchExperiments().Fig6()
+		t := benchTable(b, benchExperiments().Fig6)
 		// Last row is the 8-core row; column 2 is NDP PTW.
 		b.ReportMetric(lastCell(b, t, 2), "ndp-ptw-8core")
 	}
@@ -68,7 +79,7 @@ func BenchmarkFig06_CoreScaling(b *testing.B) {
 
 func BenchmarkFig07_CachePollution(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := benchExperiments().Fig7()
+		t := benchTable(b, benchExperiments().Fig7)
 		b.ReportMetric(lastCell(b, t, 1), "data-ideal-miss-pct")
 		b.ReportMetric(lastCell(b, t, 2), "data-actual-miss-pct")
 		b.ReportMetric(lastCell(b, t, 3), "metadata-miss-pct")
@@ -77,7 +88,7 @@ func BenchmarkFig07_CachePollution(b *testing.B) {
 
 func BenchmarkFig08_Occupancy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := benchExperiments().Fig8()
+		t := benchTable(b, benchExperiments().Fig8)
 		// Report the PL1 occupancy of the last workload row.
 		b.ReportMetric(lastCell(b, t, 4), "pl1-occupancy-pct")
 		b.ReportMetric(lastCell(b, t, 2), "pl3-occupancy-pct")
@@ -87,16 +98,16 @@ func BenchmarkFig08_Occupancy(b *testing.B) {
 func BenchmarkMotivation_SectionIVA(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		e := benchExperiments()
-		t := e.Motivation()
+		t := benchTable(b, e.Motivation)
 		_ = t
-		p := e.PWCRates()
+		p := benchTable(b, e.PWCRates)
 		_ = p
 	}
 }
 
 func BenchmarkFig12_SingleCoreSpeedup(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := benchExperiments().Fig12()
+		t := benchTable(b, benchExperiments().Fig12)
 		b.ReportMetric(lastCell(b, t, 1), "ech-speedup")
 		b.ReportMetric(lastCell(b, t, 3), "ndpage-speedup")
 	}
@@ -104,14 +115,14 @@ func BenchmarkFig12_SingleCoreSpeedup(b *testing.B) {
 
 func BenchmarkFig13_QuadCoreSpeedup(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := benchExperiments().Fig13()
+		t := benchTable(b, benchExperiments().Fig13)
 		b.ReportMetric(lastCell(b, t, 3), "ndpage-speedup")
 	}
 }
 
 func BenchmarkFig14_OctaCoreSpeedup(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := benchExperiments().Fig14()
+		t := benchTable(b, benchExperiments().Fig14)
 		b.ReportMetric(lastCell(b, t, 3), "ndpage-speedup")
 		b.ReportMetric(lastCell(b, t, 2), "hugepage-speedup")
 	}
@@ -119,7 +130,7 @@ func BenchmarkFig14_OctaCoreSpeedup(b *testing.B) {
 
 func BenchmarkAblation_NDPageDecomposition(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := benchExperiments().Ablation()
+		t := benchTable(b, benchExperiments().Ablation)
 		b.ReportMetric(lastCell(b, t, 1), "bypass-only-speedup")
 		b.ReportMetric(lastCell(b, t, 2), "flatten-only-speedup")
 		b.ReportMetric(lastCell(b, t, 3), "ndpage-speedup")
@@ -157,7 +168,7 @@ func BenchmarkSensitivity_Oversubscription(b *testing.B) {
 			Warmup:       4_000,
 			Footprint:    512 << 20,
 		}
-		t := e.OversubscriptionStudy()
+		t := benchTable(b, e.OversubscriptionStudy)
 		b.ReportMetric(lastCell(b, t, 3), "ndpage-oversub-slowdown")
 	}
 }

@@ -24,7 +24,7 @@ import (
 func main() {
 	var (
 		quick     = flag.Bool("quick", false, "reduced scale (faster, noisier)")
-		figsArg   = flag.String("figs", "all", "comma-separated: fig4,fig5,fig6,fig7,fig8,motivation,pwc,fig12,fig13,fig14,ablation")
+		figsArg   = flag.String("figs", "all", "comma-separated: fig4,fig5,fig6,fig7,fig8,motivation,pwc,fig12,fig13,fig14,ablation (plus extras: pwc-sensitivity,hbm-sensitivity,walker-sensitivity,population-sensitivity,oversubscription)")
 		wlArg     = flag.String("workloads", "", "comma-separated workload subset (default: all 11)")
 		outDir    = flag.String("out", "results", "directory for CSV output (empty = no files)")
 		parallel  = flag.Int("parallel", 0, "max concurrent simulations (0 = auto)")
@@ -51,7 +51,7 @@ func main() {
 
 	type figure struct {
 		name string
-		run  func() *ndpage.Table
+		run  func() (*ndpage.Table, error)
 	}
 	figures := []figure{
 		{"fig4", e.Fig4}, {"fig5", e.Fig5}, {"fig6", e.Fig6},
@@ -63,6 +63,7 @@ func main() {
 	extras := []figure{
 		{"pwc-sensitivity", e.PWCSensitivity},
 		{"hbm-sensitivity", e.HBMChannelSensitivity},
+		{"walker-sensitivity", e.WalkerWidthSensitivity},
 		{"population-sensitivity", e.PopulationSensitivity},
 		{"oversubscription", e.OversubscriptionStudy},
 	}
@@ -89,7 +90,10 @@ func main() {
 			continue
 		}
 		t0 := time.Now()
-		tab := f.run()
+		tab, err := f.run()
+		if err != nil {
+			fatal(err)
+		}
 		fmt.Println(tab)
 		fmt.Printf("[%s in %v]\n\n", f.name, time.Since(t0).Round(time.Millisecond))
 		if *outDir != "" {

@@ -26,6 +26,8 @@ func main() {
 		instr     = flag.Uint64("instructions", 0, "measured ops per core (0 = 300k)")
 		warmup    = flag.Uint64("warmup", 0, "warmup ops per core (0 = 30k)")
 		seed      = flag.Uint64("seed", 0, "random seed (0 = 42)")
+		width     = flag.Int("walker-width", 0, "concurrent walk slots per walker (0 = 1, blocking)")
+		shared    = flag.Bool("shared-walker", false, "serve all cores' misses from one cluster-level walker")
 		list      = flag.Bool("list", false, "list workloads and exit")
 	)
 	flag.Parse()
@@ -58,6 +60,8 @@ func main() {
 		Instructions:   *instr,
 		Warmup:         *warmup,
 		Seed:           *seed,
+		WalkerWidth:    *width,
+		SharedWalker:   *shared,
 	})
 	if err != nil {
 		fatal(err)
@@ -70,6 +74,11 @@ func main() {
 		100*res.TranslationOverhead(), res.Walks, res.MeanPTWLatency())
 	fmt.Printf("  TLB miss rate       %.2f%% (L1 %.2f%%, L2 %.2f%%)\n",
 		100*res.TLBMissRate(), 100*res.L1TLB.MissRate(), 100*res.L2TLB.MissRate())
+	if *shared || *width > 1 {
+		fmt.Printf("  walker              MSHR hits %d (%.2f%%), overlapped %d (%.2f%%), queued %d (%.1f cycles/walk), peak in-flight %d\n",
+			res.MSHRHits, 100*res.MSHRHitRate(), res.OverlappedWalks, 100*res.WalkOverlapRate(),
+			res.QueuedWalks, res.MeanWalkQueueCycles(), res.MaxConcurrentWalks)
+	}
 	fmt.Printf("  PTE share           %.1f%% of memory accesses (%d PTE accesses)\n",
 		100*res.PTEAccessShare(), res.PTEAccesses)
 	fmt.Printf("  L1 miss rates       data %.2f%%, metadata %.2f%% (%d bypassed)\n",

@@ -47,56 +47,63 @@ func (e *Experiments) r() *exp.Runner {
 }
 
 // Fig4 reproduces Figure 4 (mean PTW latency, 4-core CPU vs NDP).
-func (e *Experiments) Fig4() *Table { return e.r().Fig4() }
+func (e *Experiments) Fig4() (*Table, error) { return e.r().Fig4() }
 
 // Fig5 reproduces Figure 5 (translation overhead fraction, 4-core).
-func (e *Experiments) Fig5() *Table { return e.r().Fig5() }
+func (e *Experiments) Fig5() (*Table, error) { return e.r().Fig5() }
 
 // Fig6 reproduces Figure 6 (PTW latency and overhead vs core count).
-func (e *Experiments) Fig6() *Table { return e.r().Fig6() }
+func (e *Experiments) Fig6() (*Table, error) { return e.r().Fig6() }
 
 // Fig7 reproduces Figure 7 (L1 miss rates: data ideal/actual, metadata).
-func (e *Experiments) Fig7() *Table { return e.r().Fig7() }
+func (e *Experiments) Fig7() (*Table, error) { return e.r().Fig7() }
 
 // Fig8 reproduces Figure 8 (page-table occupancy per level).
-func (e *Experiments) Fig8() *Table { return e.r().Fig8() }
+func (e *Experiments) Fig8() (*Table, error) { return e.r().Fig8() }
 
 // Motivation reproduces the Section IV-A scalar observations.
-func (e *Experiments) Motivation() *Table { return e.r().Motivation() }
+func (e *Experiments) Motivation() (*Table, error) { return e.r().Motivation() }
 
 // PWCRates reproduces the Section V-C page-walk-cache hit rates.
-func (e *Experiments) PWCRates() *Table { return e.r().PWCRates() }
+func (e *Experiments) PWCRates() (*Table, error) { return e.r().PWCRates() }
 
 // Fig12 reproduces Figure 12 (single-core speedups over Radix).
-func (e *Experiments) Fig12() *Table { return e.r().Fig12() }
+func (e *Experiments) Fig12() (*Table, error) { return e.r().Fig12() }
 
 // Fig13 reproduces Figure 13 (4-core speedups over Radix).
-func (e *Experiments) Fig13() *Table { return e.r().Fig13() }
+func (e *Experiments) Fig13() (*Table, error) { return e.r().Fig13() }
 
 // Fig14 reproduces Figure 14 (8-core speedups over Radix).
-func (e *Experiments) Fig14() *Table { return e.r().Fig14() }
+func (e *Experiments) Fig14() (*Table, error) { return e.r().Fig14() }
 
 // Ablation decomposes NDPage into bypass-only and flatten-only variants.
-func (e *Experiments) Ablation() *Table { return e.r().Ablation() }
+func (e *Experiments) Ablation() (*Table, error) { return e.r().Ablation() }
 
 // PWCSensitivity measures walks with and without page-walk caches
 // (DESIGN.md ablation 2).
-func (e *Experiments) PWCSensitivity() *Table { return e.r().PWCSensitivity() }
+func (e *Experiments) PWCSensitivity() (*Table, error) { return e.r().PWCSensitivity() }
 
 // HBMChannelSensitivity sweeps the NDP vault partition width, the
 // queueing driver behind Figure 6a (DESIGN.md ablation 3).
-func (e *Experiments) HBMChannelSensitivity() *Table { return e.r().HBMChannelSensitivity() }
+func (e *Experiments) HBMChannelSensitivity() (*Table, error) { return e.r().HBMChannelSensitivity() }
+
+// WalkerWidthSensitivity sweeps the shared walker's concurrent-walk
+// slots on the 4-core NDP system, reporting PTW latency, MSHR
+// coalescing, and walk-overlap statistics per width.
+func (e *Experiments) WalkerWidthSensitivity() (*Table, error) {
+	return e.r().WalkerWidthSensitivity()
+}
 
 // PopulationSensitivity contrasts eager and demand dataset population
 // (DESIGN.md ablation 4).
-func (e *Experiments) PopulationSensitivity() *Table { return e.r().PopulationSensitivity() }
+func (e *Experiments) PopulationSensitivity() (*Table, error) { return e.r().PopulationSensitivity() }
 
 // OversubscriptionStudy models datasets larger than memory with FIFO
 // chunk reclaim — the regime where transparent huge pages collapse.
-func (e *Experiments) OversubscriptionStudy() *Table { return e.r().OversubscriptionStudy() }
+func (e *Experiments) OversubscriptionStudy() (*Table, error) { return e.r().OversubscriptionStudy() }
 
 // All runs every experiment in report order.
-func (e *Experiments) All() []*Table { return e.r().All() }
+func (e *Experiments) All() ([]*Table, error) { return e.r().All() }
 
 // TableII renders the workload registry.
 func TableII() *Table { return exp.TableII() }

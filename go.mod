@@ -1,0 +1,3 @@
+module ndpage
+
+go 1.24

@@ -5,15 +5,17 @@ import (
 
 	"ndpage/internal/access"
 	"ndpage/internal/addr"
-	"ndpage/internal/assoc"
 	"ndpage/internal/memsys"
 	"ndpage/internal/pagetable"
 	"ndpage/internal/pwc"
 	"ndpage/internal/stats"
 	"ndpage/internal/tlb"
+	"ndpage/internal/walker"
 )
 
-// Stats aggregates one MMU's translation activity.
+// Stats aggregates one MMU's translation activity. The walk counters
+// mirror the MMU's walker (cluster-wide when the walker is shared); they
+// are refreshed on every Stats call.
 type Stats struct {
 	Translations      stats.Counter
 	TranslationCycles stats.Counter
@@ -29,23 +31,45 @@ func (s *Stats) MeanWalkLatency() float64 {
 	return stats.Ratio(s.WalkCycles.Value(), s.Walks.Value())
 }
 
+// WalkUnit bundles a hardware page-table walker with the page-walk
+// caches it probes. One unit normally serves one MMU; a shared unit
+// models a cluster-level walker serving every core's misses, which is
+// where MSHR coalescing and slot contention appear.
+type WalkUnit struct {
+	Walker *walker.Walker
+	PWCs   *pwc.PWC // nil when the mechanism has none (or disabled)
+}
+
+// NewWalkUnit assembles the walker and page-walk caches for mech over
+// table, issuing PTE traffic to mem.
+func NewWalkUnit(mech Mechanism, table pagetable.Table, mem *memsys.Hierarchy, opts Options) *WalkUnit {
+	u := &WalkUnit{}
+	wcfg := walker.Config{
+		Width:         opts.WalkerWidth,
+		WayPrediction: opts.ECHWayPrediction && mech == ECH,
+	}
+	if cfg, ok := mech.PWCConfig(); ok && !opts.DisablePWC {
+		u.PWCs = pwc.New(cfg)
+		wcfg.Cache = u.PWCs
+	}
+	u.Walker = walker.New(table, mem, wcfg)
+	return u
+}
+
 // MMU is one core's memory-management unit: L1 D/I TLBs, a unified L2
-// TLB, optional page-walk caches, and a hardware walker over the
-// mechanism's page table. Not safe for concurrent use.
+// TLB, and a walk unit (page-walk caches plus a hardware walker) over
+// the mechanism's page table. The MMU itself is a thin TLB front-end;
+// every miss is delegated to the walker. Not safe for concurrent use.
 type MMU struct {
 	mech   Mechanism
 	coreID int
 	dtlb   *tlb.TLB
 	itlb   *tlb.TLB
 	stlb   *tlb.TLB
-	pwcs   *pwc.PWC // nil when the mechanism has none
+	unit   *WalkUnit
 	table  pagetable.Table
-	mem    *memsys.Hierarchy
 
-	walk     pagetable.Walk
-	fillBuf  []addr.Level
-	wayCache *assoc.Table[uint8] // ECH cuckoo-walk cache (optional)
-	statsure Stats
+	stats Stats
 }
 
 // Options tunes an MMU away from the Table I defaults, for sensitivity
@@ -58,6 +82,14 @@ type Options struct {
 	// hash walks probe one way instead of d. Off by default (the
 	// NDPage paper's ECH baseline figures match plain d-probe ECH).
 	ECHWayPrediction bool
+	// WalkerWidth sets the walker's concurrent walk slots (0 = 1, the
+	// conventional blocking walker — Table I's implied default).
+	WalkerWidth int
+	// SharedUnit, when non-nil, makes the MMU delegate its misses to a
+	// pre-built (typically cluster-shared) walk unit instead of owning
+	// one; DisablePWC, ECHWayPrediction, and WalkerWidth are then
+	// properties of that unit.
+	SharedUnit *WalkUnit
 }
 
 // NewMMU assembles the MMU for mech on core coreID. The TLB geometry is
@@ -75,26 +107,32 @@ func NewMMUWithOptions(mech Mechanism, coreID int, table pagetable.Table, mem *m
 		itlb:   tlb.New(tlb.L1I()),
 		stlb:   tlb.New(tlb.L2()),
 		table:  table,
-		mem:    mem,
 	}
-	if cfg, ok := mech.PWCConfig(); ok && !opts.DisablePWC {
-		m.pwcs = pwc.New(cfg)
-	}
-	if opts.ECHWayPrediction && mech == ECH {
-		// 64 entries x 4-way over 32 KB regions (8 pages per entry).
-		m.wayCache = assoc.New[uint8](16, 4)
+	if opts.SharedUnit != nil {
+		m.unit = opts.SharedUnit
+	} else {
+		m.unit = NewWalkUnit(mech, table, mem, opts)
 	}
 	return m
 }
 
-// cwcRegion is the way-prediction granularity: one entry covers 8 pages.
-func cwcRegion(v addr.V) uint64 { return uint64(v.Page()) >> 3 }
-
 // Mechanism returns the translation mechanism this MMU implements.
 func (m *MMU) Mechanism() Mechanism { return m.mech }
 
-// Stats returns the live translation counters.
-func (m *MMU) Stats() *Stats { return &m.statsure }
+// Stats returns the live translation counters, with the walk counters
+// refreshed from the walker.
+func (m *MMU) Stats() *Stats {
+	ws := m.unit.Walker.Stats()
+	m.stats.Walks = stats.Counter(ws.Walks)
+	m.stats.WalkCycles = stats.Counter(ws.WalkCycles)
+	m.stats.MaxWalkCycles = ws.MaxWalkCycles
+	m.stats.PTEAccesses = stats.Counter(ws.PTEAccesses)
+	return &m.stats
+}
+
+// Walker returns the hardware page-table walker serving this MMU's
+// misses (shared across MMUs when Options.SharedUnit was used).
+func (m *MMU) Walker() *walker.Walker { return m.unit.Walker }
 
 // DTLB returns the L1 data TLB (for statistics).
 func (m *MMU) DTLB() *tlb.TLB { return m.dtlb }
@@ -106,16 +144,18 @@ func (m *MMU) ITLB() *tlb.TLB { return m.itlb }
 func (m *MMU) STLB() *tlb.TLB { return m.stlb }
 
 // PWC returns the page-walk caches, or nil.
-func (m *MMU) PWC() *pwc.PWC { return m.pwcs }
+func (m *MMU) PWC() *pwc.PWC { return m.unit.PWCs }
 
-// ResetStats zeroes all translation counters (TLB/PWC contents persist).
+// ResetStats zeroes all translation counters (TLB/PWC/MSHR contents
+// persist).
 func (m *MMU) ResetStats() {
-	m.statsure = Stats{}
+	m.stats = Stats{}
 	m.dtlb.ResetStats()
 	m.itlb.ResetStats()
 	m.stlb.ResetStats()
-	if m.pwcs != nil {
-		m.pwcs.ResetStats()
+	m.unit.Walker.ResetStats()
+	if m.unit.PWCs != nil {
+		m.unit.PWCs.ResetStats()
 	}
 }
 
@@ -124,7 +164,7 @@ func (m *MMU) ResetStats() {
 // page must already be mapped (the OS model faults before translation, as
 // a real OS resolves the fault and restarts the access).
 func (m *MMU) Translate(now uint64, v addr.V, op access.Op) (addr.P, uint64) {
-	m.statsure.Translations.Inc()
+	m.stats.Translations.Inc()
 	if m.mech == Ideal {
 		// Every request hits an L1 TLB of zero latency (Section VI).
 		e, ok := m.table.Lookup(v.Page())
@@ -136,21 +176,24 @@ func (m *MMU) Translate(now uint64, v addr.V, op access.Op) (addr.P, uint64) {
 	vpn := v.Page()
 	t := now + m.dtlb.Latency()
 	if e, ok := m.dtlb.Lookup(vpn); ok {
-		m.statsure.TranslationCycles.Add(t - now)
+		m.stats.TranslationCycles.Add(t - now)
 		return physical(pagetable.Entry(e), v), t
 	}
 	t += m.stlb.Latency()
 	if e, ok := m.stlb.Lookup(vpn); ok {
 		m.dtlb.Insert(vpn, e)
-		m.statsure.TranslationCycles.Add(t - now)
+		m.stats.TranslationCycles.Add(t - now)
 		return physical(pagetable.Entry(e), v), t
 	}
-	entry, end := m.walkTable(t, v)
-	te := tlb.Entry{PFN: entry.PFN, Huge: entry.Huge}
+	resp := m.unit.Walker.Walk(walker.Request{Core: m.coreID, V: v, Time: t})
+	if !resp.Found {
+		panic(unmapped(v))
+	}
+	te := tlb.Entry{PFN: resp.Entry.PFN, Huge: resp.Entry.Huge}
 	m.dtlb.Insert(vpn, te)
 	m.stlb.Insert(vpn, te)
-	m.statsure.TranslationCycles.Add(end - now)
-	return physical(entry, v), end
+	m.stats.TranslationCycles.Add(resp.Done - now)
+	return physical(resp.Entry, v), resp.Done
 }
 
 // TranslateCode resolves an instruction-fetch address. Fetch translation
@@ -179,100 +222,6 @@ func (m *MMU) TranslateCode(v addr.V) addr.P {
 		m.stlb.Insert(vpn, te)
 	}
 	return physical(e, v)
-}
-
-// walkTable performs the hardware page-table walk starting at time t and
-// returns the leaf entry and completion time.
-func (m *MMU) walkTable(t0 uint64, v addr.V) (pagetable.Entry, uint64) {
-	m.statsure.Walks.Inc()
-	t := t0
-	m.table.WalkInto(v, &m.walk)
-
-	switch {
-	case len(m.walk.Par) > 0:
-		t = m.walkHash(t, v)
-
-	default:
-		// Radix-style sequential walk, shortened by the deepest PWC
-		// hit: a hit at level L supplies the child-table base below
-		// L, so only deeper entries are read from memory.
-		skipDepth := -1
-		if m.pwcs != nil {
-			t += m.pwcs.Latency()
-			if deepest, ok := m.pwcs.Probe(v); ok {
-				skipDepth = addr.Depth(deepest)
-			}
-		}
-		for _, a := range m.walk.Seq {
-			if addr.Depth(a.Level) <= skipDepth {
-				continue
-			}
-			t = m.mem.Access(m.coreID, t, a.PA, access.Read, access.PTE)
-			m.statsure.PTEAccesses.Inc()
-		}
-		if m.pwcs != nil {
-			// Record the non-leaf entries this walk resolved.
-			m.fillBuf = m.fillBuf[:0]
-			for i, a := range m.walk.Seq {
-				if i < len(m.walk.Seq)-1 {
-					m.fillBuf = append(m.fillBuf, a.Level)
-				}
-			}
-			m.pwcs.Fill(v, m.fillBuf)
-		}
-	}
-
-	if !m.walk.Found {
-		panic(unmapped(v))
-	}
-	lat := t - t0
-	m.statsure.WalkCycles.Add(lat)
-	if lat > m.statsure.MaxWalkCycles {
-		m.statsure.MaxWalkCycles = lat
-	}
-	return m.walk.Entry, t
-}
-
-// walkHash performs a hash-table (ECH) walk: d parallel probes, or — with
-// the cuckoo-walk cache — one predicted probe with a full second round on
-// misprediction.
-func (m *MMU) walkHash(t uint64, v addr.V) uint64 {
-	probeAll := func(t uint64, skip int) uint64 {
-		end := t
-		for i, a := range m.walk.Par {
-			if i == skip {
-				continue
-			}
-			done := m.mem.Access(m.coreID, t, a.PA, access.Read, access.PTE)
-			m.statsure.PTEAccesses.Inc()
-			if done > end {
-				end = done
-			}
-		}
-		return end
-	}
-
-	if m.wayCache == nil {
-		return probeAll(t, -1)
-	}
-	region := cwcRegion(v)
-	t++ // CWC probe
-	hint, ok := m.wayCache.Lookup(region)
-	if ok && int(hint) < len(m.walk.Par) {
-		a := m.walk.Par[hint]
-		t = m.mem.Access(m.coreID, t, a.PA, access.Read, access.PTE)
-		m.statsure.PTEAccesses.Inc()
-		if m.walk.FoundIdx != int(hint) {
-			// Mispredict: fall back to a full round for the rest.
-			t = probeAll(t, int(hint))
-		}
-	} else {
-		t = probeAll(t, -1)
-	}
-	if m.walk.FoundIdx >= 0 {
-		m.wayCache.Insert(region, uint8(m.walk.FoundIdx))
-	}
-	return t
 }
 
 // physical applies a leaf entry to v.

@@ -7,6 +7,7 @@ import (
 
 	"ndpage/internal/core"
 	"ndpage/internal/memsys"
+	"ndpage/internal/stats"
 )
 
 // quickRunner keeps experiment tests fast: tiny windows, two workloads,
@@ -20,13 +21,44 @@ func quickRunner() *Runner {
 	}
 }
 
+// table runs one figure method and fails the test on error.
+func table(t *testing.T, f func() (*stats.Table, error)) *stats.Table {
+	t.Helper()
+	tab, err := f()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
 func TestGetMemoizes(t *testing.T) {
 	r := quickRunner()
 	k := Key{memsys.NDP, core.Radix, 1, "rnd"}
-	a := r.Get(k)
-	b := r.Get(k)
+	a, err := r.Get(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Get(k)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if a != b {
 		t.Fatal("second Get did not return the memoized result")
+	}
+}
+
+func TestGetPropagatesErrors(t *testing.T) {
+	r := quickRunner()
+	k := Key{memsys.NDP, core.Radix, 1, "no-such-workload"}
+	if _, err := r.Get(k); err == nil {
+		t.Fatal("Get accepted an unknown workload")
+	}
+	// The failure is memoized, and Prefetch surfaces it too.
+	if _, err := r.Get(k); err == nil {
+		t.Fatal("memoized Get lost the error")
+	}
+	if err := r.Prefetch([]Key{k}); err == nil {
+		t.Fatal("Prefetch swallowed the error")
 	}
 }
 
@@ -34,12 +66,22 @@ func TestPrefetchParallelMatchesSequential(t *testing.T) {
 	seq := quickRunner()
 	k1 := Key{memsys.NDP, core.Radix, 1, "rnd"}
 	k2 := Key{memsys.NDP, core.NDPage, 1, "rnd"}
-	a1, a2 := seq.Get(k1), seq.Get(k2)
+	a1, err1 := seq.Get(k1)
+	a2, err2 := seq.Get(k2)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
 
 	par := quickRunner()
 	par.Parallel = 2
-	par.Prefetch([]Key{k1, k2, k1}) // duplicate must be deduplicated
-	b1, b2 := par.Get(k1), par.Get(k2)
+	if err := par.Prefetch([]Key{k1, k2, k1}); err != nil { // duplicate must be deduplicated
+		t.Fatal(err)
+	}
+	b1, err1 := par.Get(k1)
+	b2, err2 := par.Get(k2)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
 	if a1.Cycles != b1.Cycles || a2.Cycles != b2.Cycles {
 		t.Errorf("parallel prefetch changed results: %d/%d vs %d/%d",
 			a1.Cycles, a2.Cycles, b1.Cycles, b2.Cycles)
@@ -47,7 +89,7 @@ func TestPrefetchParallelMatchesSequential(t *testing.T) {
 }
 
 func TestFig4ShowsNDPPenalty(t *testing.T) {
-	tab := quickRunner().Fig4()
+	tab := table(t, quickRunner().Fig4)
 	if len(tab.Rows) != 3 { // 2 workloads + mean
 		t.Fatalf("Fig4 rows = %d", len(tab.Rows))
 	}
@@ -58,7 +100,7 @@ func TestFig4ShowsNDPPenalty(t *testing.T) {
 
 func TestFig6CoversCoreCounts(t *testing.T) {
 	r := quickRunner()
-	tab := r.Fig6()
+	tab := table(t, r.Fig6)
 	if len(tab.Rows) != 3 {
 		t.Fatalf("Fig6 rows = %d, want 3 core counts", len(tab.Rows))
 	}
@@ -69,7 +111,7 @@ func TestFig6CoversCoreCounts(t *testing.T) {
 
 func TestFig12SpeedupsSane(t *testing.T) {
 	r := quickRunner()
-	tab := r.Fig12()
+	tab := table(t, r.Fig12)
 	// geomean row: Ideal column must show the largest speedup and all
 	// speedups must be positive.
 	last := tab.Rows[len(tab.Rows)-1]
@@ -101,7 +143,7 @@ func TestFig12SpeedupsSane(t *testing.T) {
 
 func TestAblationTable(t *testing.T) {
 	r := quickRunner()
-	tab := r.Ablation()
+	tab := table(t, r.Ablation)
 	if len(tab.Columns) != 4 {
 		t.Fatalf("ablation columns = %v", tab.Columns)
 	}
@@ -131,7 +173,7 @@ func sscan(s string, v *float64) (int, error) {
 func TestPWCSensitivity(t *testing.T) {
 	r := quickRunner()
 	r.Workloads = []string{"rnd"}
-	tab := r.PWCSensitivity()
+	tab := table(t, r.PWCSensitivity)
 	if len(tab.Rows) != 2 {
 		t.Fatalf("rows = %d", len(tab.Rows))
 	}
@@ -149,7 +191,7 @@ func TestPWCSensitivity(t *testing.T) {
 func TestHBMChannelSensitivity(t *testing.T) {
 	r := quickRunner()
 	r.Workloads = []string{"rnd"}
-	tab := r.HBMChannelSensitivity()
+	tab := table(t, r.HBMChannelSensitivity)
 	row := tab.Rows[0]
 	var ch1, ch8 float64
 	fmt.Sscan(row[1], &ch1)
@@ -159,10 +201,33 @@ func TestHBMChannelSensitivity(t *testing.T) {
 	}
 }
 
+func TestWalkerWidthSensitivity(t *testing.T) {
+	r := quickRunner()
+	r.Workloads = []string{"rnd"}
+	tab := table(t, r.WalkerWidthSensitivity)
+	if len(tab.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	row := tab.Rows[0]
+	var w1, w8 float64
+	fmt.Sscan(row[1], &w1)
+	fmt.Sscan(row[4], &w8)
+	// Funneling 4 cores' walks through one slot must not be faster than
+	// giving them 8 slots.
+	if w1 < w8 {
+		t.Errorf("width-1 shared PTW (%v) below width-8 (%v)", w1, w8)
+	}
+	var queue float64
+	fmt.Sscan(row[7], &queue)
+	if queue <= 0 {
+		t.Errorf("width-1 shared walker shows no slot queueing (%v cycles/walk)", queue)
+	}
+}
+
 func TestPopulationSensitivity(t *testing.T) {
 	r := quickRunner()
 	r.Workloads = []string{"rnd"}
-	tab := r.PopulationSensitivity()
+	tab := table(t, r.PopulationSensitivity)
 	if len(tab.Rows) != 2 {
 		t.Fatalf("rows = %d", len(tab.Rows))
 	}
@@ -177,7 +242,7 @@ func TestPopulationSensitivity(t *testing.T) {
 
 func TestOversubscriptionStudy(t *testing.T) {
 	r := quickRunner()
-	tab := r.OversubscriptionStudy()
+	tab := table(t, r.OversubscriptionStudy)
 	if len(tab.Rows) != 3 {
 		t.Fatalf("rows = %d", len(tab.Rows))
 	}

@@ -41,14 +41,23 @@ const (
 
 // Fig4 reproduces Figure 4: average page-table-walk latency per workload
 // on the 4-core NDP and CPU systems (Radix), and the NDP increment.
-func (r *Runner) Fig4() *stats.Table {
-	r.Prefetch(r.radixPairKeys(4))
+func (r *Runner) Fig4() (*stats.Table, error) {
+	if err := r.Prefetch(r.radixPairKeys(4)); err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("Figure 4: mean PTW latency, 4-core Radix (cycles)",
 		"workload", "cpu", "ndp", "ndp/cpu")
 	var cpuAll, ndpAll []float64
 	for _, wl := range r.WorkloadNames() {
-		cpu := r.Get(Key{memsys.CPU, core.Radix, 4, wl}).MeanPTWLatency()
-		ndp := r.Get(Key{memsys.NDP, core.Radix, 4, wl}).MeanPTWLatency()
+		cpuRes, err := r.Get(Key{memsys.CPU, core.Radix, 4, wl})
+		if err != nil {
+			return nil, err
+		}
+		ndpRes, err := r.Get(Key{memsys.NDP, core.Radix, 4, wl})
+		if err != nil {
+			return nil, err
+		}
+		cpu, ndp := cpuRes.MeanPTWLatency(), ndpRes.MeanPTWLatency()
 		cpuAll = append(cpuAll, cpu)
 		ndpAll = append(ndpAll, ndp)
 		t.AddRow(wl, stats.F(cpu), stats.F(ndp), stats.F(ndp/cpu))
@@ -56,44 +65,62 @@ func (r *Runner) Fig4() *stats.Table {
 	mc, mn := stats.ArithMean(cpuAll), stats.ArithMean(ndpAll)
 	t.AddRow("mean", stats.F(mc), stats.F(mn), stats.F(mn/mc))
 	t.AddNote("paper: NDP mean %.2f cycles, +%d%% over CPU", paperFig4NDPMeanPTW, paperFig4IncrementPct)
-	return t
+	return t, nil
 }
 
 // Fig5 reproduces Figure 5: fraction of execution time spent on address
 // translation in the 4-core systems.
-func (r *Runner) Fig5() *stats.Table {
-	r.Prefetch(r.radixPairKeys(4))
+func (r *Runner) Fig5() (*stats.Table, error) {
+	if err := r.Prefetch(r.radixPairKeys(4)); err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("Figure 5: address-translation overhead, 4-core Radix (% of time)",
 		"workload", "cpu", "ndp")
 	var cpuAll, ndpAll []float64
 	for _, wl := range r.WorkloadNames() {
-		cpu := 100 * r.Get(Key{memsys.CPU, core.Radix, 4, wl}).TranslationOverhead()
-		ndp := 100 * r.Get(Key{memsys.NDP, core.Radix, 4, wl}).TranslationOverhead()
+		cpuRes, err := r.Get(Key{memsys.CPU, core.Radix, 4, wl})
+		if err != nil {
+			return nil, err
+		}
+		ndpRes, err := r.Get(Key{memsys.NDP, core.Radix, 4, wl})
+		if err != nil {
+			return nil, err
+		}
+		cpu := 100 * cpuRes.TranslationOverhead()
+		ndp := 100 * ndpRes.TranslationOverhead()
 		cpuAll = append(cpuAll, cpu)
 		ndpAll = append(ndpAll, ndp)
 		t.AddRow(wl, stats.Pct(cpu), stats.Pct(ndp))
 	}
 	t.AddRow("mean", stats.Pct(stats.ArithMean(cpuAll)), stats.Pct(stats.ArithMean(ndpAll)))
 	t.AddNote("paper: NDP %.1f%%, CPU %.2f%%", paperFig5NDPOverhead, paperFig5CPUOverhead)
-	return t
+	return t, nil
 }
 
 // Fig6 reproduces Figure 6: core-count scaling of (a) mean PTW latency
 // and (b) translation overhead, averaged over the workloads.
-func (r *Runner) Fig6() *stats.Table {
+func (r *Runner) Fig6() (*stats.Table, error) {
 	coreCounts := []int{1, 4, 8}
 	var keys []Key
 	for _, c := range coreCounts {
 		keys = append(keys, r.radixPairKeys(c)...)
 	}
-	r.Prefetch(keys)
+	if err := r.Prefetch(keys); err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("Figure 6: scaling with core count (Radix, workload mean)",
 		"cores", "cpu ptw", "ndp ptw", "cpu xlat%", "ndp xlat%")
 	for _, c := range coreCounts {
 		var cp, np, co, no []float64
 		for _, wl := range r.WorkloadNames() {
-			cpu := r.Get(Key{memsys.CPU, core.Radix, c, wl})
-			ndp := r.Get(Key{memsys.NDP, core.Radix, c, wl})
+			cpu, err := r.Get(Key{memsys.CPU, core.Radix, c, wl})
+			if err != nil {
+				return nil, err
+			}
+			ndp, err := r.Get(Key{memsys.NDP, core.Radix, c, wl})
+			if err != nil {
+				return nil, err
+			}
 			cp = append(cp, cpu.MeanPTWLatency())
 			np = append(np, ndp.MeanPTWLatency())
 			co = append(co, 100*cpu.TranslationOverhead())
@@ -104,25 +131,34 @@ func (r *Runner) Fig6() *stats.Table {
 	}
 	t.AddNote("paper (a): NDP PTW %.2f -> %.2f cycles from 1 to 8 cores; CPU stays flat", paperFig6NDP1, paperFig6NDP8)
 	t.AddNote("paper (b): NDP overhead keeps growing with cores; CPU stays similar")
-	return t
+	return t, nil
 }
 
 // Fig7 reproduces Figure 7: L1 miss rates of normal data (ideal vs
 // actual) and metadata, on the 4-core NDP system.
-func (r *Runner) Fig7() *stats.Table {
+func (r *Runner) Fig7() (*stats.Table, error) {
 	var keys []Key
 	for _, wl := range r.WorkloadNames() {
 		keys = append(keys,
 			Key{memsys.NDP, core.Radix, 4, wl},
 			Key{memsys.NDP, core.Ideal, 4, wl})
 	}
-	r.Prefetch(keys)
+	if err := r.Prefetch(keys); err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("Figure 7: L1 miss rates, 4-core NDP (%)",
 		"workload", "data (ideal)", "data (actual)", "metadata")
 	var id, ac, md []float64
 	for _, wl := range r.WorkloadNames() {
-		ideal := 100 * r.Get(Key{memsys.NDP, core.Ideal, 4, wl}).L1DataMissRate()
-		radix := r.Get(Key{memsys.NDP, core.Radix, 4, wl})
+		idealRes, err := r.Get(Key{memsys.NDP, core.Ideal, 4, wl})
+		if err != nil {
+			return nil, err
+		}
+		radix, err := r.Get(Key{memsys.NDP, core.Radix, 4, wl})
+		if err != nil {
+			return nil, err
+		}
+		ideal := 100 * idealRes.L1DataMissRate()
 		actual := 100 * radix.L1DataMissRate()
 		meta := 100 * radix.L1PTEMissRate()
 		id, ac, md = append(id, ideal), append(ac, actual), append(md, meta)
@@ -131,24 +167,32 @@ func (r *Runner) Fig7() *stats.Table {
 	t.AddRow("mean", stats.Pct(stats.ArithMean(id)), stats.Pct(stats.ArithMean(ac)), stats.Pct(stats.ArithMean(md)))
 	t.AddNote("paper: data %.2f%% ideal vs %.2f%% actual; metadata %.2f%%",
 		paperDataMissIdeal, paperDataMissActual, paperPTEL1Miss)
-	return t
+	return t, nil
 }
 
 // Fig8 reproduces Figure 8: page-table occupancy per level, plus the
 // flattened table's combined PL2/PL1 occupancy.
-func (r *Runner) Fig8() *stats.Table {
+func (r *Runner) Fig8() (*stats.Table, error) {
 	var keys []Key
 	for _, wl := range r.WorkloadNames() {
 		keys = append(keys,
 			Key{memsys.NDP, core.Radix, 4, wl},
 			Key{memsys.NDP, core.NDPage, 4, wl})
 	}
-	r.Prefetch(keys)
+	if err := r.Prefetch(keys); err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("Figure 8: page-table occupancy, 4-core (%)",
 		"workload", "PL4", "PL3", "PL2", "PL1", "PL2/PL1 (flat)")
 	for _, wl := range r.WorkloadNames() {
-		radix := r.Get(Key{memsys.NDP, core.Radix, 4, wl})
-		flat := r.Get(Key{memsys.NDP, core.NDPage, 4, wl})
+		radix, err := r.Get(Key{memsys.NDP, core.Radix, 4, wl})
+		if err != nil {
+			return nil, err
+		}
+		flat, err := r.Get(Key{memsys.NDP, core.NDPage, 4, wl})
+		if err != nil {
+			return nil, err
+		}
 		t.AddRow(wl,
 			stats.Pct(100*radix.OccupancyRate(addr.PL4)),
 			stats.Pct(100*radix.OccupancyRate(addr.PL3)),
@@ -158,23 +202,31 @@ func (r *Runner) Fig8() *stats.Table {
 	}
 	t.AddNote("paper: PL1 %.2f%%, PL2 %.2f%%, PL3 %.2f%%, PL4 %.2f%%",
 		paperPL1Occ, paperPL2Occ, paperPL3Occ, paperPL4Occ)
-	return t
+	return t, nil
 }
 
 // Motivation reproduces the Section IV-A scalar observations on the
 // 4-core NDP system.
-func (r *Runner) Motivation() *stats.Table {
+func (r *Runner) Motivation() (*stats.Table, error) {
 	var keys []Key
 	for _, wl := range r.WorkloadNames() {
 		keys = append(keys,
 			Key{memsys.NDP, core.Radix, 4, wl},
 			Key{memsys.CPU, core.Radix, 4, wl})
 	}
-	r.Prefetch(keys)
+	if err := r.Prefetch(keys); err != nil {
+		return nil, err
+	}
 	var tlbMiss, pteShare, pteDRAMRatio stats.Mean
 	for _, wl := range r.WorkloadNames() {
-		ndp := r.Get(Key{memsys.NDP, core.Radix, 4, wl})
-		cpu := r.Get(Key{memsys.CPU, core.Radix, 4, wl})
+		ndp, err := r.Get(Key{memsys.NDP, core.Radix, 4, wl})
+		if err != nil {
+			return nil, err
+		}
+		cpu, err := r.Get(Key{memsys.CPU, core.Radix, 4, wl})
+		if err != nil {
+			return nil, err
+		}
 		tlbMiss.Add(100 * ndp.TLBMissRate())
 		pteShare.Add(100 * ndp.PTEAccessShare())
 		cpuPTE := cpu.DRAM[1] // access.PTE
@@ -187,16 +239,21 @@ func (r *Runner) Motivation() *stats.Table {
 	t.AddRow("TLB miss rate", stats.Pct(tlbMiss.Value()), stats.Pct(paperTLBMissPct))
 	t.AddRow("PTE share of memory accesses", stats.Pct(pteShare.Value()), stats.Pct(paperPTEShare))
 	t.AddRow("NDP/CPU PTE DRAM traffic", stats.F(pteDRAMRatio.Value())+"x", "200.4x")
-	return t
+	return t, nil
 }
 
 // PWCRates reproduces the Section V-C page-walk-cache hit rates on the
 // 4-core NDP Radix system.
-func (r *Runner) PWCRates() *stats.Table {
-	r.Prefetch(r.radixPairKeys(4))
+func (r *Runner) PWCRates() (*stats.Table, error) {
+	if err := r.Prefetch(r.radixPairKeys(4)); err != nil {
+		return nil, err
+	}
 	var pl4, pl3, pl2 stats.Mean
 	for _, wl := range r.WorkloadNames() {
-		res := r.Get(Key{memsys.NDP, core.Radix, 4, wl})
+		res, err := r.Get(Key{memsys.NDP, core.Radix, 4, wl})
+		if err != nil {
+			return nil, err
+		}
 		pl4.Add(100 * res.PWCHitRate(addr.PL4))
 		pl3.Add(100 * res.PWCHitRate(addr.PL3))
 		pl2.Add(100 * res.PWCHitRate(addr.PL2))
@@ -206,20 +263,30 @@ func (r *Runner) PWCRates() *stats.Table {
 	t.AddRow("PL4", stats.Pct(pl4.Value()), stats.Pct(paperPWCPL4))
 	t.AddRow("PL3", stats.Pct(pl3.Value()), stats.Pct(paperPWCPL3))
 	t.AddRow("PL2", stats.Pct(pl2.Value()), stats.Pct(paperPWCPL2))
-	return t
+	return t, nil
 }
 
 // speedupFigure renders one of Figures 12/13/14.
-func (r *Runner) speedupFigure(cores int, title string, notes func(*stats.Table, map[core.Mechanism]float64)) *stats.Table {
-	r.Prefetch(r.speedupKeys(cores))
+func (r *Runner) speedupFigure(cores int, title string, notes func(*stats.Table, map[core.Mechanism]float64)) (*stats.Table, error) {
+	if err := r.Prefetch(r.speedupKeys(cores)); err != nil {
+		return nil, err
+	}
 	mechs := []core.Mechanism{core.ECH, core.HugePage, core.NDPage, core.Ideal}
 	t := stats.NewTable(title, "workload", "ECH", "HugePage", "NDPage", "Ideal")
 	perMech := map[core.Mechanism][]float64{}
 	for _, wl := range r.WorkloadNames() {
-		base := r.Get(Key{memsys.NDP, core.Radix, cores, wl}).Cycles
+		baseRes, err := r.Get(Key{memsys.NDP, core.Radix, cores, wl})
+		if err != nil {
+			return nil, err
+		}
+		base := baseRes.Cycles
 		row := []string{wl}
 		for _, m := range mechs {
-			s := float64(base) / float64(r.Get(Key{memsys.NDP, m, cores, wl}).Cycles)
+			res, err := r.Get(Key{memsys.NDP, m, cores, wl})
+			if err != nil {
+				return nil, err
+			}
+			s := float64(base) / float64(res.Cycles)
 			perMech[m] = append(perMech[m], s)
 			row = append(row, stats.F3(s))
 		}
@@ -233,11 +300,11 @@ func (r *Runner) speedupFigure(cores int, title string, notes func(*stats.Table,
 	}
 	t.AddRow(row...)
 	notes(t, means)
-	return t
+	return t, nil
 }
 
 // Fig12 reproduces Figure 12: single-core NDP speedups over Radix.
-func (r *Runner) Fig12() *stats.Table {
+func (r *Runner) Fig12() (*stats.Table, error) {
 	return r.speedupFigure(1, "Figure 12: speedup over Radix, 1-core NDP",
 		func(t *stats.Table, m map[core.Mechanism]float64) {
 			t.AddNote("paper: NDPage %.3fx over Radix, %.3fx over ECH, %.3fx over HugePage",
@@ -248,7 +315,7 @@ func (r *Runner) Fig12() *stats.Table {
 }
 
 // Fig13 reproduces Figure 13: 4-core NDP speedups over Radix.
-func (r *Runner) Fig13() *stats.Table {
+func (r *Runner) Fig13() (*stats.Table, error) {
 	return r.speedupFigure(4, "Figure 13: speedup over Radix, 4-core NDP",
 		func(t *stats.Table, m map[core.Mechanism]float64) {
 			t.AddNote("paper: NDPage %.3fx over ECH (and 1.426x over Radix)", paperFig13OverECH)
@@ -257,7 +324,7 @@ func (r *Runner) Fig13() *stats.Table {
 }
 
 // Fig14 reproduces Figure 14: 8-core NDP speedups over Radix.
-func (r *Runner) Fig14() *stats.Table {
+func (r *Runner) Fig14() (*stats.Table, error) {
 	return r.speedupFigure(8, "Figure 14: speedup over Radix, 8-core NDP",
 		func(t *stats.Table, m map[core.Mechanism]float64) {
 			t.AddNote("paper: NDPage %.3fx over ECH, %.3fx over HugePage; HugePage %.3fx of Radix",
@@ -269,22 +336,32 @@ func (r *Runner) Fig14() *stats.Table {
 
 // Ablation decomposes NDPage into its two mechanisms (DESIGN.md
 // Section 5) on the 4-core NDP system.
-func (r *Runner) Ablation() *stats.Table {
+func (r *Runner) Ablation() (*stats.Table, error) {
 	var keys []Key
 	for _, wl := range r.WorkloadNames() {
 		for _, m := range core.AblationMechanisms {
 			keys = append(keys, Key{memsys.NDP, m, 4, wl})
 		}
 	}
-	r.Prefetch(keys)
+	if err := r.Prefetch(keys); err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("Ablation: NDPage decomposition, 4-core NDP (speedup over Radix)",
 		"workload", "BypassOnly", "FlattenOnly", "NDPage")
 	perMech := map[core.Mechanism][]float64{}
 	for _, wl := range r.WorkloadNames() {
-		base := r.Get(Key{memsys.NDP, core.Radix, 4, wl}).Cycles
+		baseRes, err := r.Get(Key{memsys.NDP, core.Radix, 4, wl})
+		if err != nil {
+			return nil, err
+		}
+		base := baseRes.Cycles
 		row := []string{wl}
 		for _, m := range []core.Mechanism{core.BypassOnly, core.FlattenOnly, core.NDPage} {
-			s := float64(base) / float64(r.Get(Key{memsys.NDP, m, 4, wl}).Cycles)
+			res, err := r.Get(Key{memsys.NDP, m, 4, wl})
+			if err != nil {
+				return nil, err
+			}
+			s := float64(base) / float64(res.Cycles)
 			perMech[m] = append(perMech[m], s)
 			row = append(row, stats.F3(s))
 		}
@@ -295,16 +372,26 @@ func (r *Runner) Ablation() *stats.Table {
 		stats.F3(stats.GeoMean(perMech[core.FlattenOnly])),
 		stats.F3(stats.GeoMean(perMech[core.NDPage])))
 	t.AddNote("both mechanisms contribute; their combination is NDPage (paper Section V)")
-	return t
+	return t, nil
 }
 
-// All runs every experiment and returns the tables in report order.
-func (r *Runner) All() []*stats.Table {
-	return []*stats.Table{
-		r.Fig4(), r.Fig5(), r.Fig6(), r.Fig7(), r.Fig8(),
-		r.Motivation(), r.PWCRates(),
-		r.Fig12(), r.Fig13(), r.Fig14(), r.Ablation(),
+// All runs every experiment and returns the tables in report order,
+// stopping at the first failing simulation.
+func (r *Runner) All() ([]*stats.Table, error) {
+	figs := []func() (*stats.Table, error){
+		r.Fig4, r.Fig5, r.Fig6, r.Fig7, r.Fig8,
+		r.Motivation, r.PWCRates,
+		r.Fig12, r.Fig13, r.Fig14, r.Ablation,
 	}
+	var out []*stats.Table
+	for _, f := range figs {
+		t, err := f()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
 }
 
 // TableII renders the workload registry (Table II).

@@ -8,6 +8,7 @@
 // workload) so figures sharing runs (e.g. Figure 4 and Figure 6) execute
 // each configuration once, and prefetches independent runs across
 // goroutines (each run builds its own Machine; nothing is shared).
+// Simulation failures propagate as errors from every figure method.
 package exp
 
 import (
@@ -35,6 +36,12 @@ func (k Key) String() string {
 	return fmt.Sprintf("%s/%s/%dc/%s", k.System, k.Mech, k.Cores, k.Workload)
 }
 
+// outcome is one memoized run: its result or the error that ended it.
+type outcome struct {
+	res *sim.Result
+	err error
+}
+
 // Runner executes and memoizes simulations.
 type Runner struct {
 	// Instructions and Warmup override the per-core op budgets (0 =
@@ -52,7 +59,7 @@ type Runner struct {
 	Progress io.Writer
 
 	mu    sync.Mutex
-	cache map[Key]*sim.Result
+	cache map[Key]outcome
 }
 
 // WorkloadNames returns the active benchmark set in paper order.
@@ -76,39 +83,41 @@ func (r *Runner) config(k Key) sim.Config {
 	}
 }
 
-// Get returns the memoized result for k, running it if needed.
-func (r *Runner) Get(k Key) *sim.Result {
+// Get returns the memoized result for k, running it if needed. A failed
+// run is memoized too, so repeated figures report the same error without
+// re-simulating.
+func (r *Runner) Get(k Key) (*sim.Result, error) {
 	r.mu.Lock()
 	if r.cache == nil {
-		r.cache = make(map[Key]*sim.Result)
+		r.cache = make(map[Key]outcome)
 	}
-	if res, ok := r.cache[k]; ok {
+	if o, ok := r.cache[k]; ok {
 		r.mu.Unlock()
-		return res
+		return o.res, o.err
 	}
 	r.mu.Unlock()
 
 	res, err := sim.RunConfig(r.config(k))
 	if err != nil {
-		panic(fmt.Sprintf("exp: %s: %v", k, err))
+		err = fmt.Errorf("exp: %s: %w", k, err)
 	}
 	r.mu.Lock()
-	r.cache[k] = res
+	r.cache[k] = outcome{res, err}
 	r.mu.Unlock()
-	if r.Progress != nil {
+	if err == nil && r.Progress != nil {
 		fmt.Fprintf(r.Progress, "done %s (%.2fM cycles)\n", k, float64(res.Cycles)/1e6)
 	}
-	return res
+	return res, err
 }
 
 // Prefetch runs the given keys concurrently (memoized; duplicates are
-// deduplicated).
-func (r *Runner) Prefetch(keys []Key) {
+// deduplicated) and returns the first error any run produced.
+func (r *Runner) Prefetch(keys []Key) error {
 	seen := map[Key]bool{}
 	var todo []Key
 	r.mu.Lock()
 	if r.cache == nil {
-		r.cache = make(map[Key]*sim.Result)
+		r.cache = make(map[Key]outcome)
 	}
 	for _, k := range keys {
 		if _, cached := r.cache[k]; !cached && !seen[k] {
@@ -140,6 +149,14 @@ func (r *Runner) Prefetch(keys []Key) {
 		}(k)
 	}
 	wg.Wait()
+	// Every key is memoized now; surface the first failure, including
+	// ones cached before this call.
+	for _, k := range keys {
+		if _, err := r.Get(k); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // speedupKeys enumerates the Figure 12/13/14 matrix for one core count.

@@ -11,7 +11,7 @@ import (
 
 // runCustom executes one non-matrix configuration (sensitivity knobs are
 // not part of the memoized Key space, so these run uncached).
-func (r *Runner) runCustom(cfg sim.Config) *sim.Result {
+func (r *Runner) runCustom(cfg sim.Config) (*sim.Result, error) {
 	if cfg.Instructions == 0 {
 		cfg.Instructions = r.Instructions
 	}
@@ -23,27 +23,34 @@ func (r *Runner) runCustom(cfg sim.Config) *sim.Result {
 	}
 	res, err := sim.RunConfig(cfg)
 	if err != nil {
-		panic(fmt.Sprintf("exp: sensitivity run: %v", err))
+		return nil, fmt.Errorf("exp: sensitivity run %s/%s/%dc/%s: %w",
+			cfg.System, cfg.Mechanism, cfg.Cores, cfg.Workload, err)
 	}
 	if r.Progress != nil {
 		fmt.Fprintf(r.Progress, "done sensitivity %s/%s/%dc/%s\n",
 			cfg.System, cfg.Mechanism, cfg.Cores, cfg.Workload)
 	}
-	return res
+	return res, nil
 }
 
 // PWCSensitivity measures DESIGN.md ablation 2: walks with and without
 // page-walk caches, Radix vs NDPage, on the 4-core NDP system.
-func (r *Runner) PWCSensitivity() *stats.Table {
+func (r *Runner) PWCSensitivity() (*stats.Table, error) {
 	t := stats.NewTable("Sensitivity: page-walk caches (4-core NDP)",
 		"workload", "mech", "ptw with pwc", "ptw without", "slowdown")
 	for _, wl := range r.WorkloadNames() {
 		for _, mech := range []core.Mechanism{core.Radix, core.NDPage} {
-			with := r.Get(Key{memsys.NDP, mech, 4, wl})
-			without := r.runCustom(sim.Config{
+			with, err := r.Get(Key{memsys.NDP, mech, 4, wl})
+			if err != nil {
+				return nil, err
+			}
+			without, err := r.runCustom(sim.Config{
 				System: memsys.NDP, Cores: 4, Mechanism: mech,
 				Workload: wl, DisablePWC: true,
 			})
+			if err != nil {
+				return nil, err
+			}
 			t.AddRow(wl, mech.String(),
 				stats.F(with.MeanPTWLatency()),
 				stats.F(without.MeanPTWLatency()),
@@ -51,44 +58,93 @@ func (r *Runner) PWCSensitivity() *stats.Table {
 		}
 	}
 	t.AddNote("PWCs absorb the PL4/PL3 accesses; removing them lengthens every walk")
-	return t
+	return t, nil
 }
 
 // HBMChannelSensitivity measures DESIGN.md ablation 3: the Figure 6a
 // queueing driver as a function of the NDP vault partition width.
-func (r *Runner) HBMChannelSensitivity() *stats.Table {
+func (r *Runner) HBMChannelSensitivity() (*stats.Table, error) {
 	t := stats.NewTable("Sensitivity: HBM channels visible to the NDP cluster (8-core Radix)",
 		"workload", "1ch ptw", "2ch ptw", "4ch ptw", "8ch ptw")
 	for _, wl := range r.WorkloadNames() {
 		row := []string{wl}
 		for _, ch := range []int{1, 2, 4, 8} {
-			res := r.runCustom(sim.Config{
+			res, err := r.runCustom(sim.Config{
 				System: memsys.NDP, Cores: 8, Mechanism: core.Radix,
 				Workload: wl, HBMChannels: ch,
 			})
+			if err != nil {
+				return nil, err
+			}
 			row = append(row, stats.F(res.MeanPTWLatency()))
 		}
 		t.AddRow(row...)
 	}
 	t.AddNote("narrower partitions queue concurrent walks; 2 channels is the default")
-	return t
+	return t, nil
+}
+
+// WalkerWidthSensitivity sweeps the walker's concurrent-walk slots
+// (Table-I-style knob) with the cluster-shared walker, on the 4-core NDP
+// Radix system: every core's misses funnel through one walk unit, so
+// width 1 serializes all concurrent walks, wider walkers overlap them,
+// and duplicate walks for one page coalesce in the MSHRs regardless of
+// width.
+func (r *Runner) WalkerWidthSensitivity() (*stats.Table, error) {
+	widths := []int{1, 2, 4, 8}
+	t := stats.NewTable("Sensitivity: shared-walker width (4-core NDP Radix)",
+		"workload", "w=1 ptw", "w=2 ptw", "w=4 ptw", "w=8 ptw", "mshr hit% (w=4)", "overlap% (w=4)", "queue/walk (w=1)")
+	for _, wl := range r.WorkloadNames() {
+		row := []string{wl}
+		var at4, at1 *sim.Result
+		for _, width := range widths {
+			res, err := r.runCustom(sim.Config{
+				System: memsys.NDP, Cores: 4, Mechanism: core.Radix,
+				Workload: wl, SharedWalker: true, WalkerWidth: width,
+			})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, stats.F(res.MeanPTWLatency()))
+			switch width {
+			case 1:
+				at1 = res
+			case 4:
+				at4 = res
+			}
+		}
+		row = append(row,
+			stats.Pct(100*at4.MSHRHitRate()),
+			stats.Pct(100*at4.WalkOverlapRate()),
+			stats.F(at1.MeanWalkQueueCycles()))
+		t.AddRow(row...)
+	}
+	t.AddNote("one shared walker serves all 4 cores: width 1 queues every concurrent walk,")
+	t.AddNote("width >= cores removes slot contention; MSHR hits coalesce duplicate walks")
+	return t, nil
 }
 
 // PopulationSensitivity measures DESIGN.md ablation 4: eager versus full
 // demand population, exposing fault costs per mechanism (2-core NDP keeps
 // the demand runs affordable).
-func (r *Runner) PopulationSensitivity() *stats.Table {
+func (r *Runner) PopulationSensitivity() (*stats.Table, error) {
 	t := stats.NewTable("Sensitivity: eager vs demand population (2-core NDP)",
 		"workload", "mech", "eager cycles", "demand cycles", "demand faults")
 	for _, wl := range r.WorkloadNames() {
 		for _, mech := range []core.Mechanism{core.Radix, core.HugePage} {
-			eager := r.runCustom(sim.Config{
+			eager, err := r.runCustom(sim.Config{
 				System: memsys.NDP, Cores: 2, Mechanism: mech, Workload: wl,
 			})
-			demand := r.runCustom(sim.Config{
+			if err != nil {
+				return nil, err
+			}
+			demand, err := r.runCustom(sim.Config{
 				System: memsys.NDP, Cores: 2, Mechanism: mech, Workload: wl,
 				DemandPaging: true,
 			})
+			if err != nil {
+				return nil, err
+			}
 			t.AddRow(wl, mech.String(),
 				fmt.Sprintf("%.1fM", float64(eager.Cycles)/1e6),
 				fmt.Sprintf("%.1fM", float64(demand.Cycles)/1e6),
@@ -97,7 +153,7 @@ func (r *Runner) PopulationSensitivity() *stats.Table {
 	}
 	t.AddNote("demand population charges every first touch inside the window;")
 	t.AddNote("the paper's measurement windows (500M instr) amortize this, short windows cannot")
-	return t
+	return t, nil
 }
 
 // OversubscriptionStudy models datasets larger than memory (the paper's
@@ -106,18 +162,24 @@ func (r *Runner) PopulationSensitivity() *stats.Table {
 // This is the regime where transparent huge pages collapse — every
 // re-fault zero-fills 2 MB and stalls on compaction — and a key reason
 // the paper's 8-core Huge Page bar drops below Radix.
-func (r *Runner) OversubscriptionStudy() *stats.Table {
+func (r *Runner) OversubscriptionStudy() (*stats.Table, error) {
 	t := stats.NewTable("Extension: dataset larger than memory (2-core NDP, gen)",
 		"mech", "fits (cycles)", "oversubscribed", "slowdown", "reclaims", "faults")
 	const wl = "gen"
 	for _, mech := range []core.Mechanism{core.Radix, core.HugePage, core.NDPage} {
-		fits := r.runCustom(sim.Config{
+		fits, err := r.runCustom(sim.Config{
 			System: memsys.NDP, Cores: 2, Mechanism: mech, Workload: wl,
 		})
-		over := r.runCustom(sim.Config{
+		if err != nil {
+			return nil, err
+		}
+		over, err := r.runCustom(sim.Config{
 			System: memsys.NDP, Cores: 2, Mechanism: mech, Workload: wl,
 			ResidentLimitBytes: 3 << 30, FootprintBytes: 6 << 30,
 		})
+		if err != nil {
+			return nil, err
+		}
 		t.AddRow(mech.String(),
 			fmt.Sprintf("%.1fM", float64(fits.Cycles)/1e6),
 			fmt.Sprintf("%.1fM", float64(over.Cycles)/1e6),
@@ -127,5 +189,5 @@ func (r *Runner) OversubscriptionStudy() *stats.Table {
 	}
 	t.AddNote("reclaim makes huge pages pay 2MB zero-fill + compaction per re-fault;")
 	t.AddNote("4KB mechanisms re-fault only the touched pages")
-	return t
+	return t, nil
 }

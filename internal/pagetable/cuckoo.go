@@ -146,7 +146,7 @@ func (c *Cuckoo) Lookup(vpn addr.VPN) (Entry, bool) {
 
 // WalkInto implements Table: d parallel probes, one per way.
 func (c *Cuckoo) WalkInto(v addr.V, w *Walk) {
-	w.reset()
+	w.Reset()
 	vpn := v.Page()
 	for way := range c.ways {
 		slots, idx, pa := c.probe(way, vpn)

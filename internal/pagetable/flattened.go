@@ -225,7 +225,7 @@ func (f *Flattened) Unmap(vpn addr.VPN) (Entry, bool) {
 // indexed access into the flattened node — 3 sequential accesses instead
 // of the radix table's 4 (paper Figure 9).
 func (f *Flattened) WalkInto(v addr.V, w *Walk) {
-	w.reset()
+	w.Reset()
 	i4 := addr.Index(v, addr.PL4)
 	w.Seq = append(w.Seq, Access{addr.PL4, pteAddr(f.root.basePA, i4)})
 	n3 := f.root.children[i4]

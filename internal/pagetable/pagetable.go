@@ -62,8 +62,41 @@ type Walk struct {
 	FoundIdx int
 }
 
-// reset clears w for reuse without freeing its backing arrays.
-func (w *Walk) reset() {
+// WalkKind classifies the issue strategy a walk's accesses require.
+type WalkKind int
+
+// Walk kinds.
+const (
+	// Sequential walks issue each access only after the previous one
+	// returned (radix pointer chasing).
+	Sequential WalkKind = iota
+	// Parallel walks issue every access simultaneously (hash-table
+	// probes).
+	Parallel
+)
+
+// Kind reports how the walk's accesses must be issued. A walk with no
+// accesses at all (fully cached elsewhere) is Sequential.
+func (w *Walk) Kind() WalkKind {
+	if len(w.Par) > 0 {
+		return Parallel
+	}
+	return Sequential
+}
+
+// Accesses returns the walk's access list — Par for parallel walks, Seq
+// otherwise. The slice aliases the walk's storage.
+func (w *Walk) Accesses() []Access {
+	if w.Kind() == Parallel {
+		return w.Par
+	}
+	return w.Seq
+}
+
+// Reset clears w for reuse without freeing its backing arrays. Table
+// implementations call it at the top of WalkInto; hardware-walker models
+// that reuse one Walk as scratch may also call it directly.
+func (w *Walk) Reset() {
 	w.Found = false
 	w.Entry = Entry{}
 	w.Seq = w.Seq[:0]

@@ -236,7 +236,7 @@ func (r *Radix) Unmap(vpn addr.VPN) (Entry, bool) {
 // records every PTE it reads, stopping at the first non-present entry or
 // at the leaf (PL1 entry, or a 2 MB leaf at PL2).
 func (r *Radix) WalkInto(v addr.V, w *Walk) {
-	w.reset()
+	w.Reset()
 	n := r.root
 	w.Seq = append(w.Seq, Access{addr.PL4, pteAddr(n.basePA, addr.Index(v, addr.PL4))})
 	n = n.children[addr.Index(v, addr.PL4)]

@@ -4,7 +4,9 @@ import (
 	"ndpage/internal/access"
 	"ndpage/internal/addr"
 	"ndpage/internal/pagetable"
+	"ndpage/internal/pwc"
 	"ndpage/internal/stats"
+	"ndpage/internal/walker"
 )
 
 // Result aggregates one measurement window across all cores: everything
@@ -36,6 +38,14 @@ type Result struct {
 	L2TLB       stats.HitMiss
 	PWC         map[addr.Level]stats.HitMiss
 
+	// Walker concurrency metrics (aggregated over distinct walk units;
+	// a shared walker is counted once).
+	MSHRHits           uint64 // walk requests coalesced onto an in-flight walk
+	OverlappedWalks    uint64 // walks that began with another in flight
+	QueuedWalks        uint64 // walks that waited for a free walk slot
+	WalkQueueCycles    uint64 // total cycles walks spent waiting for slots
+	MaxConcurrentWalks int    // peak simultaneously active walks in one unit
+
 	// L1 data-cache behaviour (aggregated over cores).
 	L1Data           stats.HitMiss
 	L1PTE            stats.HitMiss
@@ -65,6 +75,8 @@ func (m *Machine) collect() *Result {
 		Config: m.cfg,
 		PWC:    make(map[addr.Level]stats.HitMiss),
 	}
+	seenWalker := make(map[*walker.Walker]bool)
+	seenPWC := make(map[*pwc.PWC]bool)
 	for _, c := range m.cores {
 		elapsed := c.clock - c.start
 		if elapsed > r.Cycles {
@@ -79,13 +91,24 @@ func (m *Machine) collect() *Result {
 		r.ComputeCycles += c.computeCycles
 		r.FaultCycles += c.faultCycles
 
-		ms := c.mmu.Stats()
-		r.Walks += ms.Walks.Value()
-		r.WalkCycles += ms.WalkCycles.Value()
-		r.PTEAccesses += ms.PTEAccesses.Value()
+		if wk := c.mmu.Walker(); !seenWalker[wk] {
+			seenWalker[wk] = true
+			ws := wk.Stats()
+			r.Walks += ws.Walks.Value()
+			r.WalkCycles += ws.WalkCycles.Value()
+			r.PTEAccesses += ws.PTEAccesses.Value()
+			r.MSHRHits += ws.MSHRHits.Value()
+			r.OverlappedWalks += ws.OverlappedWalks.Value()
+			r.QueuedWalks += ws.QueuedWalks.Value()
+			r.WalkQueueCycles += ws.QueueCycles.Value()
+			if ws.MaxInFlight > r.MaxConcurrentWalks {
+				r.MaxConcurrentWalks = ws.MaxInFlight
+			}
+		}
 		r.L1TLB.Merge(*c.mmu.DTLB().Stats())
 		r.L2TLB.Merge(*c.mmu.STLB().Stats())
-		if pwcs := c.mmu.PWC(); pwcs != nil {
+		if pwcs := c.mmu.PWC(); pwcs != nil && !seenPWC[pwcs] {
+			seenPWC[pwcs] = true
 			for _, l := range pwcs.Levels() {
 				hm := r.PWC[l]
 				hm.Merge(*pwcs.Stats(l))
@@ -129,6 +152,25 @@ func (r *Result) MeanPTWLatency() float64 {
 // address translation (Figure 5 / Figure 6b).
 func (r *Result) TranslationOverhead() float64 {
 	return stats.Ratio(r.TranslationCycles, r.TotalCycles)
+}
+
+// MSHRHitRate returns the fraction of walk requests satisfied by
+// coalescing onto an in-flight walk (0 unless walks can overlap, e.g.
+// with a shared walker).
+func (r *Result) MSHRHitRate() float64 {
+	return stats.Ratio(r.MSHRHits, r.MSHRHits+r.Walks)
+}
+
+// WalkOverlapRate returns the fraction of performed walks that began
+// while another walk was in flight.
+func (r *Result) WalkOverlapRate() float64 {
+	return stats.Ratio(r.OverlappedWalks, r.Walks)
+}
+
+// MeanWalkQueueCycles returns the average slot-wait delay per performed
+// walk (contention for the walker's width).
+func (r *Result) MeanWalkQueueCycles() float64 {
+	return stats.Ratio(r.WalkQueueCycles, r.Walks)
 }
 
 // TLBMissRate returns the overall TLB miss rate: the fraction of

@@ -72,6 +72,16 @@ type Config struct {
 	// probes to one. Off by default to match the NDPage paper's ECH
 	// baseline.
 	ECHWayPrediction bool
+	// WalkerWidth sets the number of concurrent walk slots per walker
+	// (0 = 1, the conventional blocking walker). Widths above 1 only
+	// matter when walks can actually overlap, i.e. with SharedWalker.
+	WalkerWidth int
+	// SharedWalker serves every core's TLB misses from one
+	// cluster-level walk unit (walker + page-walk caches) instead of a
+	// private unit per MMU. Concurrent walks then contend for the
+	// walker's slots and duplicate walks coalesce in its MSHRs — the
+	// walker-width sensitivity study's configuration.
+	SharedWalker bool
 }
 
 // withDefaults fills zero fields.
@@ -179,12 +189,19 @@ func New(cfg Config) (*Machine, error) {
 	w.Init(space, rng, cfg.FootprintBytes, cfg.Cores)
 
 	m := &Machine{cfg: cfg, alloc: alloc, hier: hier, space: space}
+	opts := core.Options{
+		DisablePWC:       cfg.DisablePWC,
+		ECHWayPrediction: cfg.ECHWayPrediction,
+		WalkerWidth:      cfg.WalkerWidth,
+	}
+	if cfg.SharedWalker {
+		opts.SharedUnit = core.NewWalkUnit(cfg.Mechanism, table, hier, opts)
+	}
 	for i := 0; i < cfg.Cores; i++ {
 		c := &simCore{
-			id:  i,
-			gen: w.Thread(i, cfg.Seed*1_000_003+uint64(i)),
-			mmu: core.NewMMUWithOptions(cfg.Mechanism, i, table, hier,
-				core.Options{DisablePWC: cfg.DisablePWC, ECHWayPrediction: cfg.ECHWayPrediction}),
+			id:       i,
+			gen:      w.Thread(i, cfg.Seed*1_000_003+uint64(i)),
+			mmu:      core.NewMMUWithOptions(cfg.Mechanism, i, table, hier, opts),
 			codeBase: space.Alloc(codeBytes, fmt.Sprintf("code.%d", i)),
 		}
 		m.cores = append(m.cores, c)

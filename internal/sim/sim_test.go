@@ -268,3 +268,46 @@ func TestAllWorkloadsRunOnAllMechanisms(t *testing.T) {
 		}
 	}
 }
+
+// TestSharedWalkerContention: funneling every core's walks through one
+// width-1 walker must not beat a wide shared walker, the narrow walker
+// must record slot queueing, and private per-core walkers (the default)
+// must record no concurrency events at all.
+func TestSharedWalkerContention(t *testing.T) {
+	base := testCfg(memsys.NDP, 4, core.Radix, "rnd")
+	if r := run(t, base); r.MSHRHits != 0 || r.OverlappedWalks != 0 || r.QueuedWalks != 0 {
+		t.Errorf("private blocking walkers recorded concurrency: mshr=%d overlap=%d queued=%d",
+			r.MSHRHits, r.OverlappedWalks, r.QueuedWalks)
+	}
+
+	narrow := base
+	narrow.SharedWalker = true
+	narrow.WalkerWidth = 1
+	wide := base
+	wide.SharedWalker = true
+	wide.WalkerWidth = 8
+	rn, rw := run(t, narrow), run(t, wide)
+	if rn.QueuedWalks == 0 || rn.WalkQueueCycles == 0 {
+		t.Error("width-1 shared walker saw no slot contention across 4 cores")
+	}
+	if rn.MeanPTWLatency() < rw.MeanPTWLatency() {
+		t.Errorf("width-1 shared PTW %.1f below width-8 %.1f",
+			rn.MeanPTWLatency(), rw.MeanPTWLatency())
+	}
+	if rw.MaxConcurrentWalks < 2 {
+		t.Errorf("width-8 shared walker never overlapped (peak %d)", rw.MaxConcurrentWalks)
+	}
+}
+
+// TestSharedWalkerDeterminism: the shared-walker configuration is as
+// reproducible as the default one.
+func TestSharedWalkerDeterminism(t *testing.T) {
+	cfg := testCfg(memsys.NDP, 2, core.Radix, "rnd")
+	cfg.SharedWalker = true
+	cfg.WalkerWidth = 2
+	a, b := run(t, cfg), run(t, cfg)
+	if a.Cycles != b.Cycles || a.MSHRHits != b.MSHRHits || a.QueuedWalks != b.QueuedWalks {
+		t.Errorf("nondeterministic shared walker: %d/%d/%d vs %d/%d/%d",
+			a.Cycles, a.MSHRHits, a.QueuedWalks, b.Cycles, b.MSHRHits, b.QueuedWalks)
+	}
+}

@@ -1,0 +1,362 @@
+// Package walker models the hardware page-table walker as a first-class,
+// non-blocking unit, the way Victima and ChampSim's PTW do: walk requests
+// tagged with (core, address, issue time) enter an MSHR table that
+// coalesces duplicate in-flight walks for the same virtual page, a
+// configurable number of walk slots bounds how many walks proceed
+// concurrently, and the walker owns the two issue strategies the
+// simulator's page tables require — the radix sequential walk shortened
+// by page-walk-cache hits, and the hashed parallel probe with optional
+// cuckoo-walk way prediction.
+//
+// The simulator's cores are in-order and blocking, so a per-core walker
+// with the default width of 1 reproduces the blocking-walk timing
+// exactly: each request arrives after the previous walk retired, no slot
+// is ever contended, and no MSHR ever coalesces. The unit becomes
+// interesting when it is shared between cores (sim.Config.SharedWalker)
+// or widened (sim.Config.WalkerWidth): concurrent walks then queue on
+// the slot table, duplicate walks merge in the MSHRs, and both effects
+// are surfaced as statistics — the concurrent-walk contention the NDPage
+// paper measures as its motivation.
+package walker
+
+import (
+	"ndpage/internal/access"
+	"ndpage/internal/addr"
+	"ndpage/internal/assoc"
+	"ndpage/internal/pagetable"
+	"ndpage/internal/pwc"
+	"ndpage/internal/stats"
+)
+
+// Request is one page-walk demand: which core misses, for which address,
+// at what absolute time.
+type Request struct {
+	Core int
+	V    addr.V
+	Time uint64
+}
+
+// Response is the outcome of a walk request.
+type Response struct {
+	// Entry is the resolved leaf translation; Found is false when the
+	// page is unmapped (the caller decides how to fault).
+	Entry pagetable.Entry
+	Found bool
+	// Done is the absolute completion time of the walk.
+	Done uint64
+	// Coalesced reports that the request was satisfied by an MSHR hit on
+	// an in-flight walk for the same page, issuing no PTE traffic.
+	Coalesced bool
+}
+
+// Stats counts the walker's activity.
+type Stats struct {
+	// Walks and WalkCycles cover walks actually performed (MSHR hits are
+	// excluded, matching the blocking model's per-walk accounting).
+	Walks         stats.Counter
+	WalkCycles    stats.Counter
+	MaxWalkCycles uint64
+	// PTEAccesses counts PTE memory requests issued.
+	PTEAccesses stats.Counter
+	// MSHRHits counts requests coalesced onto an in-flight walk.
+	MSHRHits stats.Counter
+	// OverlappedWalks counts walks that began while at least one other
+	// walk was still in flight (width > 1 only).
+	OverlappedWalks stats.Counter
+	// QueuedWalks and QueueCycles measure walks that waited for a free
+	// walk slot, and for how long.
+	QueuedWalks stats.Counter
+	QueueCycles stats.Counter
+	// MaxInFlight is the largest number of simultaneously active walks
+	// observed (including the one being started).
+	MaxInFlight int
+}
+
+// MeanWalkLatency returns the average performed-walk latency in cycles.
+func (s *Stats) MeanWalkLatency() float64 {
+	return stats.Ratio(s.WalkCycles.Value(), s.Walks.Value())
+}
+
+// MSHRHitRate returns the fraction of walk requests satisfied by an
+// in-flight walk.
+func (s *Stats) MSHRHitRate() float64 {
+	return stats.Ratio(s.MSHRHits.Value(), s.MSHRHits.Value()+s.Walks.Value())
+}
+
+// Memory is the walker's view of the memory hierarchy: issue one request
+// at an absolute time and learn when it completes. *memsys.Hierarchy
+// satisfies it.
+type Memory interface {
+	Access(core int, now uint64, pa addr.P, op access.Op, class access.Class) uint64
+}
+
+// Config tunes a walker.
+type Config struct {
+	// Width is the number of concurrent walk slots (Table-I-style knob).
+	// 0 or 1 models the conventional blocking walker.
+	Width int
+	// Cache is the optional page-walk cache probed before sequential
+	// walks and filled after them. nil disables.
+	Cache pwc.Cache
+	// WayPrediction adds the ECH paper's cuckoo-walk cache for parallel
+	// (hashed) walks: most walks probe one predicted way instead of d,
+	// with a full second round on misprediction.
+	WayPrediction bool
+}
+
+// mshr is one miss-status holding register: an in-flight (or just
+// retired) walk whose result later duplicate requests can share.
+type mshr struct {
+	vpn        addr.VPN
+	start, end uint64
+	entry      pagetable.Entry
+	found      bool
+}
+
+// Walker is a hardware page-table walker over one page-table
+// organization. Not safe for concurrent use; the simulator serializes
+// requests in global time order.
+type Walker struct {
+	cfg   Config
+	width int
+	table pagetable.Table
+	mem   Memory
+
+	inflight []mshr
+	walk     pagetable.Walk      // scratch reused across walks
+	fillBuf  []addr.Level        // scratch for PWC fills
+	wayCache *assoc.Table[uint8] // ECH cuckoo-walk cache (optional)
+	stats    Stats
+}
+
+// New builds a walker over table, issuing PTE requests to mem.
+func New(table pagetable.Table, mem Memory, cfg Config) *Walker {
+	w := &Walker{cfg: cfg, width: cfg.Width, table: table, mem: mem}
+	if w.width < 1 {
+		w.width = 1
+	}
+	if cfg.WayPrediction {
+		// 64 entries x 4-way over 32 KB regions (8 pages per entry).
+		w.wayCache = assoc.New[uint8](16, 4)
+	}
+	return w
+}
+
+// Width returns the number of concurrent walk slots.
+func (w *Walker) Width() int { return w.width }
+
+// Cache returns the page-walk cache the walker probes, or nil.
+func (w *Walker) Cache() pwc.Cache { return w.cfg.Cache }
+
+// Stats returns the live counters.
+func (w *Walker) Stats() *Stats { return &w.stats }
+
+// ResetStats zeroes the counters (MSHR and cache contents persist).
+func (w *Walker) ResetStats() { w.stats = Stats{} }
+
+// InFlight returns the number of walks occupying a slot at time now
+// (started and not yet retired).
+func (w *Walker) InFlight(now uint64) int {
+	n := 0
+	for i := range w.inflight {
+		if w.inflight[i].start <= now && w.inflight[i].end > now {
+			n++
+		}
+	}
+	return n
+}
+
+// cwcRegion is the way-prediction granularity: one entry covers 8 pages.
+func cwcRegion(v addr.V) uint64 { return uint64(v.Page()) >> 3 }
+
+// Walk resolves one walk request: coalesce onto an in-flight walk for
+// the same page if one exists, otherwise claim a walk slot (waiting for
+// one to free when all Width slots are busy) and perform the table's
+// access sequence.
+func (w *Walker) Walk(req Request) Response {
+	w.prune(req.Time)
+
+	// MSHR check: a duplicate in-flight walk supplies the result with no
+	// new PTE traffic; the request completes when that walk does. Only
+	// walks already started by req.Time qualify — coalescing onto a walk
+	// another core issued in this request's future (timestamp skew from
+	// a long page fault) would stall the requester for the whole skew
+	// when its own walk would finish far sooner.
+	vpn := req.V.Page()
+	for i := range w.inflight {
+		f := &w.inflight[i]
+		if f.vpn == vpn && f.start <= req.Time && f.end > req.Time {
+			w.stats.MSHRHits.Inc()
+			return Response{Entry: f.entry, Found: f.found, Done: f.end, Coalesced: true}
+		}
+	}
+
+	// Slot allocation: the walk begins at the earliest time at or after
+	// the request when fewer than Width walks occupy their [start, end)
+	// interval. Occupancy is interval-based rather than arrival-order-
+	// based because the simulator's min-clock stepping can deliver a
+	// request timestamped *before* a walk another core issued after a
+	// long page fault; that future walk must not block this one.
+	start := w.slotFree(req.Time)
+	if start > req.Time {
+		w.stats.QueuedWalks.Inc()
+		w.stats.QueueCycles.Add(start - req.Time)
+	}
+	if n := w.InFlight(start) + 1; n > 1 {
+		w.stats.OverlappedWalks.Inc()
+		if n > w.stats.MaxInFlight {
+			w.stats.MaxInFlight = n
+		}
+	} else if w.stats.MaxInFlight == 0 {
+		w.stats.MaxInFlight = 1
+	}
+
+	end := w.issue(start, req.Core, req.V)
+
+	w.stats.Walks.Inc()
+	// Walk latency is measured from the request, so slot-queue delay is
+	// part of it — what a stalled core actually experiences.
+	lat := end - req.Time
+	w.stats.WalkCycles.Add(lat)
+	if lat > w.stats.MaxWalkCycles {
+		w.stats.MaxWalkCycles = lat
+	}
+	w.inflight = append(w.inflight, mshr{
+		vpn: vpn, start: start, end: end,
+		entry: w.walk.Entry, found: w.walk.Found,
+	})
+	return Response{Entry: w.walk.Entry, Found: w.walk.Found, Done: end}
+}
+
+// retainedMSHRs bounds the MSHR table. Retired entries are invisible to
+// every check (all filter on end > time), but they are kept around until
+// the table exceeds this bound: a later-arriving request can carry an
+// *earlier* timestamp (min-clock stepping delivers a fault-delayed
+// core's walk first), and for that request a recently-retired walk is
+// still in flight and must coalesce and occupy its slot.
+const retainedMSHRs = 64
+
+// prune drops MSHRs retired at or before now, but only once the table
+// outgrows retainedMSHRs — see the constant's comment.
+func (w *Walker) prune(now uint64) {
+	if len(w.inflight) <= retainedMSHRs {
+		return
+	}
+	live := w.inflight[:0]
+	for _, f := range w.inflight {
+		if f.end > now {
+			live = append(live, f)
+		}
+	}
+	w.inflight = live
+}
+
+// slotFree returns the earliest time at or after t when a walk slot is
+// available: occupancy at a candidate time counts walks whose
+// [start, end) interval covers it, and each full candidate advances to
+// the earliest retirement among the occupying walks. (A walk's duration
+// is unknown until issued, so occupancy is checked at the start instant
+// only; a walk overrunning into a future-started one is tolerated — the
+// model is cycle-approximate.)
+func (w *Walker) slotFree(t uint64) uint64 {
+	for {
+		n := 0
+		next := uint64(0)
+		for i := range w.inflight {
+			f := &w.inflight[i]
+			if f.start <= t && f.end > t {
+				n++
+				if next == 0 || f.end < next {
+					next = f.end
+				}
+			}
+		}
+		if n < w.width {
+			return t
+		}
+		t = next
+	}
+}
+
+// issue performs the table's access sequence for v starting at t0 and
+// returns the completion time, leaving the outcome in w.walk.
+func (w *Walker) issue(t0 uint64, core int, v addr.V) uint64 {
+	w.table.WalkInto(v, &w.walk)
+	if w.walk.Kind() == pagetable.Parallel {
+		return w.issueParallel(t0, core, v)
+	}
+	return w.issueSequential(t0, core, v)
+}
+
+// issueSequential is the radix-style dependent walk, shortened by the
+// deepest page-walk-cache hit: a hit at level L supplies the child-table
+// base below L, so only deeper entries are read from memory.
+func (w *Walker) issueSequential(t uint64, core int, v addr.V) uint64 {
+	skipDepth := -1
+	if w.cfg.Cache != nil {
+		t += w.cfg.Cache.Latency()
+		if deepest, ok := w.cfg.Cache.Probe(v); ok {
+			skipDepth = addr.Depth(deepest)
+		}
+	}
+	for _, a := range w.walk.Accesses() {
+		if addr.Depth(a.Level) <= skipDepth {
+			continue
+		}
+		t = w.mem.Access(core, t, a.PA, access.Read, access.PTE)
+		w.stats.PTEAccesses.Inc()
+	}
+	if w.cfg.Cache != nil {
+		// Record the non-leaf entries this walk resolved.
+		w.fillBuf = w.fillBuf[:0]
+		for i, a := range w.walk.Seq {
+			if i < len(w.walk.Seq)-1 {
+				w.fillBuf = append(w.fillBuf, a.Level)
+			}
+		}
+		w.cfg.Cache.Fill(v, w.fillBuf)
+	}
+	return t
+}
+
+// issueParallel is the hash-table (ECH) walk: d parallel probes, or —
+// with the cuckoo-walk cache — one predicted probe with a full second
+// round on misprediction.
+func (w *Walker) issueParallel(t uint64, core int, v addr.V) uint64 {
+	probeAll := func(t uint64, skip int) uint64 {
+		end := t
+		for i, a := range w.walk.Accesses() {
+			if i == skip {
+				continue
+			}
+			done := w.mem.Access(core, t, a.PA, access.Read, access.PTE)
+			w.stats.PTEAccesses.Inc()
+			if done > end {
+				end = done
+			}
+		}
+		return end
+	}
+
+	if w.wayCache == nil {
+		return probeAll(t, -1)
+	}
+	region := cwcRegion(v)
+	t++ // CWC probe
+	hint, ok := w.wayCache.Lookup(region)
+	if ok && int(hint) < len(w.walk.Par) {
+		a := w.walk.Par[hint]
+		t = w.mem.Access(core, t, a.PA, access.Read, access.PTE)
+		w.stats.PTEAccesses.Inc()
+		if w.walk.FoundIdx != int(hint) {
+			// Mispredict: fall back to a full round for the rest.
+			t = probeAll(t, int(hint))
+		}
+	} else {
+		t = probeAll(t, -1)
+	}
+	if w.walk.FoundIdx >= 0 {
+		w.wayCache.Insert(region, uint8(w.walk.FoundIdx))
+	}
+	return t
+}

@@ -94,7 +94,10 @@ func TestExperimentsQuick(t *testing.T) {
 		Footprint:    192 << 20,
 		Workloads:    []string{"rnd"},
 	}
-	tab := e.Fig12()
+	tab, err := e.Fig12()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !strings.Contains(tab.String(), "geomean") {
 		t.Errorf("Fig12 table missing geomean:\n%s", tab)
 	}

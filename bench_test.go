@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"ndpage"
+	"ndpage/internal/engine"
 )
 
 // benchExperiments returns a reduced-scale experiment runner. Three
@@ -135,6 +136,58 @@ func BenchmarkAblation_NDPageDecomposition(b *testing.B) {
 		b.ReportMetric(lastCell(b, t, 2), "flatten-only-speedup")
 		b.ReportMetric(lastCell(b, t, 3), "ndpage-speedup")
 	}
+}
+
+// BenchmarkEngineStep measures the event queue itself: schedule+dispatch
+// cycles per second with a machine-sized actor population, the operation
+// the engine performs once per simulated instruction (replacing the old
+// O(cores) min-clock scan).
+func BenchmarkEngineStep(b *testing.B) {
+	const actors = 64
+	eng := engine.New()
+	remaining := b.N
+	var tick func(id int) func()
+	tick = func(id int) func() {
+		return func() {
+			if remaining <= 0 {
+				return
+			}
+			remaining--
+			// Deterministic, actor-dependent stride keeps the heap busy
+			// without Math.rand.
+			eng.Schedule(eng.Now()+uint64(7+id%13), id, tick(id))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < actors; i++ {
+		eng.Schedule(uint64(i), i, tick(i))
+	}
+	eng.Run()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkRunSmall measures full small simulations per second (build +
+// warmup + measure), the unit of work the exp Runner fans out; the
+// sims/s metric is the number to watch across engine changes.
+func BenchmarkRunSmall(b *testing.B) {
+	cfg := ndpage.Config{
+		System:         ndpage.NDP,
+		Cores:          4,
+		Mechanism:      ndpage.Radix,
+		Workload:       "rnd",
+		FootprintBytes: 128 << 20,
+		MemoryBytes:    2 << 30,
+		Warmup:         2_000,
+		Instructions:   10_000,
+		Seed:           7,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ndpage.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "sims/s")
 }
 
 // BenchmarkSimulatorThroughput measures raw simulation speed: simulated

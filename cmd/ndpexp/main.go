@@ -7,6 +7,7 @@
 //	ndpexp                         # all figures, full scale (minutes)
 //	ndpexp -quick                  # all figures, reduced scale
 //	ndpexp -figs fig12,fig14       # a subset
+//	ndpexp -figs mlp-sensitivity   # the core-MLP sweep (non-blocking cores)
 //	ndpexp -workloads rnd,pr,gen   # a workload subset
 package main
 
@@ -24,7 +25,7 @@ import (
 func main() {
 	var (
 		quick     = flag.Bool("quick", false, "reduced scale (faster, noisier)")
-		figsArg   = flag.String("figs", "all", "comma-separated: fig4,fig5,fig6,fig7,fig8,motivation,pwc,fig12,fig13,fig14,ablation (plus extras: pwc-sensitivity,hbm-sensitivity,walker-sensitivity,population-sensitivity,oversubscription)")
+		figsArg   = flag.String("figs", "all", "comma-separated: fig4,fig5,fig6,fig7,fig8,motivation,pwc,fig12,fig13,fig14,ablation (plus extras: pwc-sensitivity,hbm-sensitivity,walker-sensitivity,mlp-sensitivity,population-sensitivity,oversubscription)")
 		wlArg     = flag.String("workloads", "", "comma-separated workload subset (default: all 11)")
 		outDir    = flag.String("out", "results", "directory for CSV output (empty = no files)")
 		parallel  = flag.Int("parallel", 0, "max concurrent simulations (0 = auto)")
@@ -64,6 +65,7 @@ func main() {
 		{"pwc-sensitivity", e.PWCSensitivity},
 		{"hbm-sensitivity", e.HBMChannelSensitivity},
 		{"walker-sensitivity", e.WalkerWidthSensitivity},
+		{"mlp-sensitivity", e.MLPSensitivity},
 		{"population-sensitivity", e.PopulationSensitivity},
 		{"oversubscription", e.OversubscriptionStudy},
 	}

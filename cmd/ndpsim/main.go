@@ -4,6 +4,7 @@
 //
 //	ndpsim -system ndp -mech NDPage -cores 4 -workload bfs
 //	ndpsim -mech Radix -workload rnd -instructions 500000
+//	ndpsim -mech Radix -cores 4 -mlp 4 -shared-walker -walker-width 2
 package main
 
 import (
@@ -28,6 +29,7 @@ func main() {
 		seed      = flag.Uint64("seed", 0, "random seed (0 = 42)")
 		width     = flag.Int("walker-width", 0, "concurrent walk slots per walker (0 = 1, blocking)")
 		shared    = flag.Bool("shared-walker", false, "serve all cores' misses from one cluster-level walker")
+		mlp       = flag.Int("mlp", 0, "per-core in-flight memory-op window (0 = 1, blocking core)")
 		list      = flag.Bool("list", false, "list workloads and exit")
 	)
 	flag.Parse()
@@ -62,6 +64,7 @@ func main() {
 		Seed:           *seed,
 		WalkerWidth:    *width,
 		SharedWalker:   *shared,
+		MLP:            *mlp,
 	})
 	if err != nil {
 		fatal(err)
@@ -74,10 +77,15 @@ func main() {
 		100*res.TranslationOverhead(), res.Walks, res.MeanPTWLatency())
 	fmt.Printf("  TLB miss rate       %.2f%% (L1 %.2f%%, L2 %.2f%%)\n",
 		100*res.TLBMissRate(), 100*res.L1TLB.MissRate(), 100*res.L2TLB.MissRate())
-	if *shared || *width > 1 {
+	if *shared || *width > 1 || *mlp > 1 {
 		fmt.Printf("  walker              MSHR hits %d (%.2f%%), overlapped %d (%.2f%%), queued %d (%.1f cycles/walk), peak in-flight %d\n",
 			res.MSHRHits, 100*res.MSHRHitRate(), res.OverlappedWalks, 100*res.WalkOverlapRate(),
 			res.QueuedWalks, res.MeanWalkQueueCycles(), res.MaxConcurrentWalks)
+		fmt.Printf("  walk overlap        mean %.2f in flight%s\n", res.MeanWalkConcurrency(), hist(res.WalkOverlapHist))
+	}
+	if *mlp > 1 {
+		fmt.Printf("  core window         mean %.2f ops in flight (MLP %d)%s\n",
+			res.MeanInFlight(), res.Config.MLP, hist(res.InFlightHist))
 	}
 	fmt.Printf("  PTE share           %.1f%% of memory accesses (%d PTE accesses)\n",
 		100*res.PTEAccessShare(), res.PTEAccesses)
@@ -93,6 +101,22 @@ func main() {
 	for _, o := range res.Occupancy {
 		fmt.Printf("    %-6s %6d nodes, occupancy %6.2f%%\n", o.Level, o.Nodes, 100*o.Rate())
 	}
+}
+
+// hist renders a 1-indexed occupancy histogram as "; 1: n1, 2: n2, ...",
+// or empty when there is nothing beyond solo occupancy to show.
+func hist(h []uint64) string {
+	if len(h) <= 2 {
+		return ""
+	}
+	s := ";"
+	for k := 1; k < len(h); k++ {
+		s += fmt.Sprintf(" %d: %d", k, h[k])
+		if k < len(h)-1 {
+			s += ","
+		}
+	}
+	return s
 }
 
 func fatal(err error) {

@@ -6,12 +6,14 @@
 //
 //	ndptrace -workload bfs -ops 10000 > bfs.csv
 //	ndptrace -workload dlrm -threads 4 -thread 2 -ops 1000
+//	ndptrace -workload gen -stats          # op-mix summary instead of the trace
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"ndpage/internal/addr"
@@ -33,36 +35,42 @@ func (m *traceMem) alloc(size uint64) addr.V {
 func (m *traceMem) Alloc(size uint64, name string) addr.V     { return m.alloc(size) }
 func (m *traceMem) AllocLazy(size uint64, name string) addr.V { return m.alloc(size) }
 
-func main() {
-	var (
-		wlName    = flag.String("workload", "bfs", "workload name")
-		ops       = flag.Uint64("ops", 100_000, "number of ops to emit")
-		threads   = flag.Int("threads", 1, "total thread count the workload partitions for")
-		thread    = flag.Int("thread", 0, "which thread's stream to dump")
-		footprint = flag.Uint64("footprint", 1<<30, "dataset bytes")
-		seed      = flag.Uint64("seed", 42, "random seed")
-		stats     = flag.Bool("stats", false, "print an op-mix summary instead of the trace")
-	)
-	flag.Parse()
+// options selects what trace to emit.
+type options struct {
+	workload  string
+	ops       uint64
+	threads   int
+	thread    int
+	footprint uint64
+	seed      uint64
+	stats     bool
+}
 
-	spec, err := workload.Lookup(*wlName)
+// emit writes the trace (or, with opts.stats, the op-mix summary) to w.
+// The writer is buffered here, and the buffer's deferred write errors —
+// which a bare "defer Flush()" would discard — are returned.
+func emit(opts options, w io.Writer) (err error) {
+	spec, err := workload.Lookup(opts.workload)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ndptrace:", err)
-		os.Exit(1)
+		return err
 	}
-	w := spec.New()
+	wl := spec.New()
 	mem := &traceMem{brk: 1 << 39}
-	w.Init(mem, xrand.New(*seed), *footprint, *threads)
-	gen := w.Thread(*thread, *seed*1_000_003+uint64(*thread))
+	wl.Init(mem, xrand.New(opts.seed), opts.footprint, opts.threads)
+	gen := wl.Thread(opts.thread, opts.seed*1_000_003+uint64(opts.thread))
 
-	out := bufio.NewWriter(os.Stdout)
-	defer out.Flush()
+	out := bufio.NewWriter(w)
+	defer func() {
+		if ferr := out.Flush(); err == nil {
+			err = ferr
+		}
+	}()
 
 	var op workload.Op
-	if *stats {
+	if opts.stats {
 		var loads, stores, computes, cycles uint64
 		pages := map[addr.VPN]struct{}{}
-		for i := uint64(0); i < *ops; i++ {
+		for i := uint64(0); i < opts.ops; i++ {
 			gen.Next(&op)
 			switch op.Kind {
 			case workload.Load:
@@ -77,17 +85,17 @@ func main() {
 			}
 		}
 		fmt.Fprintf(out, "workload       %s (%s: %s)\n", spec.Name, spec.Suite, spec.Description)
-		fmt.Fprintf(out, "ops            %d\n", *ops)
-		fmt.Fprintf(out, "loads          %d (%.1f%%)\n", loads, 100*float64(loads)/float64(*ops))
-		fmt.Fprintf(out, "stores         %d (%.1f%%)\n", stores, 100*float64(stores)/float64(*ops))
+		fmt.Fprintf(out, "ops            %d\n", opts.ops)
+		fmt.Fprintf(out, "loads          %d (%.1f%%)\n", loads, 100*float64(loads)/float64(opts.ops))
+		fmt.Fprintf(out, "stores         %d (%.1f%%)\n", stores, 100*float64(stores)/float64(opts.ops))
 		fmt.Fprintf(out, "compute ops    %d (%d cycles)\n", computes, cycles)
 		fmt.Fprintf(out, "distinct pages %d (%.1f MB touched)\n", len(pages),
 			float64(len(pages))*4096/1e6)
-		return
+		return nil
 	}
 
 	fmt.Fprintln(out, "op,addr")
-	for i := uint64(0); i < *ops; i++ {
+	for i := uint64(0); i < opts.ops; i++ {
 		gen.Next(&op)
 		switch op.Kind {
 		case workload.Load:
@@ -97,5 +105,23 @@ func main() {
 		case workload.Compute:
 			fmt.Fprintf(out, "C,%d\n", op.Cycles)
 		}
+	}
+	return nil
+}
+
+func main() {
+	var opts options
+	flag.StringVar(&opts.workload, "workload", "bfs", "workload name")
+	flag.Uint64Var(&opts.ops, "ops", 100_000, "number of ops to emit")
+	flag.IntVar(&opts.threads, "threads", 1, "total thread count the workload partitions for")
+	flag.IntVar(&opts.thread, "thread", 0, "which thread's stream to dump")
+	flag.Uint64Var(&opts.footprint, "footprint", 1<<30, "dataset bytes")
+	flag.Uint64Var(&opts.seed, "seed", 42, "random seed")
+	flag.BoolVar(&opts.stats, "stats", false, "print an op-mix summary instead of the trace")
+	flag.Parse()
+
+	if err := emit(opts, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ndptrace:", err)
+		os.Exit(1)
 	}
 }

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func baseOpts() options {
+	return options{
+		workload:  "rnd",
+		ops:       2_000,
+		threads:   1,
+		footprint: 64 << 20,
+		seed:      42,
+	}
+}
+
+func TestStatsModeSummarizesOpMix(t *testing.T) {
+	opts := baseOpts()
+	opts.stats = true
+	var sb strings.Builder
+	if err := emit(opts, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"workload       rnd", "ops            2000", "loads", "stores", "distinct pages"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "op,addr") {
+		t.Error("stats mode emitted the CSV header")
+	}
+}
+
+func TestTraceModeEmitsCSV(t *testing.T) {
+	opts := baseOpts()
+	opts.ops = 50
+	var sb strings.Builder
+	if err := emit(opts, &sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if lines[0] != "op,addr" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) != 51 {
+		t.Fatalf("emitted %d data lines, want 50", len(lines)-1)
+	}
+	for _, l := range lines[1:] {
+		if !strings.HasPrefix(l, "L,") && !strings.HasPrefix(l, "S,") && !strings.HasPrefix(l, "C,") {
+			t.Fatalf("malformed trace line %q", l)
+		}
+	}
+}
+
+func TestUnknownWorkloadErrors(t *testing.T) {
+	opts := baseOpts()
+	opts.workload = "nope"
+	if err := emit(opts, &strings.Builder{}); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+// brokenWriter fails every write, standing in for a closed pipe.
+type brokenWriter struct{}
+
+var errBroken = errors.New("broken pipe")
+
+func (brokenWriter) Write(p []byte) (int, error) { return 0, errBroken }
+
+// TestFlushErrorPropagates: write failures surface from emit instead of
+// being swallowed by a deferred Flush.
+func TestFlushErrorPropagates(t *testing.T) {
+	for _, stats := range []bool{false, true} {
+		opts := baseOpts()
+		opts.stats = stats
+		if err := emit(opts, brokenWriter{}); !errors.Is(err, errBroken) {
+			t.Errorf("stats=%v: emit returned %v, want broken-pipe error", stats, err)
+		}
+	}
+}

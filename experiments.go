@@ -94,6 +94,12 @@ func (e *Experiments) WalkerWidthSensitivity() (*Table, error) {
 	return e.r().WalkerWidthSensitivity()
 }
 
+// MLPSensitivity sweeps the per-core memory-level-parallelism window
+// over a shared width-2 walker on the 4-core NDP system: the
+// non-blocking-core regime where walks overlap, queue on real walker
+// slots, and coalesce in the MSHRs.
+func (e *Experiments) MLPSensitivity() (*Table, error) { return e.r().MLPSensitivity() }
+
 // PopulationSensitivity contrasts eager and demand dataset population
 // (DESIGN.md ablation 4).
 func (e *Experiments) PopulationSensitivity() (*Table, error) { return e.r().PopulationSensitivity() }

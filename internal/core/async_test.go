@@ -1,0 +1,96 @@
+package core
+
+import (
+	"testing"
+
+	"ndpage/internal/access"
+	"ndpage/internal/addr"
+	"ndpage/internal/engine"
+)
+
+// translateAsyncAt schedules one TranslateAsync request at time t and
+// returns pointers to the recorded (pa, done) outcome.
+func translateAsyncAt(eng *engine.Engine, m *MMU, t uint64, v addr.V) (*addr.P, *uint64) {
+	var pa addr.P
+	var at uint64
+	eng.Schedule(t, 0, func() {
+		m.TranslateAsync(eng, t, v, access.Read, func(p addr.P, done uint64) {
+			pa, at = p, done
+		})
+	})
+	return &pa, &at
+}
+
+// TestTranslateAsyncMatchesSynchronousTiming: a lone async translation
+// (hit or walk) completes at the same time and with the same physical
+// address as the synchronous path on an identically warmed MMU.
+func TestTranslateAsyncMatchesSynchronousTiming(t *testing.T) {
+	for _, mech := range []Mechanism{Radix, NDPage, ECH, Ideal} {
+		syncMMU, base := rig(t, mech)
+		asyncMMU, base2 := rig(t, mech)
+		if base != base2 {
+			t.Fatalf("%v: rigs disagree on base", mech)
+		}
+		for i, v := range []addr.V{base, base + 64, base + 5*addr.PageSize} {
+			now := uint64(1000 * (i + 1))
+			wantPA, wantDone := syncMMU.Translate(now, v, access.Read)
+
+			eng := engine.New()
+			gotPA, gotDone := translateAsyncAt(eng, asyncMMU, now, v)
+			eng.Run()
+			if *gotPA != wantPA || *gotDone != wantDone {
+				t.Errorf("%v access %d: async (%#x, %d) != sync (%#x, %d)",
+					mech, i, uint64(*gotPA), *gotDone, uint64(wantPA), wantDone)
+			}
+		}
+	}
+}
+
+// TestTranslateAsyncCoalescesConcurrentMisses: two in-flight misses for
+// one page perform a single walk, and the TLB fill lands at the walk's
+// completion event — a third request after completion hits the TLB.
+func TestTranslateAsyncCoalescesConcurrentMisses(t *testing.T) {
+	mmu, base := rig(t, Radix)
+	eng := engine.New()
+	_, doneA := translateAsyncAt(eng, mmu, 0, base)
+	_, doneB := translateAsyncAt(eng, mmu, 10, base+64)
+	eng.Run()
+	ws := mmu.Walker().Stats()
+	if ws.Walks.Value() != 1 || ws.MSHRHits.Value() != 1 {
+		t.Fatalf("walks=%d mshr=%d, want 1 walk + 1 coalesce", ws.Walks.Value(), ws.MSHRHits.Value())
+	}
+	if *doneA != *doneB {
+		t.Errorf("coalesced translations complete at %d/%d, want equal", *doneA, *doneB)
+	}
+
+	// After completion the page is in the DTLB: a hit resolves in the
+	// L1 TLB latency with no further walk.
+	_, doneC := translateAsyncAt(eng, mmu, *doneA+100, base+128)
+	eng.Run()
+	if got := mmu.Walker().Stats().Walks.Value(); got != 1 {
+		t.Errorf("TLB-filled page walked again (%d walks)", got)
+	}
+	if want := *doneA + 100 + mmu.DTLB().Latency(); *doneC != want {
+		t.Errorf("post-fill hit completed at %d, want %d", *doneC, want)
+	}
+}
+
+// TestTranslateAsyncWindowContention: a private width-1 walker serializes
+// a core's concurrent misses to different pages via the pending queue.
+func TestTranslateAsyncWindowContention(t *testing.T) {
+	mmu, base := rig(t, Radix)
+	eng := engine.New()
+	_, doneA := translateAsyncAt(eng, mmu, 0, base)
+	_, doneB := translateAsyncAt(eng, mmu, 0, base+addr.PageSize)
+	eng.Run()
+	ws := mmu.Walker().Stats()
+	if ws.Walks.Value() != 2 {
+		t.Fatalf("walks = %d, want 2", ws.Walks.Value())
+	}
+	if ws.QueuedWalks.Value() != 1 {
+		t.Errorf("queued = %d, want 1 (width-1 slot held)", ws.QueuedWalks.Value())
+	}
+	if !(*doneB > *doneA) {
+		t.Errorf("second miss (%d) did not queue behind the first (%d)", *doneB, *doneA)
+	}
+}

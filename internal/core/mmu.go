@@ -196,6 +196,51 @@ func (m *MMU) Translate(now uint64, v addr.V, op access.Op) (addr.P, uint64) {
 	return physical(resp.Entry, v), resp.Done
 }
 
+// TranslateAsync resolves v as a request/completion pair on the event
+// schedule: done is invoked exactly once with the physical address and
+// the absolute completion time. It is layered over the same TLB and walk
+// machinery as Translate — TLB hits resolve inline (their few-cycle
+// latency is known immediately), while misses go through the walk unit's
+// event-scheduled path, so concurrent translations contend for real walk
+// slots, coalesce in the MSHRs, and fill the TLBs only when their walk's
+// completion event fires. Used by the non-blocking core model
+// (sim.Config.MLP > 1); the blocking model keeps Translate.
+func (m *MMU) TranslateAsync(s walker.Scheduler, now uint64, v addr.V, op access.Op, done func(pa addr.P, at uint64)) {
+	m.stats.Translations.Inc()
+	if m.mech == Ideal {
+		e, ok := m.table.Lookup(v.Page())
+		if !ok {
+			panic(unmapped(v))
+		}
+		done(physical(e, v), now)
+		return
+	}
+	vpn := v.Page()
+	t := now + m.dtlb.Latency()
+	if e, ok := m.dtlb.Lookup(vpn); ok {
+		m.stats.TranslationCycles.Add(t - now)
+		done(physical(pagetable.Entry(e), v), t)
+		return
+	}
+	t += m.stlb.Latency()
+	if e, ok := m.stlb.Lookup(vpn); ok {
+		m.dtlb.Insert(vpn, e)
+		m.stats.TranslationCycles.Add(t - now)
+		done(physical(pagetable.Entry(e), v), t)
+		return
+	}
+	m.unit.Walker.WalkAsync(s, walker.Request{Core: m.coreID, V: v, Time: t}, func(resp walker.Response) {
+		if !resp.Found {
+			panic(unmapped(v))
+		}
+		te := tlb.Entry{PFN: resp.Entry.PFN, Huge: resp.Entry.Huge}
+		m.dtlb.Insert(vpn, te)
+		m.stlb.Insert(vpn, te)
+		m.stats.TranslationCycles.Add(resp.Done - now)
+		done(physical(resp.Entry, v), resp.Done)
+	})
+}
+
 // TranslateCode resolves an instruction-fetch address. Fetch translation
 // runs ahead of the pipeline, so it contributes structure activity (ITLB,
 // shared L2 TLB) but no cycles; code-side walks resolve functionally —

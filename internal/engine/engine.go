@@ -1,0 +1,145 @@
+// Package engine is the simulator's event-scheduled execution core: a
+// deterministic discrete-event queue that replaces the per-step
+// min-clock scan over all cores. Actors (cores, walkers) schedule
+// closures at absolute times; Run dispatches them in strict
+// (time, actor, seq) order, so ties between actors resolve by actor id
+// (matching the old scan's lowest-index-first choice) and ties within an
+// actor resolve by scheduling order. The queue is a binary min-heap, so
+// each dispatch costs O(log n) in the number of pending events instead
+// of the O(cores) scan the step-driven loop paid per instruction.
+//
+// The engine is single-threaded and allocation-light: one heap slot per
+// pending event, no goroutines, no channels. A simulation owns exactly
+// one engine; separate simulations (the exp Runner prefetches runs
+// across goroutines) own separate engines and share nothing.
+package engine
+
+import "fmt"
+
+// event is one scheduled closure.
+type event struct {
+	time  uint64
+	actor int
+	seq   uint64
+	fn    func()
+}
+
+// before is the strict (time, actor, seq) order.
+func (e *event) before(o *event) bool {
+	if e.time != o.time {
+		return e.time < o.time
+	}
+	if e.actor != o.actor {
+		return e.actor < o.actor
+	}
+	return e.seq < o.seq
+}
+
+// Engine is a deterministic discrete-event scheduler. Not safe for
+// concurrent use; one simulation drives one engine from one goroutine.
+type Engine struct {
+	heap []event
+	seq  uint64
+	now  uint64
+	// dispatched counts events executed over the engine's lifetime.
+	dispatched uint64
+}
+
+// New returns an empty engine at time zero.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now returns the time of the most recently dispatched event. Time never
+// moves backwards.
+func (e *Engine) Now() uint64 { return e.now }
+
+// Len returns the number of pending events.
+func (e *Engine) Len() int { return len(e.heap) }
+
+// Dispatched returns the number of events executed so far.
+func (e *Engine) Dispatched() uint64 { return e.dispatched }
+
+// Rewind moves the clock back to zero between event horizons: the
+// simulator's warmup and measurement phases each drain the queue, and
+// the next phase re-seeds it from per-actor clocks that may lie before
+// the previous phase's final event. Rewinding with events still pending
+// would reorder them and panics.
+func (e *Engine) Rewind() {
+	if len(e.heap) != 0 {
+		panic("engine: Rewind with pending events")
+	}
+	e.now = 0
+}
+
+// Schedule enqueues fn to run at absolute time t on behalf of actor.
+// Events fire in (time, actor, seq) order; seq is the global scheduling
+// order, so two events at the same (time, actor) fire in the order they
+// were scheduled. Scheduling into the past is a model bug and panics.
+func (e *Engine) Schedule(t uint64, actor int, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("engine: event scheduled at %d, before current time %d", t, e.now))
+	}
+	e.heap = append(e.heap, event{time: t, actor: actor, seq: e.seq, fn: fn})
+	e.seq++
+	e.up(len(e.heap) - 1)
+}
+
+// Step dispatches the earliest pending event. It returns false when the
+// queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.heap) == 0 {
+		return false
+	}
+	ev := e.heap[0]
+	last := len(e.heap) - 1
+	e.heap[0] = e.heap[last]
+	e.heap[last] = event{} // release the closure
+	e.heap = e.heap[:last]
+	if last > 0 {
+		e.down(0)
+	}
+	e.now = ev.time
+	e.dispatched++
+	ev.fn()
+	return true
+}
+
+// Run dispatches events in order until none remain. Events scheduled
+// during dispatch are folded into the same run.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// up restores the heap property from leaf i toward the root.
+func (e *Engine) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.heap[i].before(&e.heap[parent]) {
+			return
+		}
+		e.heap[i], e.heap[parent] = e.heap[parent], e.heap[i]
+		i = parent
+	}
+}
+
+// down restores the heap property from node i toward the leaves.
+func (e *Engine) down(i int) {
+	n := len(e.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && e.heap[l].before(&e.heap[least]) {
+			least = l
+		}
+		if r < n && e.heap[r].before(&e.heap[least]) {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		e.heap[i], e.heap[least] = e.heap[least], e.heap[i]
+		i = least
+	}
+}

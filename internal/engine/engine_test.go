@@ -1,0 +1,164 @@
+package engine
+
+import (
+	"testing"
+)
+
+func TestDispatchOrderByTimeActorSeq(t *testing.T) {
+	e := New()
+	var got []int
+	rec := func(id int) func() { return func() { got = append(got, id) } }
+
+	// Shuffled inserts covering every tie-break tier:
+	//   time 10 actor 2 (first scheduled at that slot) -> id 3
+	//   time 10 actor 2 (second scheduled)             -> id 4
+	//   time 10 actor 0                                -> id 2
+	//   time  5 actor 7                                -> id 1
+	//   time  0 actor 9                                -> id 0
+	//   time 20 actor 1                                -> id 5
+	e.Schedule(10, 2, rec(3))
+	e.Schedule(20, 1, rec(5))
+	e.Schedule(0, 9, rec(0))
+	e.Schedule(10, 2, rec(4))
+	e.Schedule(5, 7, rec(1))
+	e.Schedule(10, 0, rec(2))
+
+	e.Run()
+	want := []int{0, 1, 2, 3, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("dispatched %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dispatch order %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 20 {
+		t.Errorf("Now = %d, want 20", e.Now())
+	}
+	if e.Dispatched() != 6 {
+		t.Errorf("Dispatched = %d, want 6", e.Dispatched())
+	}
+}
+
+func TestEventsScheduledDuringRunAreDispatched(t *testing.T) {
+	e := New()
+	var trace []uint64
+	e.Schedule(1, 0, func() {
+		trace = append(trace, e.Now())
+		e.Schedule(3, 0, func() { trace = append(trace, e.Now()) })
+	})
+	e.Schedule(2, 0, func() { trace = append(trace, e.Now()) })
+	e.Run()
+	if len(trace) != 3 || trace[0] != 1 || trace[1] != 2 || trace[2] != 3 {
+		t.Errorf("trace = %v, want [1 2 3]", trace)
+	}
+}
+
+func TestSameTimeRescheduleRunsAfterOtherActors(t *testing.T) {
+	// An actor rescheduling at the current time yields to other actors'
+	// events at that time with lower ids (seq breaks the final tie).
+	e := New()
+	var got []string
+	e.Schedule(5, 1, func() {
+		got = append(got, "b1")
+		e.Schedule(5, 0, func() { got = append(got, "a") })
+		e.Schedule(5, 1, func() { got = append(got, "b2") })
+	})
+	e.Run()
+	if len(got) != 3 || got[0] != "b1" || got[1] != "a" || got[2] != "b2" {
+		t.Errorf("order = %v, want [b1 a b2]", got)
+	}
+}
+
+func TestSchedulingIntoThePastPanics(t *testing.T) {
+	e := New()
+	e.Schedule(10, 0, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling before Now did not panic")
+		}
+	}()
+	e.Schedule(9, 0, func() {})
+}
+
+func TestRewindBetweenPhases(t *testing.T) {
+	e := New()
+	e.Schedule(100, 0, func() {})
+	e.Run()
+	e.Rewind()
+	if e.Now() != 0 {
+		t.Errorf("Now after Rewind = %d, want 0", e.Now())
+	}
+	fired := false
+	e.Schedule(5, 0, func() { fired = true }) // before the old horizon
+	e.Run()
+	if !fired {
+		t.Error("post-Rewind event did not fire")
+	}
+
+	e.Schedule(10, 0, func() {})
+	defer func() {
+		if recover() == nil {
+			t.Error("Rewind with pending events did not panic")
+		}
+	}()
+	e.Rewind()
+}
+
+func TestStepAndLen(t *testing.T) {
+	e := New()
+	if e.Step() {
+		t.Error("Step on empty engine reported work")
+	}
+	e.Schedule(1, 0, func() {})
+	e.Schedule(2, 0, func() {})
+	if e.Len() != 2 {
+		t.Errorf("Len = %d, want 2", e.Len())
+	}
+	if !e.Step() || e.Len() != 1 {
+		t.Errorf("after one Step: Len = %d, want 1", e.Len())
+	}
+	e.Run()
+	if e.Len() != 0 {
+		t.Errorf("after Run: Len = %d, want 0", e.Len())
+	}
+}
+
+// TestHeapOrderLargeShuffle drives the heap through a large
+// pseudo-random insert/dispatch mix and checks times never regress.
+func TestHeapOrderLargeShuffle(t *testing.T) {
+	e := New()
+	state := uint64(0x9E3779B97F4A7C15)
+	next := func() uint64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return state
+	}
+	var last uint64
+	var dispatched int
+	var schedule func(depth int)
+	schedule = func(depth int) {
+		if depth == 0 {
+			return
+		}
+		at := e.Now() + next()%1000
+		e.Schedule(at, int(next()%16), func() {
+			if e.Now() < last {
+				t.Fatalf("time regressed: %d after %d", e.Now(), last)
+			}
+			last = e.Now()
+			dispatched++
+			if dispatched < 5000 {
+				schedule(2)
+			}
+		})
+	}
+	schedule(2)
+	e.Run()
+	if dispatched < 5000 {
+		t.Errorf("dispatched %d events, want >= 5000", dispatched)
+	}
+}

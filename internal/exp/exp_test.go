@@ -224,6 +224,27 @@ func TestWalkerWidthSensitivity(t *testing.T) {
 	}
 }
 
+func TestMLPSensitivity(t *testing.T) {
+	r := quickRunner()
+	r.Workloads = []string{"rnd"}
+	tab := table(t, r.MLPSensitivity)
+	if len(tab.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	row := tab.Rows[0]
+	var speedup, inflight float64
+	fmt.Sscan(row[5], &speedup)
+	fmt.Sscan(row[6], &inflight)
+	// Overlapping GUPS-style accesses must not slow the run down, and
+	// the MLP=8 window must actually hold more than one op on average.
+	if speedup < 1 {
+		t.Errorf("MLP=8 slower than blocking (speedup %v)", speedup)
+	}
+	if inflight <= 1 {
+		t.Errorf("MLP=8 mean in-flight %v, want > 1", inflight)
+	}
+}
+
 func TestPopulationSensitivity(t *testing.T) {
 	r := quickRunner()
 	r.Workloads = []string{"rnd"}

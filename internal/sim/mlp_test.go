@@ -1,0 +1,180 @@
+package sim
+
+import (
+	"testing"
+
+	"ndpage/internal/core"
+	"ndpage/internal/memsys"
+)
+
+// mlpCfg is the acceptance configuration: 4 cores, shared width-2
+// walker, non-blocking front-ends.
+func mlpCfg(mlp int) Config {
+	cfg := testCfg(memsys.NDP, 4, core.Radix, "rnd")
+	cfg.SharedWalker = true
+	cfg.WalkerWidth = 2
+	cfg.MLP = mlp
+	return cfg
+}
+
+func TestMLPDefaultsToBlocking(t *testing.T) {
+	cfg := testCfg(memsys.NDP, 1, core.Radix, "rnd")
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Config().MLP; got != 1 {
+		t.Errorf("defaulted MLP = %d, want 1", got)
+	}
+	r := m.Run()
+	// The blocking histogram is all-solo.
+	if len(r.InFlightHist) != 2 || r.InFlightHist[1] != r.Loads+r.Stores {
+		t.Errorf("blocking InFlightHist = %v, want [0 %d]", r.InFlightHist, r.Loads+r.Stores)
+	}
+	if got := r.MeanInFlight(); got != 1 {
+		t.Errorf("blocking MeanInFlight = %v, want 1", got)
+	}
+}
+
+func TestMLPOutOfRangeRejected(t *testing.T) {
+	for _, mlp := range []int{-1, 65} {
+		cfg := testCfg(memsys.NDP, 1, core.Radix, "rnd")
+		cfg.MLP = mlp
+		if _, err := New(cfg); err == nil {
+			t.Errorf("MLP=%d accepted", mlp)
+		}
+	}
+}
+
+// TestMLPOverlapEmerges is the acceptance criterion: with MLP=4 over a
+// shared width-2 walker, walks overlap, queue on real slots, coalesce in
+// the MSHRs, and the window histogram shows multi-op occupancy.
+func TestMLPOverlapEmerges(t *testing.T) {
+	r := run(t, mlpCfg(4))
+	if r.OverlappedWalks == 0 {
+		t.Error("MLP=4 shared walker recorded no overlapped walks")
+	}
+	if r.QueuedWalks == 0 {
+		t.Error("width-2 walker under MLP=4 never queued a walk")
+	}
+	if r.MSHRHits == 0 {
+		t.Error("no MSHR coalescing under MLP=4 (duplicate in-window pages expected)")
+	}
+	if r.MaxConcurrentWalks < 2 {
+		t.Errorf("peak concurrent walks %d, want >= 2", r.MaxConcurrentWalks)
+	}
+	// Window occupancy beyond 1 must appear...
+	deep := uint64(0)
+	for k := 2; k < len(r.InFlightHist); k++ {
+		deep += r.InFlightHist[k]
+	}
+	if deep == 0 {
+		t.Errorf("InFlightHist %v shows no multi-op occupancy", r.InFlightHist)
+	}
+	// ...and never exceed the window.
+	if len(r.InFlightHist) > 5 {
+		t.Errorf("InFlightHist %v exceeds MLP=4 window", r.InFlightHist)
+	}
+	if mean := r.MeanInFlight(); mean <= 1 || mean > 4 {
+		t.Errorf("MeanInFlight = %.2f, want in (1, 4]", mean)
+	}
+}
+
+// TestMLPImprovesRunTime: overlapping memory ops must not slow the
+// simulated workload down; GUPS-style independent accesses should gain.
+func TestMLPImprovesRunTime(t *testing.T) {
+	blocking := run(t, mlpCfg(1))
+	overlapped := run(t, mlpCfg(4))
+	if overlapped.Cycles >= blocking.Cycles {
+		t.Errorf("MLP=4 (%d cycles) not faster than blocking (%d cycles)",
+			overlapped.Cycles, blocking.Cycles)
+	}
+	if blocking.Instructions != overlapped.Instructions {
+		t.Errorf("instruction budgets differ: %d vs %d",
+			blocking.Instructions, overlapped.Instructions)
+	}
+}
+
+// TestMLPCountersConsistent: the non-blocking model keeps the
+// accounting identities that hold per-op (budgets, op counts); cycle
+// attribution sums may exceed wall-clock because components overlap.
+func TestMLPCountersConsistent(t *testing.T) {
+	cfg := mlpCfg(4)
+	r := run(t, cfg)
+	if r.Instructions != uint64(cfg.Cores)*cfg.Instructions {
+		t.Errorf("instructions = %d, want %d", r.Instructions, uint64(cfg.Cores)*cfg.Instructions)
+	}
+	if r.Loads == 0 || r.Stores == 0 {
+		t.Error("no memory ops recorded")
+	}
+	if r.Cycles == 0 || r.TotalCycles < r.Cycles {
+		t.Errorf("cycles inconsistent: max %d total %d", r.Cycles, r.TotalCycles)
+	}
+	var issues uint64
+	for _, v := range r.InFlightHist {
+		issues += v
+	}
+	if issues != r.Loads+r.Stores {
+		t.Errorf("histogram mass %d != memory ops %d", issues, r.Loads+r.Stores)
+	}
+	var walkStarts uint64
+	for _, v := range r.WalkOverlapHist {
+		walkStarts += v
+	}
+	if walkStarts != r.Walks {
+		t.Errorf("walk-overlap histogram mass %d != walks %d", walkStarts, r.Walks)
+	}
+}
+
+// TestMLPPrivateWalkerAlsoOverlaps: even without a shared walker, a
+// non-blocking core overlaps its own walks on its private unit when the
+// width allows, and queues them at width 1.
+func TestMLPPrivateWalkerAlsoOverlaps(t *testing.T) {
+	cfg := testCfg(memsys.NDP, 2, core.Radix, "rnd")
+	cfg.MLP = 4
+	r := run(t, cfg) // private width-1 walkers
+	if r.QueuedWalks == 0 {
+		t.Error("MLP=4 over width-1 private walkers never queued")
+	}
+	if r.OverlappedWalks != 0 {
+		t.Errorf("width-1 walker overlapped %d walks", r.OverlappedWalks)
+	}
+
+	cfg.WalkerWidth = 4
+	rw := run(t, cfg)
+	if rw.OverlappedWalks == 0 {
+		t.Error("MLP=4 over width-4 private walkers never overlapped")
+	}
+}
+
+// TestMLPWorksAcrossMechanisms: every translation mechanism runs under
+// the non-blocking front-end.
+func TestMLPWorksAcrossMechanisms(t *testing.T) {
+	for _, mech := range core.Mechanisms {
+		cfg := testCfg(memsys.NDP, 2, mech, "rnd")
+		cfg.MLP = 4
+		cfg.Warmup, cfg.Instructions = 2_000, 6_000
+		r := run(t, cfg)
+		if r.Instructions != uint64(cfg.Cores)*cfg.Instructions {
+			t.Errorf("%v: ran %d instructions, want %d", mech,
+				r.Instructions, uint64(cfg.Cores)*cfg.Instructions)
+		}
+	}
+}
+
+// TestFragHolesDefault pins the documented default: 800 holes on 16 GB,
+// scaled linearly with memory size (the FragHoles doc/code mismatch fix).
+func TestFragHolesDefault(t *testing.T) {
+	cfg := Config{MemoryBytes: 16 << 30}.withDefaults()
+	if cfg.FragHoles != 800 {
+		t.Errorf("16 GB default FragHoles = %d, want 800", cfg.FragHoles)
+	}
+	cfg = Config{MemoryBytes: 4 << 30}.withDefaults()
+	if cfg.FragHoles != 200 {
+		t.Errorf("4 GB default FragHoles = %d, want 200", cfg.FragHoles)
+	}
+	cfg = Config{}.withDefaults() // MemoryBytes defaults to 16 GB
+	if cfg.FragHoles != 800 {
+		t.Errorf("all-defaults FragHoles = %d, want 800", cfg.FragHoles)
+	}
+}

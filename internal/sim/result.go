@@ -45,6 +45,16 @@ type Result struct {
 	QueuedWalks        uint64 // walks that waited for a free walk slot
 	WalkQueueCycles    uint64 // total cycles walks spent waiting for slots
 	MaxConcurrentWalks int    // peak simultaneously active walks in one unit
+	// WalkOverlapHist[k] counts performed walks that began with k walks
+	// in flight in their walk unit, the walk itself included (index 0
+	// unused). All mass sits at k=1 unless walks can overlap.
+	WalkOverlapHist []uint64
+
+	// InFlightHist[k] counts memory-op issues that brought their core's
+	// MLP window to k in-flight ops, the op itself included (index 0
+	// unused). With the blocking core (MLP=1) every issue is solo, so
+	// the histogram is [0, Loads+Stores].
+	InFlightHist []uint64
 
 	// L1 data-cache behaviour (aggregated over cores).
 	L1Data           stats.HitMiss
@@ -104,7 +114,9 @@ func (m *Machine) collect() *Result {
 			if ws.MaxInFlight > r.MaxConcurrentWalks {
 				r.MaxConcurrentWalks = ws.MaxInFlight
 			}
+			r.WalkOverlapHist = mergeHist(r.WalkOverlapHist, ws.InFlightHist)
 		}
+		r.InFlightHist = mergeHist(r.InFlightHist, c.windowHist)
 		r.L1TLB.Merge(*c.mmu.DTLB().Stats())
 		r.L2TLB.Merge(*c.mmu.STLB().Stats())
 		if pwcs := c.mmu.PWC(); pwcs != nil && !seenPWC[pwcs] {
@@ -139,8 +151,46 @@ func (m *Machine) collect() *Result {
 	r.HugeFallbacks = os.HugeFallbacks
 	r.CompactionCycles = os.CompactionCycles
 	r.ReclaimedChunks = os.ReclaimedChunks
+
+	// The blocking core issues exactly one memory op at a time; its
+	// window histogram is synthesized rather than tracked in the hot
+	// loop.
+	if m.cfg.MLP == 1 && r.Loads+r.Stores > 0 {
+		r.InFlightHist = []uint64{0, r.Loads + r.Stores}
+	}
 	return r
 }
+
+// mergeHist accumulates src into dst element-wise, growing dst.
+func mergeHist(dst, src []uint64) []uint64 {
+	for len(dst) < len(src) {
+		dst = append(dst, 0)
+	}
+	for i, v := range src {
+		dst[i] += v
+	}
+	return dst
+}
+
+// histMean returns the count-weighted mean index of a histogram whose
+// index 0 is unused.
+func histMean(h []uint64) float64 {
+	var n, sum uint64
+	for k, v := range h {
+		n += v
+		sum += uint64(k) * v
+	}
+	return stats.Ratio(sum, n)
+}
+
+// MeanInFlight returns the average per-core window occupancy at memory-
+// op issue (1 for the blocking core; up to Config.MLP for non-blocking
+// front-ends saturating their window).
+func (r *Result) MeanInFlight() float64 { return histMean(r.InFlightHist) }
+
+// MeanWalkConcurrency returns the average number of walks in flight in
+// a walk unit when a walk begins (1 unless walks overlap).
+func (r *Result) MeanWalkConcurrency() float64 { return histMean(r.WalkOverlapHist) }
 
 // MeanPTWLatency returns the average page-table-walk latency in cycles
 // (Figure 4 / Figure 6a).

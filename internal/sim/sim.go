@@ -1,8 +1,25 @@
 // Package sim is the trace-driven, cycle-approximate multicore simulator:
-// in-order blocking cores execute workload op streams through per-core
-// MMUs and the shared memory hierarchy, interleaved in global time order
-// (the core with the smallest local clock steps next), so cross-core
-// queueing in DRAM banks, channel buses, and the mesh emerges naturally.
+// cores execute workload op streams through per-core MMUs and the shared
+// memory hierarchy on a discrete-event engine (internal/engine), so
+// cross-core queueing in DRAM banks, channel buses, and the mesh emerges
+// naturally from the schedule.
+//
+// Two core models share the engine:
+//
+//   - Config.MLP = 1 (default) is the in-order blocking core: each op
+//     runs to completion inside one event and the core's next event is
+//     scheduled at the op's completion. Event dispatch order
+//     (time, core, seq) reproduces the old per-step min-clock scan
+//     exactly, so blocking timing is bit-identical to the step-driven
+//     engine it replaced — without the O(cores) scan per instruction.
+//
+//   - Config.MLP > 1 is the non-blocking front-end: a core may keep up
+//     to MLP loads/stores in flight. Translation becomes a
+//     request/completion pair on the engine (MMU.TranslateAsync), walks
+//     contend for real walker slots, the data access issues inside the
+//     translation's completion event, and a window-release event retires
+//     each op. The front-end stalls only on faults, compute bursts, and
+//     a full window.
 //
 // One simulation = one machine (CPU or NDP, Table I), one translation
 // mechanism, one multithreaded workload sharing an address space across
@@ -17,6 +34,7 @@ import (
 	"ndpage/internal/access"
 	"ndpage/internal/addr"
 	"ndpage/internal/core"
+	"ndpage/internal/engine"
 	"ndpage/internal/memsys"
 	"ndpage/internal/osmm"
 	"ndpage/internal/phys"
@@ -41,7 +59,8 @@ type Config struct {
 	MemoryBytes uint64
 	// FragHoles scatters single-frame background allocations that break
 	// up 2 MB contiguity before the workload starts. Zero selects the
-	// default (3700 holes ~ 36% of blocks damaged on 16 GB).
+	// default of 800 holes on a 16 GB machine — damaging up to ~10% of
+	// its 8192 2 MB blocks — scaled linearly with MemoryBytes.
 	FragHoles int
 	// Warmup and Instructions are per-core op budgets; statistics reset
 	// after warmup. Zeros select defaults (60k warmup, 240k measured).
@@ -82,6 +101,15 @@ type Config struct {
 	// walker's slots and duplicate walks coalesce in its MSHRs — the
 	// walker-width sensitivity study's configuration.
 	SharedWalker bool
+	// MLP is the per-core memory-level-parallelism window: how many
+	// loads/stores one core may have in flight. 0 or 1 (the default)
+	// models the conventional in-order blocking core and reproduces the
+	// pre-engine step-driven timing bit for bit. Values above 1 switch
+	// the core to a non-blocking front-end whose translations and data
+	// accesses overlap on the event engine — the regime where walker
+	// slots contend, MSHRs coalesce, and the in-flight histograms in
+	// Result fill out.
+	MLP int
 }
 
 // withDefaults fills zero fields.
@@ -114,29 +142,51 @@ func (c Config) withDefaults() Config {
 	if c.Seed == 0 {
 		c.Seed = 42
 	}
+	if c.MLP == 0 {
+		c.MLP = 1
+	}
 	return c
 }
 
 // Machine is an assembled simulation ready to run.
 type Machine struct {
-	cfg   Config
-	alloc *phys.Allocator
-	hier  *memsys.Hierarchy
-	space *osmm.AddressSpace
-	cores []*simCore
+	cfg    Config
+	alloc  *phys.Allocator
+	hier   *memsys.Hierarchy
+	space  *osmm.AddressSpace
+	eng    *engine.Engine
+	cores  []*simCore
+	target uint64 // per-core instruction budget of the current phase
 }
 
-// simCore is one in-order core: its op stream, MMU, and local clock.
+// simCore is one simulated core: its op stream, MMU, and local clock.
+// The clock is the front-end's time; with MLP > 1 completions of
+// in-flight ops may trail it (maxDone tracks the latest).
 type simCore struct {
 	id    int
 	clock uint64
 	gen   workload.Generator
 	mmu   *core.MMU
 	op    workload.Op
+	// frontEnd is the core's pre-bound event closure (stepEvent or
+	// issueStaged), allocated once so the hot loop schedules without
+	// allocating.
+	frontEnd func()
 
 	codeBase addr.V
 	codePos  uint64
 	fetchCnt int
+
+	// Non-blocking front-end state (Config.MLP > 1). The staged issue
+	// pipeline (issueStaged) resumes at stage after fault reschedules;
+	// stalled marks a front-end waiting for a window slot.
+	inFlight int
+	opValid  bool
+	stage    int
+	stalled  bool
+	fetchDue bool
+	fetchVA  addr.V
+	maxDone  uint64
 
 	// measurement-window counters
 	start             uint64
@@ -146,6 +196,10 @@ type simCore struct {
 	translationCycles uint64
 	dataCycles        uint64
 	faultCycles       uint64
+	// windowHist[k] counts memory-op issues that brought the in-flight
+	// window to k ops (index 0 unused; MLP > 1 only — the blocking
+	// model's histogram is synthesized at collection).
+	windowHist []uint64
 }
 
 // codeBytes is the per-core instruction footprint (a loop of a few pages).
@@ -162,6 +216,9 @@ func New(cfg Config) (*Machine, error) {
 	}
 	if cfg.Cores < 1 || cfg.Cores > 64 {
 		return nil, fmt.Errorf("sim: core count %d out of range", cfg.Cores)
+	}
+	if cfg.MLP < 1 || cfg.MLP > 64 {
+		return nil, fmt.Errorf("sim: MLP window %d out of range", cfg.MLP)
 	}
 
 	alloc := phys.New(cfg.MemoryBytes)
@@ -188,7 +245,7 @@ func New(cfg Config) (*Machine, error) {
 	w := spec.New()
 	w.Init(space, rng, cfg.FootprintBytes, cfg.Cores)
 
-	m := &Machine{cfg: cfg, alloc: alloc, hier: hier, space: space}
+	m := &Machine{cfg: cfg, alloc: alloc, hier: hier, space: space, eng: engine.New()}
 	opts := core.Options{
 		DisablePWC:       cfg.DisablePWC,
 		ECHWayPrediction: cfg.ECHWayPrediction,
@@ -203,6 +260,11 @@ func New(cfg Config) (*Machine, error) {
 			gen:      w.Thread(i, cfg.Seed*1_000_003+uint64(i)),
 			mmu:      core.NewMMUWithOptions(cfg.Mechanism, i, table, hier, opts),
 			codeBase: space.Alloc(codeBytes, fmt.Sprintf("code.%d", i)),
+		}
+		if cfg.MLP == 1 {
+			c.frontEnd = func() { m.stepEvent(c) }
+		} else {
+			c.frontEnd = func() { m.issueStaged(c) }
 		}
 		m.cores = append(m.cores, c)
 	}
@@ -224,7 +286,11 @@ func (m *Machine) Allocator() *phys.Allocator { return m.alloc }
 // MMU returns core i's MMU (tests and tools).
 func (m *Machine) MMU(i int) *core.MMU { return m.cores[i].mmu }
 
-// step executes one op on core c.
+// step executes one op on core c to completion: the blocking core model
+// (Config.MLP = 1). The whole op — fetch, faults, translation, data
+// access — runs inside the current event, and the caller schedules the
+// core's next event at the updated clock, which reproduces the
+// pre-engine min-clock step loop bit for bit.
 func (m *Machine) step(c *simCore) {
 	c.gen.Next(&c.op)
 	c.instructions++
@@ -280,22 +346,165 @@ func (m *Machine) step(c *simCore) {
 	c.clock = done
 }
 
-// run advances all cores to the target instruction count (per core).
+// run advances all cores to the target instruction count (per core) on
+// the event engine. Cores seed the queue at their local clocks; the
+// engine's (time, core, seq) dispatch order interleaves them in global
+// time order. The phase ends when the queue drains: every core has
+// issued its budget and (MLP > 1) retired its in-flight window.
 func (m *Machine) run(target uint64) {
+	m.target = target
+	m.eng.Rewind() // cores may re-enter before the last phase's horizon
+	for _, c := range m.cores {
+		if c.instructions < target {
+			m.scheduleFrontEnd(c, c.clock)
+		}
+	}
+	m.eng.Run()
+	for _, c := range m.cores {
+		// Drain: a non-blocking core is done when its last in-flight op
+		// retires, which may trail the front-end clock.
+		if c.clock < c.maxDone {
+			c.clock = c.maxDone
+		}
+	}
+}
+
+// scheduleFrontEnd schedules core c's next front-end event at time t.
+func (m *Machine) scheduleFrontEnd(c *simCore, t uint64) {
+	m.eng.Schedule(t, c.id, c.frontEnd)
+}
+
+// stepEvent is the blocking model's event: one full op, then reschedule
+// at the op's completion.
+func (m *Machine) stepEvent(c *simCore) {
+	m.step(c)
+	if c.instructions < m.target {
+		m.eng.Schedule(c.clock, c.id, c.frontEnd)
+	}
+}
+
+// Stages of the non-blocking front-end's per-op pipeline. A stage that
+// advances the clock (a fault, a compute burst) reschedules the
+// front-end at the new time so other actors' earlier events dispatch
+// first and every memory-system request is issued in global time order.
+const (
+	stFetch       = iota // fetch bookkeeping + code-side demand fault
+	stFetchAccess        // code fetch through the ITLB/L1I
+	stDataFault          // data-side demand fault
+	stIssue              // translation request + data access issue
+)
+
+// issueStaged is the non-blocking front-end (Config.MLP > 1): decode and
+// issue ops until the window fills, the op stream needs sim time
+// (compute, faults), or the phase budget is reached. Memory ops enter
+// the window and complete via engine events; the front-end does not wait
+// for them unless the window is full.
+func (m *Machine) issueStaged(c *simCore) {
 	for {
-		var next *simCore
-		for _, c := range m.cores {
-			if c.instructions >= target {
-				continue
+		if !c.opValid {
+			if c.instructions >= m.target {
+				return // issued everything; completions drain the window
 			}
-			if next == nil || c.clock < next.clock {
-				next = c
-			}
+			c.gen.Next(&c.op)
+			c.instructions++
+			c.opValid = true
+			c.stage = stFetch
 		}
-		if next == nil {
+		switch c.op.Kind {
+		case workload.Compute:
+			c.opValid = false
+			c.clock += uint64(c.op.Cycles)
+			c.computeCycles += uint64(c.op.Cycles)
+			m.scheduleFrontEnd(c, c.clock)
 			return
+		case workload.Load, workload.Store:
+		default:
+			panic(fmt.Sprintf("sim: unknown op kind %d", c.op.Kind))
 		}
-		m.step(next)
+		if c.stage == stFetch {
+			c.stage = stFetchAccess
+			c.fetchDue = false
+			c.fetchCnt++
+			if c.fetchCnt >= m.cfg.FetchEvery {
+				c.fetchCnt = 0
+				c.fetchDue = true
+				c.fetchVA = c.codeBase + addr.V(c.codePos)
+				c.codePos = (c.codePos + addr.LineSize) % codeBytes
+				if cost := m.space.Touch(c.fetchVA); cost > 0 {
+					c.clock += cost
+					c.faultCycles += cost
+					m.scheduleFrontEnd(c, c.clock)
+					return
+				}
+			}
+		}
+		if c.stage == stFetchAccess {
+			c.stage = stDataFault
+			if c.fetchDue {
+				pa := c.mmu.TranslateCode(c.fetchVA)
+				m.hier.Access(c.id, c.clock, pa, access.Read, access.Code)
+			}
+		}
+		if c.stage == stDataFault {
+			c.stage = stIssue
+			if cost := m.space.Touch(c.op.Addr); cost > 0 {
+				c.clock += cost
+				c.faultCycles += cost
+				m.scheduleFrontEnd(c, c.clock)
+				return
+			}
+		}
+		// stIssue: the op needs a window slot.
+		if c.inFlight >= m.cfg.MLP {
+			c.stalled = true
+			return // a completion event resumes the front-end
+		}
+		v := c.op.Addr
+		op := access.Read
+		if c.op.Kind == workload.Store {
+			op = access.Write
+			c.stores++
+		} else {
+			c.loads++
+		}
+		c.opValid = false
+		c.inFlight++
+		for len(c.windowHist) <= c.inFlight {
+			c.windowHist = append(c.windowHist, 0)
+		}
+		c.windowHist[c.inFlight]++
+		m.issueMemOp(c, c.clock, v, op)
+	}
+}
+
+// issueMemOp sends one load/store down the translation+access pipeline:
+// the translation completes as an engine event (inline for TLB hits),
+// the data access issues inside that completion, and a window-release
+// event retires the op.
+func (m *Machine) issueMemOp(c *simCore, issued uint64, v addr.V, op access.Op) {
+	c.mmu.TranslateAsync(m.eng, issued, v, op, func(pa addr.P, at uint64) {
+		c.translationCycles += at - issued
+		done := m.hier.Access(c.id, at, pa, op, access.Data)
+		c.dataCycles += done - at
+		m.eng.Schedule(done, c.id, func() { m.completeMemOp(c, done) })
+	})
+}
+
+// completeMemOp retires one in-flight op at time done and resumes a
+// front-end that stalled on the full window.
+func (m *Machine) completeMemOp(c *simCore, done uint64) {
+	c.inFlight--
+	if done > c.maxDone {
+		c.maxDone = done
+	}
+	if c.stalled {
+		c.stalled = false
+		// Remaining completion events are no earlier than this one, so
+		// the stalled front-end resumes exactly when its slot freed.
+		if done > c.clock {
+			c.clock = done
+		}
+		m.issueStaged(c)
 	}
 }
 
@@ -312,6 +521,9 @@ func (m *Machine) resetStats() {
 		c.translationCycles = 0
 		c.dataCycles = 0
 		c.faultCycles = 0
+		for i := range c.windowHist {
+			c.windowHist[i] = 0
+		}
 	}
 }
 

@@ -1,0 +1,210 @@
+package walker_test
+
+import (
+	"testing"
+
+	"ndpage/internal/addr"
+	"ndpage/internal/engine"
+	"ndpage/internal/walker"
+)
+
+// asyncResp collects one WalkAsync outcome plus the engine time the
+// callback fired at.
+type asyncResp struct {
+	walker.Response
+	firedAt uint64
+	done    bool
+}
+
+func walkAsyncAt(eng *engine.Engine, w *walker.Walker, t uint64, core int, v addr.V, out *asyncResp) {
+	eng.Schedule(t, core, func() {
+		w.WalkAsync(eng, walker.Request{Core: core, V: v, Time: t}, func(r walker.Response) {
+			out.Response = r
+			out.firedAt = eng.Now()
+			out.done = true
+		})
+	})
+}
+
+func TestAsyncMatchesBlockingTiming(t *testing.T) {
+	w, base := radixRig(t, walker.Config{})
+	eng := engine.New()
+	var r asyncResp
+	walkAsyncAt(eng, w, 1000, 0, base, &r)
+	eng.Run()
+	if !r.done || !r.Found {
+		t.Fatal("async walk did not complete with a mapping")
+	}
+	// Same cold radix timing as the synchronous path: 4 dependent
+	// accesses of 100 cycles, callback inside the completion event.
+	if r.Done != 1400 || r.firedAt != 1400 {
+		t.Errorf("walk done=%d fired=%d, want 1400/1400", r.Done, r.firedAt)
+	}
+	s := w.Stats()
+	if s.Walks.Value() != 1 || s.PTEAccesses.Value() != 4 || s.MSHRHits != 0 || s.QueuedWalks != 0 {
+		t.Errorf("stats walks=%d pte=%d mshr=%d queued=%d, want 1/4/0/0",
+			s.Walks.Value(), s.PTEAccesses.Value(), s.MSHRHits.Value(), s.QueuedWalks.Value())
+	}
+}
+
+func TestAsyncWidthOneQueuesOnReleaseEvent(t *testing.T) {
+	w, base := radixRig(t, walker.Config{Width: 1})
+	eng := engine.New()
+	var a, b asyncResp
+	walkAsyncAt(eng, w, 0, 0, base, &a)
+	walkAsyncAt(eng, w, 100, 1, base+addr.PageSize, &b)
+	eng.Schedule(100, 2, func() {
+		if got := w.PendingWalks(); got != 1 {
+			t.Errorf("at t=100: %d pending walks, want 1 (slot held until release)", got)
+		}
+	})
+	eng.Run()
+	if a.Done != 400 {
+		t.Fatalf("first walk done at %d, want 400", a.Done)
+	}
+	// The release event at 400 hands the slot to the queued walk.
+	if b.Done != 800 || b.firedAt != 800 {
+		t.Errorf("queued walk done=%d fired=%d, want 800/800", b.Done, b.firedAt)
+	}
+	s := w.Stats()
+	if s.QueuedWalks.Value() != 1 || s.QueueCycles.Value() != 300 {
+		t.Errorf("queued=%d cycles=%d, want 1/300", s.QueuedWalks.Value(), s.QueueCycles.Value())
+	}
+	if s.OverlappedWalks != 0 {
+		t.Error("width-1 walker overlapped walks")
+	}
+}
+
+func TestAsyncCoalescesOntoLiveWalk(t *testing.T) {
+	w, base := radixRig(t, walker.Config{Width: 4})
+	eng := engine.New()
+	var a, b asyncResp
+	walkAsyncAt(eng, w, 0, 0, base, &a)
+	walkAsyncAt(eng, w, 50, 1, base+64, &b) // same page, in flight
+	eng.Run()
+	if !b.Coalesced {
+		t.Fatal("duplicate in-flight walk was not coalesced")
+	}
+	if b.Done != a.Done || b.firedAt != a.Done || b.Entry != a.Entry {
+		t.Errorf("coalesced response done=%d fired=%d entry=%+v, want walk's %d/%+v",
+			b.Done, b.firedAt, b.Entry, a.Done, a.Entry)
+	}
+	s := w.Stats()
+	if s.Walks.Value() != 1 || s.MSHRHits.Value() != 1 || s.PTEAccesses.Value() != 4 {
+		t.Errorf("walks=%d mshr=%d pte=%d, want 1/1/4", s.Walks.Value(), s.MSHRHits.Value(), s.PTEAccesses.Value())
+	}
+
+	// After the release event the walk no longer coalesces.
+	var c asyncResp
+	walkAsyncAt(eng, w, a.Done+10, 0, base, &c)
+	eng.Run()
+	if c.Coalesced {
+		t.Error("retired walk still coalescing")
+	}
+	if w.Stats().Walks.Value() != 2 {
+		t.Errorf("walks = %d, want 2", w.Stats().Walks.Value())
+	}
+}
+
+func TestAsyncOverlapAndHistogram(t *testing.T) {
+	w, base := radixRig(t, walker.Config{Width: 2})
+	eng := engine.New()
+	var a, b, c asyncResp
+	walkAsyncAt(eng, w, 0, 0, base, &a)
+	walkAsyncAt(eng, w, 100, 1, base+addr.PageSize, &b)
+	walkAsyncAt(eng, w, 150, 2, base+2*addr.PageSize, &c)
+	eng.Run()
+	if a.Done != 400 || b.Done != 500 {
+		t.Errorf("overlapped walks done at %d/%d, want 400/500", a.Done, b.Done)
+	}
+	// The third walk queues until a's release at 400 and walks [400, 800].
+	if c.Done != 800 {
+		t.Errorf("third walk done at %d, want 800", c.Done)
+	}
+	s := w.Stats()
+	if s.OverlappedWalks.Value() != 2 || s.MaxInFlight != 2 {
+		t.Errorf("overlapped=%d max=%d, want 2/2", s.OverlappedWalks.Value(), s.MaxInFlight)
+	}
+	// Histogram: a started solo; b overlapped a; c started while b was
+	// still in flight.
+	if len(s.InFlightHist) != 3 || s.InFlightHist[1] != 1 || s.InFlightHist[2] != 2 {
+		t.Errorf("InFlightHist = %v, want [_ 1 2]", s.InFlightHist)
+	}
+}
+
+// TestAsyncDequeuedWalkWaitsForItsRequestTime: requests are stamped
+// after the TLB lookups (req.Time > arrival event time), so a slot that
+// frees in that gap must not start the walk early — and the latency
+// accounting must never wrap (the walk could otherwise "complete"
+// before its own request).
+func TestAsyncDequeuedWalkWaitsForItsRequestTime(t *testing.T) {
+	w, base := radixRig(t, walker.Config{Width: 1})
+	eng := engine.New()
+	var a, b asyncResp
+	walkAsyncAt(eng, w, 0, 0, base, &a) // [0, 400]
+	// Arrives (event) at 397 but carries a post-TLB timestamp of 410:
+	// the slot frees at 400, before the request time.
+	eng.Schedule(397, 1, func() {
+		w.WalkAsync(eng, walker.Request{Core: 1, V: base + addr.PageSize, Time: 410}, func(r walker.Response) {
+			b.Response = r
+			b.firedAt = eng.Now()
+			b.done = true
+		})
+	})
+	eng.Run()
+	if !b.done {
+		t.Fatal("parked walk never completed")
+	}
+	if b.Done != 410+400 {
+		t.Errorf("walk done at %d, want 810 (started at its request time, not the release)", b.Done)
+	}
+	s := w.Stats()
+	if s.QueuedWalks.Value() != 0 {
+		t.Errorf("queued = %d, want 0 (slot freed before the request time)", s.QueuedWalks.Value())
+	}
+	if s.MaxWalkCycles > 1000 {
+		t.Errorf("MaxWalkCycles = %d — latency accounting wrapped", s.MaxWalkCycles)
+	}
+}
+
+// TestAsyncPendingDuplicateCoalesces: a duplicate of a walk still
+// waiting for a slot coalesces at request arrival (MSHRs allocate on
+// arrival, not on slot grant) instead of performing a redundant walk.
+func TestAsyncPendingDuplicateCoalesces(t *testing.T) {
+	w, base := radixRig(t, walker.Config{Width: 1})
+	eng := engine.New()
+	var a, b, c asyncResp
+	walkAsyncAt(eng, w, 0, 0, base, &a)                   // [0, 400]
+	walkAsyncAt(eng, w, 50, 1, base+addr.PageSize, &b)    // parked
+	walkAsyncAt(eng, w, 60, 2, base+addr.PageSize+64, &c) // duplicate of parked b
+	eng.Run()
+	if !c.Coalesced {
+		t.Fatal("duplicate of a pending walk was not coalesced")
+	}
+	if c.Done != b.Done || c.Entry != b.Entry {
+		t.Errorf("coalesced completion (%d, %+v) differs from walk (%d, %+v)",
+			c.Done, c.Entry, b.Done, b.Entry)
+	}
+	s := w.Stats()
+	if s.Walks.Value() != 2 || s.MSHRHits.Value() != 1 {
+		t.Errorf("walks=%d mshr=%d, want 2/1", s.Walks.Value(), s.MSHRHits.Value())
+	}
+}
+
+func TestAsyncFIFONoQueueJumping(t *testing.T) {
+	// Width 1; two walks parked; a third arriving exactly when the slot
+	// frees must line up behind them.
+	w, base := radixRig(t, walker.Config{Width: 1})
+	eng := engine.New()
+	var a, b, c, d asyncResp
+	walkAsyncAt(eng, w, 0, 0, base, &a)                  // [0, 400]
+	walkAsyncAt(eng, w, 10, 1, base+addr.PageSize, &b)   // parked
+	walkAsyncAt(eng, w, 20, 2, base+2*addr.PageSize, &c) // parked
+	// Arrives at the release instant; actor id 3 orders it after the
+	// release event's work at t=400.
+	walkAsyncAt(eng, w, 400, 3, base+3*addr.PageSize, &d)
+	eng.Run()
+	if b.Done != 800 || c.Done != 1200 || d.Done != 1600 {
+		t.Errorf("FIFO order violated: b=%d c=%d d=%d, want 800/1200/1600", b.Done, c.Done, d.Done)
+	}
+}

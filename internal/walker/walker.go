@@ -8,15 +8,27 @@
 // by page-walk-cache hits, and the hashed parallel probe with optional
 // cuckoo-walk way prediction.
 //
-// The simulator's cores are in-order and blocking, so a per-core walker
-// with the default width of 1 reproduces the blocking-walk timing
-// exactly: each request arrives after the previous walk retired, no slot
-// is ever contended, and no MSHR ever coalesces. The unit becomes
-// interesting when it is shared between cores (sim.Config.SharedWalker)
-// or widened (sim.Config.WalkerWidth): concurrent walks then queue on
-// the slot table, duplicate walks merge in the MSHRs, and both effects
-// are surfaced as statistics — the concurrent-walk contention the NDPage
-// paper measures as its motivation.
+// The walker serves two execution models:
+//
+//   - Walk is the synchronous path for the blocking core model
+//     (sim.Config.MLP = 1). Blocking cores advance on a min-clock
+//     schedule that can deliver requests with out-of-order timestamps
+//     (a fault-delayed core's walk carries a far-future time), so this
+//     path keeps interval-based slot occupancy and a retained-MSHR table
+//     that tolerate such skew. A per-core width-1 walker under a
+//     blocking core reproduces the conventional blocking-walk timing
+//     exactly.
+//
+//   - WalkAsync is the event-scheduled path for the non-blocking core
+//     model (sim.Config.MLP > 1). Requests arrive in global time order
+//     from the engine, so slots are really acquired and released: a busy
+//     counter gates admission, blocked requests wait on a FIFO, a
+//     release event scheduled at each walk's completion frees the slot
+//     and starts the next queued walk, and duplicate requests attach to
+//     the in-flight walk's waiter list. MSHR coalescing and slot
+//     queueing then emerge from the schedule instead of being
+//     reconstructed from intervals — the concurrent-walk contention the
+//     NDPage paper measures as its motivation.
 package walker
 
 import (
@@ -70,6 +82,25 @@ type Stats struct {
 	// MaxInFlight is the largest number of simultaneously active walks
 	// observed (including the one being started).
 	MaxInFlight int
+	// InFlightHist[k] counts walks that began with k walks in flight
+	// (including themselves): index 1 is a solo walk, index 2 a pairwise
+	// overlap, and so on. Index 0 is unused.
+	InFlightHist []uint64
+}
+
+// noteStart records one walk beginning with n walks in flight (n >= 1,
+// counting itself) into the overlap statistics.
+func (s *Stats) noteStart(n int) {
+	if n > 1 {
+		s.OverlappedWalks.Inc()
+	}
+	if n > s.MaxInFlight {
+		s.MaxInFlight = n
+	}
+	for len(s.InFlightHist) <= n {
+		s.InFlightHist = append(s.InFlightHist, 0)
+	}
+	s.InFlightHist[n]++
 }
 
 // MeanWalkLatency returns the average performed-walk latency in cycles.
@@ -113,6 +144,32 @@ type mshr struct {
 	found      bool
 }
 
+// Scheduler is the walker's view of the event engine: schedule a
+// closure at an absolute time on behalf of an actor. *engine.Engine
+// satisfies it; tests may substitute their own.
+type Scheduler interface {
+	Schedule(t uint64, actor int, fn func())
+}
+
+// liveWalk is one event-scheduled walk in flight: its result, its
+// completion time, and the callbacks waiting on it (the walk's own
+// requester first, coalesced duplicates after).
+type liveWalk struct {
+	vpn        addr.VPN
+	start, end uint64
+	entry      pagetable.Entry
+	found      bool
+	waiters    []func(Response)
+}
+
+// pendingWalk is an event-scheduled request waiting for a free slot,
+// plus any duplicate requests that coalesced onto it while it waited
+// (real MSHRs allocate at request arrival, before a slot is won).
+type pendingWalk struct {
+	req Request
+	cbs []func(Response)
+}
+
 // Walker is a hardware page-table walker over one page-table
 // organization. Not safe for concurrent use; the simulator serializes
 // requests in global time order.
@@ -127,6 +184,13 @@ type Walker struct {
 	fillBuf  []addr.Level        // scratch for PWC fills
 	wayCache *assoc.Table[uint8] // ECH cuckoo-walk cache (optional)
 	stats    Stats
+
+	// Event-scheduled (WalkAsync) state: live walks hold real slots
+	// (busy), releases are engine events, blocked requests wait in FIFO
+	// order. Disjoint from the synchronous path's interval bookkeeping.
+	busy    int
+	live    []*liveWalk
+	pending []pendingWalk
 }
 
 // New builds a walker over table, issuing PTE requests to mem.
@@ -202,14 +266,7 @@ func (w *Walker) Walk(req Request) Response {
 		w.stats.QueuedWalks.Inc()
 		w.stats.QueueCycles.Add(start - req.Time)
 	}
-	if n := w.InFlight(start) + 1; n > 1 {
-		w.stats.OverlappedWalks.Inc()
-		if n > w.stats.MaxInFlight {
-			w.stats.MaxInFlight = n
-		}
-	} else if w.stats.MaxInFlight == 0 {
-		w.stats.MaxInFlight = 1
-	}
+	w.stats.noteStart(w.InFlight(start) + 1)
 
 	end := w.issue(start, req.Core, req.V)
 
@@ -275,6 +332,104 @@ func (w *Walker) slotFree(t uint64) uint64 {
 			return t
 		}
 		t = next
+	}
+}
+
+// WalkAsync resolves one walk request on the event schedule: cb is
+// invoked exactly once, inside an engine event at the walk's completion
+// time. A duplicate in-flight walk coalesces the request onto its waiter
+// list; a free slot starts the walk immediately and schedules its
+// release; a saturated walker parks the request on the FIFO until a
+// release event frees a slot. Callers must deliver requests in
+// nondecreasing time order (the engine's dispatch order guarantees
+// this), which is what lets slots be held by a simple busy counter
+// instead of the synchronous path's interval bookkeeping.
+func (w *Walker) WalkAsync(s Scheduler, req Request, cb func(Response)) {
+	vpn := req.V.Page()
+	for _, lw := range w.live {
+		if lw.vpn == vpn {
+			w.stats.MSHRHits.Inc()
+			lw.waiters = append(lw.waiters, cb)
+			return
+		}
+	}
+	// A duplicate of a walk still waiting for a slot coalesces too: the
+	// MSHR is allocated at request arrival, not at slot grant.
+	for i := range w.pending {
+		if w.pending[i].req.V.Page() == vpn {
+			w.stats.MSHRHits.Inc()
+			w.pending[i].cbs = append(w.pending[i].cbs, cb)
+			return
+		}
+	}
+	// Park when saturated — or when earlier requests are already parked,
+	// so a request arriving as a slot frees cannot jump the FIFO.
+	if w.busy >= w.width || len(w.pending) > 0 {
+		w.pending = append(w.pending, pendingWalk{req, []func(Response){cb}})
+		return
+	}
+	w.startAsync(s, req, []func(Response){cb}, req.Time)
+}
+
+// PendingWalks returns the number of event-scheduled requests waiting
+// for a walk slot (tests and stats).
+func (w *Walker) PendingWalks() int { return len(w.pending) }
+
+// startAsync acquires a slot at time at and performs req's walk,
+// scheduling the release event at its completion.
+func (w *Walker) startAsync(s Scheduler, req Request, cbs []func(Response), at uint64) {
+	// A slot can free before the request's own timestamp: requests are
+	// issued at their event time but stamped after the TLB lookups, so a
+	// parked request's walk cannot begin until the miss actually reaches
+	// the walker.
+	if at < req.Time {
+		at = req.Time
+	}
+	if at > req.Time {
+		w.stats.QueuedWalks.Inc()
+		w.stats.QueueCycles.Add(at - req.Time)
+	}
+	w.busy++
+	w.stats.noteStart(w.busy)
+
+	end := w.issue(at, req.Core, req.V)
+
+	w.stats.Walks.Inc()
+	// Walk latency is measured from the request, so slot-queue delay is
+	// part of it — what the stalled load actually experiences.
+	lat := end - req.Time
+	w.stats.WalkCycles.Add(lat)
+	if lat > w.stats.MaxWalkCycles {
+		w.stats.MaxWalkCycles = lat
+	}
+	lw := &liveWalk{
+		vpn: req.V.Page(), start: at, end: end,
+		entry: w.walk.Entry, found: w.walk.Found,
+		waiters: cbs,
+	}
+	w.live = append(w.live, lw)
+	s.Schedule(end, req.Core, func() { w.release(s, lw) })
+}
+
+// release is the slot-release event at a walk's completion: retire the
+// walk, wake every waiter, and hand the freed slot to the FIFO head.
+func (w *Walker) release(s Scheduler, lw *liveWalk) {
+	for i, l := range w.live {
+		if l == lw {
+			w.live = append(w.live[:i], w.live[i+1:]...)
+			break
+		}
+	}
+	w.busy--
+	for i, cb := range lw.waiters {
+		cb(Response{Entry: lw.entry, Found: lw.found, Done: lw.end, Coalesced: i > 0})
+	}
+	if len(w.pending) > 0 && w.busy < w.width {
+		next := w.pending[0]
+		copy(w.pending, w.pending[1:])
+		w.pending[len(w.pending)-1] = pendingWalk{}
+		w.pending = w.pending[:len(w.pending)-1]
+		w.startAsync(s, next.req, next.cbs, lw.end)
 	}
 }
 

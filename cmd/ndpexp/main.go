@@ -9,12 +9,20 @@
 //	ndpexp -figs fig12,fig14       # a subset
 //	ndpexp -figs mlp-sensitivity   # the core-MLP sweep (non-blocking cores)
 //	ndpexp -workloads rnd,pr,gen   # a workload subset
+//	ndpexp -cache results/.cache   # persist runs; re-runs simulate nothing new
+//
+// With -cache, every simulation's result lands in the directory keyed
+// by its configuration's content hash, so an interrupted regeneration
+// (Ctrl-C cancels cleanly) resumes where it stopped and repeated
+// regenerations at the same budgets perform zero simulations.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 	"time"
@@ -28,17 +36,29 @@ func main() {
 		figsArg   = flag.String("figs", "all", "comma-separated: fig4,fig5,fig6,fig7,fig8,motivation,pwc,fig12,fig13,fig14,ablation (plus extras: pwc-sensitivity,hbm-sensitivity,walker-sensitivity,mlp-sensitivity,population-sensitivity,oversubscription)")
 		wlArg     = flag.String("workloads", "", "comma-separated workload subset (default: all 11)")
 		outDir    = flag.String("out", "results", "directory for CSV output (empty = no files)")
+		cacheDir  = flag.String("cache", "", "directory for the persistent run cache (empty = in-memory only)")
 		parallel  = flag.Int("parallel", 0, "max concurrent simulations (0 = auto)")
 		instr     = flag.Uint64("instructions", 0, "measured ops per core (0 = default)")
 		footprint = flag.Uint64("footprint", 0, "dataset bytes (0 = scaled default)")
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	e := &ndpage.Experiments{
 		Instructions: *instr,
 		Footprint:    *footprint,
 		Parallel:     *parallel,
 		Progress:     os.Stderr,
+		Context:      ctx,
+	}
+	if *cacheDir != "" {
+		store, err := ndpage.NewDirStore(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		e.Cache = store
 	}
 	if *quick {
 		if e.Instructions == 0 {

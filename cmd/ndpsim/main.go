@@ -5,9 +5,15 @@
 //	ndpsim -system ndp -mech NDPage -cores 4 -workload bfs
 //	ndpsim -mech Radix -workload rnd -instructions 500000
 //	ndpsim -mech Radix -cores 4 -mlp 4 -shared-walker -walker-width 2
+//	ndpsim -mech NDPage -workload gups -json > run.json
+//
+// -json emits the full result — every counter, histogram, and the
+// normalized configuration — as the same JSON document the sweep
+// cache stores, instead of the human-readable summary.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +36,7 @@ func main() {
 		width     = flag.Int("walker-width", 0, "concurrent walk slots per walker (0 = 1, blocking)")
 		shared    = flag.Bool("shared-walker", false, "serve all cores' misses from one cluster-level walker")
 		mlp       = flag.Int("mlp", 0, "per-core in-flight memory-op window (0 = 1, blocking core)")
+		jsonOut   = flag.Bool("json", false, "emit the full result as JSON instead of the text summary")
 		list      = flag.Bool("list", false, "list workloads and exit")
 	)
 	flag.Parse()
@@ -68,6 +75,15 @@ func main() {
 	})
 	if err != nil {
 		fatal(err)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	fmt.Printf("system=%s mechanism=%s cores=%d workload=%s\n", *system, mech, *cores, *wl)

@@ -1,6 +1,7 @@
 package ndpage
 
 import (
+	"context"
 	"io"
 
 	"ndpage/internal/exp"
@@ -11,9 +12,10 @@ import (
 // readable output via CSV.
 type Table = stats.Table
 
-// Experiments regenerates the paper's evaluation. The zero value runs
-// every figure at the default (full) scale over all eleven workloads;
-// the fields trade fidelity for speed.
+// Experiments regenerates the paper's evaluation: a thin compatibility
+// wrapper over the sweep subsystem (see Plan, Sweep, Store). The zero
+// value runs every figure at the default (full) scale over all eleven
+// workloads; the fields trade fidelity for speed.
 type Experiments struct {
 	// Instructions and Warmup are per-core op budgets (0 = defaults:
 	// 300k / 30k).
@@ -26,8 +28,14 @@ type Experiments struct {
 	Workloads []string
 	// Parallel bounds concurrent simulations (0 = min(4, GOMAXPROCS)).
 	Parallel int
-	// Progress, when non-nil, receives a line per completed simulation.
+	// Progress, when non-nil, receives a line per simulation: completed,
+	// served from the cache, or failed.
 	Progress io.Writer
+	// Cache persists results across figures and processes (NewDirStore);
+	// nil keeps results in memory for this Experiments value only.
+	Cache Store
+	// Context cancels in-flight sweeps (nil = context.Background()).
+	Context context.Context
 
 	runner *exp.Runner
 }
@@ -41,6 +49,8 @@ func (e *Experiments) r() *exp.Runner {
 			Workloads:    e.Workloads,
 			Parallel:     e.Parallel,
 			Progress:     e.Progress,
+			Store:        e.Cache,
+			Context:      e.Context,
 		}
 	}
 	return e.runner

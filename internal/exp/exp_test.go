@@ -3,11 +3,14 @@ package exp
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"ndpage/internal/core"
 	"ndpage/internal/memsys"
+	"ndpage/internal/sim"
 	"ndpage/internal/stats"
+	"ndpage/internal/sweep"
 )
 
 // quickRunner keeps experiment tests fast: tiny windows, two workloads,
@@ -33,58 +36,146 @@ func table(t *testing.T, f func() (*stats.Table, error)) *stats.Table {
 
 func TestGetMemoizes(t *testing.T) {
 	r := quickRunner()
-	k := Key{memsys.NDP, core.Radix, 1, "rnd"}
-	a, err := r.Get(k)
+	cfg := r.matrix(memsys.NDP, core.Radix, 1, "rnd")
+	a, err := r.get(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := r.Get(k)
+	b, err := r.get(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if a != b {
-		t.Fatal("second Get did not return the memoized result")
+		t.Fatal("second get did not return the memoized result")
 	}
 }
 
 func TestGetPropagatesErrors(t *testing.T) {
 	r := quickRunner()
-	k := Key{memsys.NDP, core.Radix, 1, "no-such-workload"}
-	if _, err := r.Get(k); err == nil {
-		t.Fatal("Get accepted an unknown workload")
+	cfg := r.matrix(memsys.NDP, core.Radix, 1, "no-such-workload")
+	if _, err := r.get(cfg); err == nil {
+		t.Fatal("get accepted an unknown workload")
 	}
-	// The failure is memoized, and Prefetch surfaces it too.
-	if _, err := r.Get(k); err == nil {
-		t.Fatal("memoized Get lost the error")
+	// The failure is reported again without re-running, and prefetch
+	// surfaces it too.
+	if _, err := r.get(cfg); err == nil {
+		t.Fatal("repeated get lost the error")
 	}
-	if err := r.Prefetch([]Key{k}); err == nil {
-		t.Fatal("Prefetch swallowed the error")
+	plan := sweep.Plan{Base: r.scale(cfg)}
+	if err := r.prefetch(plan); err == nil {
+		t.Fatal("prefetch swallowed the error")
 	}
 }
 
 func TestPrefetchParallelMatchesSequential(t *testing.T) {
 	seq := quickRunner()
-	k1 := Key{memsys.NDP, core.Radix, 1, "rnd"}
-	k2 := Key{memsys.NDP, core.NDPage, 1, "rnd"}
-	a1, err1 := seq.Get(k1)
-	a2, err2 := seq.Get(k2)
+	c1 := seq.matrix(memsys.NDP, core.Radix, 1, "rnd")
+	c2 := seq.matrix(memsys.NDP, core.NDPage, 1, "rnd")
+	a1, err1 := seq.get(c1)
+	a2, err2 := seq.get(c2)
 	if err1 != nil || err2 != nil {
 		t.Fatal(err1, err2)
 	}
 
 	par := quickRunner()
 	par.Parallel = 2
-	if err := par.Prefetch([]Key{k1, k2, k1}); err != nil { // duplicate must be deduplicated
+	plan := sweep.Plan{
+		Base:       par.base(),
+		Systems:    []memsys.Kind{memsys.NDP},
+		Mechanisms: []core.Mechanism{core.Radix, core.NDPage, core.Radix}, // duplicate must be deduplicated
+		Cores:      []int{1},
+		Workloads:  []string{"rnd"},
+	}
+	if err := par.prefetch(plan); err != nil {
 		t.Fatal(err)
 	}
-	b1, err1 := par.Get(k1)
-	b2, err2 := par.Get(k2)
+	b1, err1 := par.get(c1)
+	b2, err2 := par.get(c2)
 	if err1 != nil || err2 != nil {
 		t.Fatal(err1, err2)
 	}
 	if a1.Cycles != b1.Cycles || a2.Cycles != b2.Cycles {
 		t.Errorf("parallel prefetch changed results: %d/%d vs %d/%d",
 			a1.Cycles, a2.Cycles, b1.Cycles, b2.Cycles)
+	}
+}
+
+// countingStore wraps a Store and counts writes: each Put is one
+// simulation that actually ran.
+type countingStore struct {
+	sweep.Store
+	puts atomic.Int64
+}
+
+func (s *countingStore) Put(key string, res *sim.Result) error {
+	s.puts.Add(1)
+	return s.Store.Put(key, res)
+}
+
+// TestFiguresShareRuns: Figure 4 and Figure 5 read the same matrix; the
+// second figure must perform zero new simulations.
+func TestFiguresShareRuns(t *testing.T) {
+	store := &countingStore{Store: sweep.NewMemStore()}
+	r := quickRunner()
+	r.Store = store
+	if _, err := r.Fig4(); err != nil {
+		t.Fatal(err)
+	}
+	after4 := store.puts.Load()
+	if after4 == 0 {
+		t.Fatal("Fig4 simulated nothing")
+	}
+	if _, err := r.Fig5(); err != nil {
+		t.Fatal(err)
+	}
+	if store.puts.Load() != after4 {
+		t.Errorf("Fig5 re-simulated: %d puts after Fig4, %d after Fig5",
+			after4, store.puts.Load())
+	}
+}
+
+// TestPersistentStoreSkipsSimulations: a second Runner over the same
+// store regenerates a figure without running anything — the cached
+// figure regeneration path ndpexp -cache uses.
+func TestPersistentStoreSkipsSimulations(t *testing.T) {
+	mem := sweep.NewMemStore()
+	first := quickRunner()
+	first.Store = mem
+	tab1, err := first.Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	store := &countingStore{Store: mem}
+	second := quickRunner()
+	second.Store = store
+	tab2, err := second.Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.puts.Load() != 0 {
+		t.Errorf("warm regeneration simulated %d runs, want 0", store.puts.Load())
+	}
+	if tab1.String() != tab2.String() {
+		t.Errorf("cached regeneration changed the table:\n%s\nvs\n%s", tab1, tab2)
+	}
+}
+
+// TestProgressReportsFailures: every sweep event renders a line —
+// including failures, which the old Runner completed silently on.
+func TestProgressReportsFailures(t *testing.T) {
+	var buf strings.Builder
+	r := quickRunner()
+	r.Progress = &buf
+	cfg := r.matrix(memsys.NDP, core.Radix, 4, "rnd").Normalize()
+	r.progress(sweep.Event{Config: cfg, Err: fmt.Errorf("walker exploded")})
+	r.progress(sweep.Event{Config: cfg, Cycles: 2_000_000})
+	r.progress(sweep.Event{Config: cfg, Cached: true, Cycles: 2_000_000})
+	out := buf.String()
+	for _, want := range []string{"fail ", "walker exploded", "done ", "cached ", "ndp/Radix/4c/rnd"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("progress output missing %q:\n%s", want, out)
+		}
 	}
 }
 

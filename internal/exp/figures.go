@@ -5,6 +5,7 @@ import (
 	"ndpage/internal/core"
 	"ndpage/internal/memsys"
 	"ndpage/internal/stats"
+	"ndpage/internal/sweep"
 	"ndpage/internal/workload"
 )
 
@@ -42,18 +43,18 @@ const (
 // Fig4 reproduces Figure 4: average page-table-walk latency per workload
 // on the 4-core NDP and CPU systems (Radix), and the NDP increment.
 func (r *Runner) Fig4() (*stats.Table, error) {
-	if err := r.Prefetch(r.radixPairKeys(4)); err != nil {
+	if err := r.prefetch(r.radixPairPlan(4)); err != nil {
 		return nil, err
 	}
 	t := stats.NewTable("Figure 4: mean PTW latency, 4-core Radix (cycles)",
 		"workload", "cpu", "ndp", "ndp/cpu")
 	var cpuAll, ndpAll []float64
 	for _, wl := range r.WorkloadNames() {
-		cpuRes, err := r.Get(Key{memsys.CPU, core.Radix, 4, wl})
+		cpuRes, err := r.get(r.matrix(memsys.CPU, core.Radix, 4, wl))
 		if err != nil {
 			return nil, err
 		}
-		ndpRes, err := r.Get(Key{memsys.NDP, core.Radix, 4, wl})
+		ndpRes, err := r.get(r.matrix(memsys.NDP, core.Radix, 4, wl))
 		if err != nil {
 			return nil, err
 		}
@@ -71,18 +72,18 @@ func (r *Runner) Fig4() (*stats.Table, error) {
 // Fig5 reproduces Figure 5: fraction of execution time spent on address
 // translation in the 4-core systems.
 func (r *Runner) Fig5() (*stats.Table, error) {
-	if err := r.Prefetch(r.radixPairKeys(4)); err != nil {
+	if err := r.prefetch(r.radixPairPlan(4)); err != nil {
 		return nil, err
 	}
 	t := stats.NewTable("Figure 5: address-translation overhead, 4-core Radix (% of time)",
 		"workload", "cpu", "ndp")
 	var cpuAll, ndpAll []float64
 	for _, wl := range r.WorkloadNames() {
-		cpuRes, err := r.Get(Key{memsys.CPU, core.Radix, 4, wl})
+		cpuRes, err := r.get(r.matrix(memsys.CPU, core.Radix, 4, wl))
 		if err != nil {
 			return nil, err
 		}
-		ndpRes, err := r.Get(Key{memsys.NDP, core.Radix, 4, wl})
+		ndpRes, err := r.get(r.matrix(memsys.NDP, core.Radix, 4, wl))
 		if err != nil {
 			return nil, err
 		}
@@ -101,11 +102,7 @@ func (r *Runner) Fig5() (*stats.Table, error) {
 // and (b) translation overhead, averaged over the workloads.
 func (r *Runner) Fig6() (*stats.Table, error) {
 	coreCounts := []int{1, 4, 8}
-	var keys []Key
-	for _, c := range coreCounts {
-		keys = append(keys, r.radixPairKeys(c)...)
-	}
-	if err := r.Prefetch(keys); err != nil {
+	if err := r.prefetch(r.radixPairPlan(coreCounts...)); err != nil {
 		return nil, err
 	}
 	t := stats.NewTable("Figure 6: scaling with core count (Radix, workload mean)",
@@ -113,11 +110,11 @@ func (r *Runner) Fig6() (*stats.Table, error) {
 	for _, c := range coreCounts {
 		var cp, np, co, no []float64
 		for _, wl := range r.WorkloadNames() {
-			cpu, err := r.Get(Key{memsys.CPU, core.Radix, c, wl})
+			cpu, err := r.get(r.matrix(memsys.CPU, core.Radix, c, wl))
 			if err != nil {
 				return nil, err
 			}
-			ndp, err := r.Get(Key{memsys.NDP, core.Radix, c, wl})
+			ndp, err := r.get(r.matrix(memsys.NDP, core.Radix, c, wl))
 			if err != nil {
 				return nil, err
 			}
@@ -137,24 +134,25 @@ func (r *Runner) Fig6() (*stats.Table, error) {
 // Fig7 reproduces Figure 7: L1 miss rates of normal data (ideal vs
 // actual) and metadata, on the 4-core NDP system.
 func (r *Runner) Fig7() (*stats.Table, error) {
-	var keys []Key
-	for _, wl := range r.WorkloadNames() {
-		keys = append(keys,
-			Key{memsys.NDP, core.Radix, 4, wl},
-			Key{memsys.NDP, core.Ideal, 4, wl})
+	plan := sweep.Plan{
+		Base:       r.base(),
+		Systems:    []memsys.Kind{memsys.NDP},
+		Mechanisms: []core.Mechanism{core.Radix, core.Ideal},
+		Cores:      []int{4},
+		Workloads:  r.WorkloadNames(),
 	}
-	if err := r.Prefetch(keys); err != nil {
+	if err := r.prefetch(plan); err != nil {
 		return nil, err
 	}
 	t := stats.NewTable("Figure 7: L1 miss rates, 4-core NDP (%)",
 		"workload", "data (ideal)", "data (actual)", "metadata")
 	var id, ac, md []float64
 	for _, wl := range r.WorkloadNames() {
-		idealRes, err := r.Get(Key{memsys.NDP, core.Ideal, 4, wl})
+		idealRes, err := r.get(r.matrix(memsys.NDP, core.Ideal, 4, wl))
 		if err != nil {
 			return nil, err
 		}
-		radix, err := r.Get(Key{memsys.NDP, core.Radix, 4, wl})
+		radix, err := r.get(r.matrix(memsys.NDP, core.Radix, 4, wl))
 		if err != nil {
 			return nil, err
 		}
@@ -173,23 +171,24 @@ func (r *Runner) Fig7() (*stats.Table, error) {
 // Fig8 reproduces Figure 8: page-table occupancy per level, plus the
 // flattened table's combined PL2/PL1 occupancy.
 func (r *Runner) Fig8() (*stats.Table, error) {
-	var keys []Key
-	for _, wl := range r.WorkloadNames() {
-		keys = append(keys,
-			Key{memsys.NDP, core.Radix, 4, wl},
-			Key{memsys.NDP, core.NDPage, 4, wl})
+	plan := sweep.Plan{
+		Base:       r.base(),
+		Systems:    []memsys.Kind{memsys.NDP},
+		Mechanisms: []core.Mechanism{core.Radix, core.NDPage},
+		Cores:      []int{4},
+		Workloads:  r.WorkloadNames(),
 	}
-	if err := r.Prefetch(keys); err != nil {
+	if err := r.prefetch(plan); err != nil {
 		return nil, err
 	}
 	t := stats.NewTable("Figure 8: page-table occupancy, 4-core (%)",
 		"workload", "PL4", "PL3", "PL2", "PL1", "PL2/PL1 (flat)")
 	for _, wl := range r.WorkloadNames() {
-		radix, err := r.Get(Key{memsys.NDP, core.Radix, 4, wl})
+		radix, err := r.get(r.matrix(memsys.NDP, core.Radix, 4, wl))
 		if err != nil {
 			return nil, err
 		}
-		flat, err := r.Get(Key{memsys.NDP, core.NDPage, 4, wl})
+		flat, err := r.get(r.matrix(memsys.NDP, core.NDPage, 4, wl))
 		if err != nil {
 			return nil, err
 		}
@@ -208,22 +207,16 @@ func (r *Runner) Fig8() (*stats.Table, error) {
 // Motivation reproduces the Section IV-A scalar observations on the
 // 4-core NDP system.
 func (r *Runner) Motivation() (*stats.Table, error) {
-	var keys []Key
-	for _, wl := range r.WorkloadNames() {
-		keys = append(keys,
-			Key{memsys.NDP, core.Radix, 4, wl},
-			Key{memsys.CPU, core.Radix, 4, wl})
-	}
-	if err := r.Prefetch(keys); err != nil {
+	if err := r.prefetch(r.radixPairPlan(4)); err != nil {
 		return nil, err
 	}
 	var tlbMiss, pteShare, pteDRAMRatio stats.Mean
 	for _, wl := range r.WorkloadNames() {
-		ndp, err := r.Get(Key{memsys.NDP, core.Radix, 4, wl})
+		ndp, err := r.get(r.matrix(memsys.NDP, core.Radix, 4, wl))
 		if err != nil {
 			return nil, err
 		}
-		cpu, err := r.Get(Key{memsys.CPU, core.Radix, 4, wl})
+		cpu, err := r.get(r.matrix(memsys.CPU, core.Radix, 4, wl))
 		if err != nil {
 			return nil, err
 		}
@@ -245,12 +238,12 @@ func (r *Runner) Motivation() (*stats.Table, error) {
 // PWCRates reproduces the Section V-C page-walk-cache hit rates on the
 // 4-core NDP Radix system.
 func (r *Runner) PWCRates() (*stats.Table, error) {
-	if err := r.Prefetch(r.radixPairKeys(4)); err != nil {
+	if err := r.prefetch(r.radixPairPlan(4)); err != nil {
 		return nil, err
 	}
 	var pl4, pl3, pl2 stats.Mean
 	for _, wl := range r.WorkloadNames() {
-		res, err := r.Get(Key{memsys.NDP, core.Radix, 4, wl})
+		res, err := r.get(r.matrix(memsys.NDP, core.Radix, 4, wl))
 		if err != nil {
 			return nil, err
 		}
@@ -268,21 +261,21 @@ func (r *Runner) PWCRates() (*stats.Table, error) {
 
 // speedupFigure renders one of Figures 12/13/14.
 func (r *Runner) speedupFigure(cores int, title string, notes func(*stats.Table, map[core.Mechanism]float64)) (*stats.Table, error) {
-	if err := r.Prefetch(r.speedupKeys(cores)); err != nil {
+	if err := r.prefetch(r.speedupPlan(cores)); err != nil {
 		return nil, err
 	}
 	mechs := []core.Mechanism{core.ECH, core.HugePage, core.NDPage, core.Ideal}
 	t := stats.NewTable(title, "workload", "ECH", "HugePage", "NDPage", "Ideal")
 	perMech := map[core.Mechanism][]float64{}
 	for _, wl := range r.WorkloadNames() {
-		baseRes, err := r.Get(Key{memsys.NDP, core.Radix, cores, wl})
+		baseRes, err := r.get(r.matrix(memsys.NDP, core.Radix, cores, wl))
 		if err != nil {
 			return nil, err
 		}
 		base := baseRes.Cycles
 		row := []string{wl}
 		for _, m := range mechs {
-			res, err := r.Get(Key{memsys.NDP, m, cores, wl})
+			res, err := r.get(r.matrix(memsys.NDP, m, cores, wl))
 			if err != nil {
 				return nil, err
 			}
@@ -337,27 +330,28 @@ func (r *Runner) Fig14() (*stats.Table, error) {
 // Ablation decomposes NDPage into its two mechanisms (DESIGN.md
 // Section 5) on the 4-core NDP system.
 func (r *Runner) Ablation() (*stats.Table, error) {
-	var keys []Key
-	for _, wl := range r.WorkloadNames() {
-		for _, m := range core.AblationMechanisms {
-			keys = append(keys, Key{memsys.NDP, m, 4, wl})
-		}
+	plan := sweep.Plan{
+		Base:       r.base(),
+		Systems:    []memsys.Kind{memsys.NDP},
+		Mechanisms: core.AblationMechanisms,
+		Cores:      []int{4},
+		Workloads:  r.WorkloadNames(),
 	}
-	if err := r.Prefetch(keys); err != nil {
+	if err := r.prefetch(plan); err != nil {
 		return nil, err
 	}
 	t := stats.NewTable("Ablation: NDPage decomposition, 4-core NDP (speedup over Radix)",
 		"workload", "BypassOnly", "FlattenOnly", "NDPage")
 	perMech := map[core.Mechanism][]float64{}
 	for _, wl := range r.WorkloadNames() {
-		baseRes, err := r.Get(Key{memsys.NDP, core.Radix, 4, wl})
+		baseRes, err := r.get(r.matrix(memsys.NDP, core.Radix, 4, wl))
 		if err != nil {
 			return nil, err
 		}
 		base := baseRes.Cycles
 		row := []string{wl}
 		for _, m := range []core.Mechanism{core.BypassOnly, core.FlattenOnly, core.NDPage} {
-			res, err := r.Get(Key{memsys.NDP, m, 4, wl})
+			res, err := r.get(r.matrix(memsys.NDP, m, 4, wl))
 			if err != nil {
 				return nil, err
 			}

@@ -1,48 +1,35 @@
 // Package exp regenerates every table and figure of the paper's
 // evaluation (DESIGN.md Section 4): the motivation studies (Figures 4-8,
 // the Section IV-A scalars, the Section V-C PWC rates), the headline
-// speedup figures (12, 13, 14), and the NDPage ablation called out in
-// DESIGN.md.
+// speedup figures (12, 13, 14), the NDPage ablation called out in
+// DESIGN.md, and the sensitivity sweeps.
 //
-// A Runner memoizes simulation results by (system, mechanism, cores,
-// workload) so figures sharing runs (e.g. Figure 4 and Figure 6) execute
-// each configuration once, and prefetches independent runs across
-// goroutines (each run builds its own Machine; nothing is shared).
-// Simulation failures propagate as errors from every figure method.
+// The figure methods are thin table-builders over the sweep subsystem
+// (internal/sweep): each figure declares its configuration cross product
+// as a sweep.Plan, prefetches it through a shared sweep.Runner — which
+// deduplicates runs figures share (e.g. Figure 4 and Figure 6) by
+// content hash, runs misses on a worker pool, and memoizes failures —
+// and then reads the per-cell results back from the Runner's Store.
+// Pointing Store at a sweep.DirStore makes every figure incremental
+// across processes: interrupted or repeated regenerations skip runs
+// whose results are already on disk. Simulation failures propagate as
+// errors from every figure method.
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
-	"runtime"
-	"sort"
 	"sync"
 
 	"ndpage/internal/core"
 	"ndpage/internal/memsys"
 	"ndpage/internal/sim"
+	"ndpage/internal/sweep"
 	"ndpage/internal/workload"
 )
 
-// Key identifies one simulation configuration.
-type Key struct {
-	System   memsys.Kind
-	Mech     core.Mechanism
-	Cores    int
-	Workload string
-}
-
-func (k Key) String() string {
-	return fmt.Sprintf("%s/%s/%dc/%s", k.System, k.Mech, k.Cores, k.Workload)
-}
-
-// outcome is one memoized run: its result or the error that ended it.
-type outcome struct {
-	res *sim.Result
-	err error
-}
-
-// Runner executes and memoizes simulations.
+// Runner executes and memoizes the evaluation's simulations.
 type Runner struct {
 	// Instructions and Warmup override the per-core op budgets (0 =
 	// simulator defaults). Experiments and quick benches share all other
@@ -53,13 +40,89 @@ type Runner struct {
 	Footprint uint64
 	// Workloads restricts the benchmark set (nil = all of Table II).
 	Workloads []string
-	// Parallel bounds concurrent simulations (0 = min(4, NumCPU)).
+	// Parallel bounds concurrent simulations (0 = min(4, GOMAXPROCS)).
 	Parallel int
-	// Progress, when non-nil, receives one line per completed run.
+	// Progress, when non-nil, receives one line per run: completed,
+	// served from a persistent cache, or failed.
 	Progress io.Writer
+	// Store caches results across figures — and, for a sweep.DirStore,
+	// across processes (cached figure regeneration). Nil selects a
+	// per-Runner in-memory store.
+	Store sweep.Store
+	// Context cancels in-flight sweeps (nil = context.Background()).
+	Context context.Context
 
-	mu    sync.Mutex
-	cache map[Key]outcome
+	once  sync.Once
+	sweep *sweep.Runner
+}
+
+// runner lazily builds the shared sweep runner. A persistent Store is
+// wrapped in a read-through memo so the per-cell gets that follow each
+// figure's prefetch hit process memory instead of re-reading and
+// re-parsing the on-disk JSON for every table cell.
+func (r *Runner) runner() *sweep.Runner {
+	r.once.Do(func() {
+		store := r.Store
+		if store != nil {
+			store = &memoStore{mem: sweep.NewMemStore(), back: store}
+		}
+		r.sweep = &sweep.Runner{
+			Store:    store,
+			Parallel: r.Parallel,
+			Progress: r.progress,
+		}
+	})
+	return r.sweep
+}
+
+// memoStore layers an in-process map over a persistent backing store:
+// reads populate the map, writes go to both. Safe for concurrent use
+// (both layers are).
+type memoStore struct {
+	mem  *sweep.MemStore
+	back sweep.Store
+}
+
+func (s *memoStore) Get(key string) (*sim.Result, bool, error) {
+	if res, ok, _ := s.mem.Get(key); ok {
+		return res, true, nil
+	}
+	res, ok, err := s.back.Get(key)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	s.mem.Put(key, res)
+	return res, true, nil
+}
+
+func (s *memoStore) Put(key string, res *sim.Result) error {
+	s.mem.Put(key, res)
+	return s.back.Put(key, res)
+}
+
+// progress renders sweep events as lines: fresh runs, cache hits, and —
+// crucially — failures, so a sweep that loses runs says so instead of
+// completing silently thinner.
+func (r *Runner) progress(e sweep.Event) {
+	if r.Progress == nil {
+		return
+	}
+	switch {
+	case e.Err != nil:
+		fmt.Fprintf(r.Progress, "fail %s: %v\n", e.Desc(), e.Err)
+	case e.Cached:
+		fmt.Fprintf(r.Progress, "cached %s (%.2fM cycles)\n", e.Desc(), float64(e.Cycles)/1e6)
+	default:
+		fmt.Fprintf(r.Progress, "done %s (%.2fM cycles)\n", e.Desc(), float64(e.Cycles)/1e6)
+	}
+}
+
+// ctx returns the cancellation context.
+func (r *Runner) ctx() context.Context {
+	if r.Context != nil {
+		return r.Context
+	}
+	return context.Background()
 }
 
 // WorkloadNames returns the active benchmark set in paper order.
@@ -70,113 +133,83 @@ func (r *Runner) WorkloadNames() []string {
 	return workload.Names()
 }
 
-// config builds the sim.Config for a key.
-func (r *Runner) config(k Key) sim.Config {
+// base is the configuration every evaluation run starts from: the
+// Runner's budget and footprint overrides.
+func (r *Runner) base() sim.Config {
 	return sim.Config{
-		System:         k.System,
-		Cores:          k.Cores,
-		Mechanism:      k.Mech,
-		Workload:       k.Workload,
 		Instructions:   r.Instructions,
 		Warmup:         r.Warmup,
 		FootprintBytes: r.Footprint,
 	}
 }
 
-// Get returns the memoized result for k, running it if needed. A failed
-// run is memoized too, so repeated figures report the same error without
-// re-simulating.
-func (r *Runner) Get(k Key) (*sim.Result, error) {
-	r.mu.Lock()
-	if r.cache == nil {
-		r.cache = make(map[Key]outcome)
+// scale fills cfg's zero budget fields from the Runner's overrides, so
+// sensitivity configurations written against simulator defaults inherit
+// the evaluation's scale.
+func (r *Runner) scale(cfg sim.Config) sim.Config {
+	if cfg.Instructions == 0 {
+		cfg.Instructions = r.Instructions
 	}
-	if o, ok := r.cache[k]; ok {
-		r.mu.Unlock()
-		return o.res, o.err
+	if cfg.Warmup == 0 {
+		cfg.Warmup = r.Warmup
 	}
-	r.mu.Unlock()
-
-	res, err := sim.RunConfig(r.config(k))
-	if err != nil {
-		err = fmt.Errorf("exp: %s: %w", k, err)
+	if cfg.FootprintBytes == 0 {
+		cfg.FootprintBytes = r.Footprint
 	}
-	r.mu.Lock()
-	r.cache[k] = outcome{res, err}
-	r.mu.Unlock()
-	if err == nil && r.Progress != nil {
-		fmt.Fprintf(r.Progress, "done %s (%.2fM cycles)\n", k, float64(res.Cycles)/1e6)
-	}
-	return res, err
+	return cfg
 }
 
-// Prefetch runs the given keys concurrently (memoized; duplicates are
-// deduplicated) and returns the first error any run produced.
-func (r *Runner) Prefetch(keys []Key) error {
-	seen := map[Key]bool{}
-	var todo []Key
-	r.mu.Lock()
-	if r.cache == nil {
-		r.cache = make(map[Key]outcome)
-	}
-	for _, k := range keys {
-		if _, cached := r.cache[k]; !cached && !seen[k] {
-			seen[k] = true
-			todo = append(todo, k)
-		}
-	}
-	r.mu.Unlock()
+// matrix builds the evaluation-matrix configuration for one cell.
+func (r *Runner) matrix(sys memsys.Kind, mech core.Mechanism, cores int, wl string) sim.Config {
+	cfg := r.base()
+	cfg.System = sys
+	cfg.Mechanism = mech
+	cfg.Cores = cores
+	cfg.Workload = wl
+	return cfg
+}
 
-	par := r.Parallel
-	if par <= 0 {
-		par = runtime.NumCPU()
-		if par > 4 {
-			par = 4
-		}
+// get returns the result for cfg, simulating it if no store or memo
+// holds it yet. Figure methods call prefetch first so gets are cache
+// hits; a direct get still works (one synchronous run).
+func (r *Runner) get(cfg sim.Config) (*sim.Result, error) {
+	res, err := r.runner().RunOne(r.ctx(), r.scale(cfg))
+	if err != nil {
+		return nil, fmt.Errorf("exp: %w", err)
 	}
-	// Run heavier configurations first for better packing.
-	sort.SliceStable(todo, func(i, j int) bool { return todo[i].Cores > todo[j].Cores })
+	return res, nil
+}
 
-	sem := make(chan struct{}, par)
-	var wg sync.WaitGroup
-	for _, k := range todo {
-		wg.Add(1)
-		go func(k Key) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			r.Get(k)
-		}(k)
-	}
-	wg.Wait()
-	// Every key is memoized now; surface the first failure, including
-	// ones cached before this call.
-	for _, k := range keys {
-		if _, err := r.Get(k); err != nil {
-			return err
-		}
+// prefetch runs every configuration of the plan through the worker
+// pool (deduplicated against the store) and returns the first error.
+func (r *Runner) prefetch(p sweep.Plan) error {
+	p.Base = r.scale(p.Base)
+	if _, err := r.runner().RunPlan(r.ctx(), p); err != nil {
+		return fmt.Errorf("exp: %w", err)
 	}
 	return nil
 }
 
-// speedupKeys enumerates the Figure 12/13/14 matrix for one core count.
-func (r *Runner) speedupKeys(cores int) []Key {
-	var keys []Key
-	for _, wl := range r.WorkloadNames() {
-		for _, mech := range core.Mechanisms {
-			keys = append(keys, Key{memsys.NDP, mech, cores, wl})
-		}
+// speedupPlan enumerates the Figure 12/13/14 matrix for one core count:
+// every mechanism on the NDP system.
+func (r *Runner) speedupPlan(cores int) sweep.Plan {
+	return sweep.Plan{
+		Base:       r.base(),
+		Systems:    []memsys.Kind{memsys.NDP},
+		Mechanisms: core.Mechanisms,
+		Cores:      []int{cores},
+		Workloads:  r.WorkloadNames(),
 	}
-	return keys
 }
 
-// radixPairKeys enumerates CPU+NDP Radix runs (Figures 4-6).
-func (r *Runner) radixPairKeys(cores int) []Key {
-	var keys []Key
-	for _, wl := range r.WorkloadNames() {
-		keys = append(keys,
-			Key{memsys.NDP, core.Radix, cores, wl},
-			Key{memsys.CPU, core.Radix, cores, wl})
+// radixPairPlan enumerates CPU+NDP Radix runs (Figures 4-6) for the
+// given core counts.
+func (r *Runner) radixPairPlan(cores ...int) sweep.Plan {
+	return sweep.Plan{
+		Base:       r.base(),
+		Systems:    []memsys.Kind{memsys.NDP, memsys.CPU},
+		Mechanisms: []core.Mechanism{core.Radix},
+		Cores:      cores,
+		Workloads:  r.WorkloadNames(),
 	}
-	return keys
 }

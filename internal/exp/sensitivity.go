@@ -7,47 +7,57 @@ import (
 	"ndpage/internal/memsys"
 	"ndpage/internal/sim"
 	"ndpage/internal/stats"
+	"ndpage/internal/sweep"
 )
 
-// runCustom executes one non-matrix configuration (sensitivity knobs are
-// not part of the memoized Key space, so these run uncached).
-func (r *Runner) runCustom(cfg sim.Config) (*sim.Result, error) {
-	if cfg.Instructions == 0 {
-		cfg.Instructions = r.Instructions
+// Sensitivity studies are sweep plans like the figure matrices: the
+// knob axis is a Variant list, so every (workload x knob) run executes
+// on the worker pool and lands in the shared store — persistent caching
+// and resumption apply to the sensitivity sweeps exactly as to the
+// figures (the old runCustom path ran them uncached and sequentially).
+
+// knobPlan builds the cross product of the runner's workloads with the
+// given knob variants on one (system, mechanisms, cores) slice.
+func (r *Runner) knobPlan(sys memsys.Kind, mechs []core.Mechanism, cores int, variants []sweep.Variant) sweep.Plan {
+	return sweep.Plan{
+		Base:       r.base(),
+		Systems:    []memsys.Kind{sys},
+		Mechanisms: mechs,
+		Cores:      []int{cores},
+		Workloads:  r.WorkloadNames(),
+		Variants:   variants,
 	}
-	if cfg.Warmup == 0 {
-		cfg.Warmup = r.Warmup
+}
+
+// cell returns the result for one (workload, mechanism) cell with the
+// variant's knobs applied.
+func (r *Runner) cell(sys memsys.Kind, mech core.Mechanism, cores int, wl string, v sweep.Variant) (*sim.Result, error) {
+	cfg := r.matrix(sys, mech, cores, wl)
+	if v.Mutate != nil {
+		v.Mutate(&cfg)
 	}
-	if cfg.FootprintBytes == 0 {
-		cfg.FootprintBytes = r.Footprint
-	}
-	res, err := sim.RunConfig(cfg)
-	if err != nil {
-		return nil, fmt.Errorf("exp: sensitivity run %s/%s/%dc/%s: %w",
-			cfg.System, cfg.Mechanism, cfg.Cores, cfg.Workload, err)
-	}
-	if r.Progress != nil {
-		fmt.Fprintf(r.Progress, "done sensitivity %s/%s/%dc/%s\n",
-			cfg.System, cfg.Mechanism, cfg.Cores, cfg.Workload)
-	}
-	return res, nil
+	return r.get(cfg)
 }
 
 // PWCSensitivity measures DESIGN.md ablation 2: walks with and without
 // page-walk caches, Radix vs NDPage, on the 4-core NDP system.
 func (r *Runner) PWCSensitivity() (*stats.Table, error) {
+	withPWC := sweep.Variant{Name: "pwc"}
+	withoutPWC := sweep.Variant{Name: "nopwc", Mutate: func(c *sim.Config) { c.DisablePWC = true }}
+	mechs := []core.Mechanism{core.Radix, core.NDPage}
+	plan := r.knobPlan(memsys.NDP, mechs, 4, []sweep.Variant{withPWC, withoutPWC})
+	if err := r.prefetch(plan); err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("Sensitivity: page-walk caches (4-core NDP)",
 		"workload", "mech", "ptw with pwc", "ptw without", "slowdown")
 	for _, wl := range r.WorkloadNames() {
-		for _, mech := range []core.Mechanism{core.Radix, core.NDPage} {
-			with, err := r.Get(Key{memsys.NDP, mech, 4, wl})
+		for _, mech := range mechs {
+			with, err := r.cell(memsys.NDP, mech, 4, wl, withPWC)
 			if err != nil {
 				return nil, err
 			}
-			without, err := r.runCustom(sim.Config{
-				System: memsys.NDP, Cores: 4, Mechanism: mech,
-				Workload: wl, DisablePWC: true,
-			})
+			without, err := r.cell(memsys.NDP, mech, 4, wl, withoutPWC)
 			if err != nil {
 				return nil, err
 			}
@@ -64,15 +74,25 @@ func (r *Runner) PWCSensitivity() (*stats.Table, error) {
 // HBMChannelSensitivity measures DESIGN.md ablation 3: the Figure 6a
 // queueing driver as a function of the NDP vault partition width.
 func (r *Runner) HBMChannelSensitivity() (*stats.Table, error) {
+	channels := []int{1, 2, 4, 8}
+	variants := make([]sweep.Variant, len(channels))
+	for i, ch := range channels {
+		ch := ch
+		variants[i] = sweep.Variant{
+			Name:   fmt.Sprintf("hbm=%d", ch),
+			Mutate: func(c *sim.Config) { c.HBMChannels = ch },
+		}
+	}
+	plan := r.knobPlan(memsys.NDP, []core.Mechanism{core.Radix}, 8, variants)
+	if err := r.prefetch(plan); err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("Sensitivity: HBM channels visible to the NDP cluster (8-core Radix)",
 		"workload", "1ch ptw", "2ch ptw", "4ch ptw", "8ch ptw")
 	for _, wl := range r.WorkloadNames() {
 		row := []string{wl}
-		for _, ch := range []int{1, 2, 4, 8} {
-			res, err := r.runCustom(sim.Config{
-				System: memsys.NDP, Cores: 8, Mechanism: core.Radix,
-				Workload: wl, HBMChannels: ch,
-			})
+		for _, v := range variants {
+			res, err := r.cell(memsys.NDP, core.Radix, 8, wl, v)
 			if err != nil {
 				return nil, err
 			}
@@ -92,21 +112,30 @@ func (r *Runner) HBMChannelSensitivity() (*stats.Table, error) {
 // width.
 func (r *Runner) WalkerWidthSensitivity() (*stats.Table, error) {
 	widths := []int{1, 2, 4, 8}
+	variants := make([]sweep.Variant, len(widths))
+	for i, w := range widths {
+		w := w
+		variants[i] = sweep.Variant{
+			Name:   fmt.Sprintf("w=%d", w),
+			Mutate: func(c *sim.Config) { c.SharedWalker = true; c.WalkerWidth = w },
+		}
+	}
+	plan := r.knobPlan(memsys.NDP, []core.Mechanism{core.Radix}, 4, variants)
+	if err := r.prefetch(plan); err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("Sensitivity: shared-walker width (4-core NDP Radix)",
 		"workload", "w=1 ptw", "w=2 ptw", "w=4 ptw", "w=8 ptw", "mshr hit% (w=4)", "overlap% (w=4)", "queue/walk (w=1)")
 	for _, wl := range r.WorkloadNames() {
 		row := []string{wl}
 		var at4, at1 *sim.Result
-		for _, width := range widths {
-			res, err := r.runCustom(sim.Config{
-				System: memsys.NDP, Cores: 4, Mechanism: core.Radix,
-				Workload: wl, SharedWalker: true, WalkerWidth: width,
-			})
+		for i, v := range variants {
+			res, err := r.cell(memsys.NDP, core.Radix, 4, wl, v)
 			if err != nil {
 				return nil, err
 			}
 			row = append(row, stats.F(res.MeanPTWLatency()))
-			switch width {
+			switch widths[i] {
 			case 1:
 				at1 = res
 			case 4:
@@ -133,22 +162,35 @@ func (r *Runner) WalkerWidthSensitivity() (*stats.Table, error) {
 // motivation lives in.
 func (r *Runner) MLPSensitivity() (*stats.Table, error) {
 	mlps := []int{1, 2, 4, 8}
+	variants := make([]sweep.Variant, len(mlps))
+	for i, mlp := range mlps {
+		mlp := mlp
+		variants[i] = sweep.Variant{
+			Name: fmt.Sprintf("mlp=%d", mlp),
+			Mutate: func(c *sim.Config) {
+				c.SharedWalker = true
+				c.WalkerWidth = 2
+				c.MLP = mlp
+			},
+		}
+	}
+	plan := r.knobPlan(memsys.NDP, []core.Mechanism{core.Radix}, 4, variants)
+	if err := r.prefetch(plan); err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("Sensitivity: core MLP window (4-core NDP Radix, shared width-2 walker)",
 		"workload", "mlp=1 cycles", "mlp=2", "mlp=4", "mlp=8",
 		"speedup(8)", "in-flight (8)", "overlap% (8)", "mshr% (8)", "queue/walk (8)")
 	for _, wl := range r.WorkloadNames() {
 		row := []string{wl}
 		var at1, at8 *sim.Result
-		for _, mlp := range mlps {
-			res, err := r.runCustom(sim.Config{
-				System: memsys.NDP, Cores: 4, Mechanism: core.Radix,
-				Workload: wl, SharedWalker: true, WalkerWidth: 2, MLP: mlp,
-			})
+		for i, v := range variants {
+			res, err := r.cell(memsys.NDP, core.Radix, 4, wl, v)
 			if err != nil {
 				return nil, err
 			}
 			row = append(row, fmt.Sprintf("%.2fM", float64(res.Cycles)/1e6))
-			switch mlp {
+			switch mlps[i] {
 			case 1:
 				at1 = res
 			case 8:
@@ -172,20 +214,22 @@ func (r *Runner) MLPSensitivity() (*stats.Table, error) {
 // demand population, exposing fault costs per mechanism (2-core NDP keeps
 // the demand runs affordable).
 func (r *Runner) PopulationSensitivity() (*stats.Table, error) {
+	eagerV := sweep.Variant{Name: "eager"}
+	demandV := sweep.Variant{Name: "demand", Mutate: func(c *sim.Config) { c.DemandPaging = true }}
+	mechs := []core.Mechanism{core.Radix, core.HugePage}
+	plan := r.knobPlan(memsys.NDP, mechs, 2, []sweep.Variant{eagerV, demandV})
+	if err := r.prefetch(plan); err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("Sensitivity: eager vs demand population (2-core NDP)",
 		"workload", "mech", "eager cycles", "demand cycles", "demand faults")
 	for _, wl := range r.WorkloadNames() {
-		for _, mech := range []core.Mechanism{core.Radix, core.HugePage} {
-			eager, err := r.runCustom(sim.Config{
-				System: memsys.NDP, Cores: 2, Mechanism: mech, Workload: wl,
-			})
+		for _, mech := range mechs {
+			eager, err := r.cell(memsys.NDP, mech, 2, wl, eagerV)
 			if err != nil {
 				return nil, err
 			}
-			demand, err := r.runCustom(sim.Config{
-				System: memsys.NDP, Cores: 2, Mechanism: mech, Workload: wl,
-				DemandPaging: true,
-			})
+			demand, err := r.cell(memsys.NDP, mech, 2, wl, demandV)
 			if err != nil {
 				return nil, err
 			}
@@ -207,20 +251,26 @@ func (r *Runner) PopulationSensitivity() (*stats.Table, error) {
 // re-fault zero-fills 2 MB and stalls on compaction — and a key reason
 // the paper's 8-core Huge Page bar drops below Radix.
 func (r *Runner) OversubscriptionStudy() (*stats.Table, error) {
+	const wl = "gen"
+	fitsV := sweep.Variant{Name: "fits"}
+	overV := sweep.Variant{Name: "oversubscribed", Mutate: func(c *sim.Config) {
+		c.ResidentLimitBytes = 3 << 30
+		c.FootprintBytes = 6 << 30
+	}}
+	mechs := []core.Mechanism{core.Radix, core.HugePage, core.NDPage}
+	plan := r.knobPlan(memsys.NDP, mechs, 2, []sweep.Variant{fitsV, overV})
+	plan.Workloads = []string{wl} // fixed benchmark regardless of the active set
+	if err := r.prefetch(plan); err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("Extension: dataset larger than memory (2-core NDP, gen)",
 		"mech", "fits (cycles)", "oversubscribed", "slowdown", "reclaims", "faults")
-	const wl = "gen"
-	for _, mech := range []core.Mechanism{core.Radix, core.HugePage, core.NDPage} {
-		fits, err := r.runCustom(sim.Config{
-			System: memsys.NDP, Cores: 2, Mechanism: mech, Workload: wl,
-		})
+	for _, mech := range mechs {
+		fits, err := r.cell(memsys.NDP, mech, 2, wl, fitsV)
 		if err != nil {
 			return nil, err
 		}
-		over, err := r.runCustom(sim.Config{
-			System: memsys.NDP, Cores: 2, Mechanism: mech, Workload: wl,
-			ResidentLimitBytes: 3 << 30, FootprintBytes: 6 << 30,
-		})
+		over, err := r.cell(memsys.NDP, mech, 2, wl, overV)
 		if err != nil {
 			return nil, err
 		}

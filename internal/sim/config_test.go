@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"ndpage/internal/core"
+	"ndpage/internal/memsys"
+)
+
+func TestValidate(t *testing.T) {
+	base := testCfg(memsys.NDP, 2, core.Radix, "rnd")
+	cases := []struct {
+		name    string
+		mutate  func(*Config)
+		wantErr string // substring; "" = valid
+	}{
+		{"defaults", func(c *Config) { *c = Config{Workload: "rnd"} }, ""},
+		{"base", func(c *Config) {}, ""},
+		{"negative cores", func(c *Config) { c.Cores = -1 }, "core count"},
+		{"too many cores", func(c *Config) { c.Cores = 65 }, "core count"},
+		{"negative MLP", func(c *Config) { c.MLP = -1 }, "MLP"},
+		{"huge MLP", func(c *Config) { c.MLP = 65 }, "MLP"},
+		{"negative walker width", func(c *Config) { c.WalkerWidth = -2 }, "walker width"},
+		{"negative frag holes", func(c *Config) { c.FragHoles = -1 }, "FragHoles"},
+		{"negative fetch every", func(c *Config) { c.FetchEvery = -8 }, "FetchEvery"},
+		{"negative HBM channels", func(c *Config) { c.HBMChannels = -4 }, "HBMChannels"},
+		{"non-power-of-two HBM channels", func(c *Config) { c.HBMChannels = 3 }, "power of two"},
+		{"power-of-two HBM channels", func(c *Config) { c.HBMChannels = 4 }, ""},
+		{"unknown workload", func(c *Config) { c.Workload = "no-such" }, "no-such"},
+		{"empty workload", func(c *Config) { c.Workload = "" }, "workload"},
+		{"inert width, blocking private", func(c *Config) { c.WalkerWidth = 4 }, "inert"},
+		{"wide shared walker", func(c *Config) { c.WalkerWidth = 4; c.SharedWalker = true }, ""},
+		{"wide private walker, MLP>1", func(c *Config) { c.WalkerWidth = 4; c.MLP = 4 }, ""},
+		{"width 1 private", func(c *Config) { c.WalkerWidth = 1 }, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("Validate() = nil, want error containing %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Validate() = %q, want substring %q", err, tc.wantErr)
+			}
+			// New must reject everything Validate rejects.
+			if _, nerr := New(cfg); nerr == nil {
+				t.Fatalf("New accepted a config Validate rejects (%v)", err)
+			}
+		})
+	}
+}
+
+func TestNormalizeIdempotent(t *testing.T) {
+	cfg := Config{Workload: "rnd"}.Normalize()
+	if cfg.Normalize() != cfg {
+		t.Errorf("Normalize not idempotent: %+v vs %+v", cfg.Normalize(), cfg)
+	}
+	if cfg.Cores != 1 || cfg.MLP != 1 || cfg.WalkerWidth != 1 || cfg.Seed != 42 {
+		t.Errorf("defaults wrong: %+v", cfg)
+	}
+}
+
+func TestKeyIdentity(t *testing.T) {
+	a := testCfg(memsys.NDP, 2, core.Radix, "rnd")
+	if a.Key() != a.Key() {
+		t.Fatal("Key not deterministic")
+	}
+	// A config and its normalized form share a key: zero fields mean
+	// their defaults.
+	zero := Config{Workload: "rnd"}
+	if zero.Key() != zero.Normalize().Key() {
+		t.Error("zero config and normalized config hash differently")
+	}
+	// Spelling the defaults out changes nothing.
+	explicit := zero.Normalize()
+	explicit.MLP = 1
+	explicit.Seed = 42
+	if explicit.Key() != zero.Key() {
+		t.Error("explicit defaults changed the key")
+	}
+	// Any substantive knob changes the key.
+	for name, mutate := range map[string]func(*Config){
+		"cores":     func(c *Config) { c.Cores = 4 },
+		"mechanism": func(c *Config) { c.Mechanism = core.NDPage },
+		"system":    func(c *Config) { c.System = memsys.CPU },
+		"workload":  func(c *Config) { c.Workload = "pr" },
+		"seed":      func(c *Config) { c.Seed = 99 },
+		"mlp":       func(c *Config) { c.MLP = 4 },
+		"pwc":       func(c *Config) { c.DisablePWC = true },
+		"footprint": func(c *Config) { c.FootprintBytes = 1 << 30 },
+	} {
+		cfg := a
+		mutate(&cfg)
+		if cfg.Key() == a.Key() {
+			t.Errorf("changing %s did not change the key", name)
+		}
+	}
+}
+
+func TestDescMentionsKnobs(t *testing.T) {
+	cfg := testCfg(memsys.NDP, 4, core.Radix, "rnd")
+	cfg.SharedWalker = true
+	cfg.WalkerWidth = 2
+	cfg.MLP = 8
+	d := cfg.Desc()
+	for _, want := range []string{"ndp", "Radix", "4c", "rnd", "+shared", "+w=2", "+mlp=8"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("Desc %q missing %q", d, want)
+		}
+	}
+	if plain := testCfg(memsys.CPU, 1, core.ECH, "pr").Desc(); strings.Contains(plain, "+") {
+		t.Errorf("default-knob Desc %q has knob suffixes", plain)
+	}
+}

@@ -165,15 +165,15 @@ func TestMLPWorksAcrossMechanisms(t *testing.T) {
 // TestFragHolesDefault pins the documented default: 800 holes on 16 GB,
 // scaled linearly with memory size (the FragHoles doc/code mismatch fix).
 func TestFragHolesDefault(t *testing.T) {
-	cfg := Config{MemoryBytes: 16 << 30}.withDefaults()
+	cfg := Config{MemoryBytes: 16 << 30}.Normalize()
 	if cfg.FragHoles != 800 {
 		t.Errorf("16 GB default FragHoles = %d, want 800", cfg.FragHoles)
 	}
-	cfg = Config{MemoryBytes: 4 << 30}.withDefaults()
+	cfg = Config{MemoryBytes: 4 << 30}.Normalize()
 	if cfg.FragHoles != 200 {
 		t.Errorf("4 GB default FragHoles = %d, want 200", cfg.FragHoles)
 	}
-	cfg = Config{}.withDefaults() // MemoryBytes defaults to 16 GB
+	cfg = Config{}.Normalize() // MemoryBytes defaults to 16 GB
 	if cfg.FragHoles != 800 {
 		t.Errorf("all-defaults FragHoles = %d, want 800", cfg.FragHoles)
 	}

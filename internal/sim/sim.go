@@ -50,10 +50,11 @@ type Config struct {
 	// Workload names a Table II benchmark (see workload.Names).
 	Workload string
 	// FootprintBytes is the shared dataset budget. Zero selects the
-	// core-count-scaled default ((5+cores) GB), mirroring the paper's
-	// "workload scale grows with the number of cores". Footprints must
-	// comfortably exceed both TLB reach and the L1's ability to cache
-	// upper-level PTEs for the paper's regime to appear.
+	// core-count-scaled default ((19+cores)/2 GB: 10 GB at 1 core up to
+	// 13.5 GB at 8), mirroring the paper's "workload scale grows with
+	// the number of cores". Footprints must comfortably exceed both TLB
+	// reach and the L1's ability to cache upper-level PTEs for the
+	// paper's regime to appear.
 	FootprintBytes uint64
 	// MemoryBytes is physical memory (Table I: 16 GB).
 	MemoryBytes uint64
@@ -63,7 +64,7 @@ type Config struct {
 	// its 8192 2 MB blocks — scaled linearly with MemoryBytes.
 	FragHoles int
 	// Warmup and Instructions are per-core op budgets; statistics reset
-	// after warmup. Zeros select defaults (60k warmup, 240k measured).
+	// after warmup. Zeros select defaults (30k warmup, 300k measured).
 	Warmup       uint64
 	Instructions uint64
 	// FetchEvery models one instruction fetch per N ops through the
@@ -93,7 +94,9 @@ type Config struct {
 	ECHWayPrediction bool
 	// WalkerWidth sets the number of concurrent walk slots per walker
 	// (0 = 1, the conventional blocking walker). Widths above 1 only
-	// matter when walks can actually overlap, i.e. with SharedWalker.
+	// matter when walks can actually overlap — with SharedWalker, or on
+	// a non-blocking core (MLP > 1); Validate rejects the inert
+	// remainder.
 	WalkerWidth int
 	// SharedWalker serves every core's TLB misses from one
 	// cluster-level walk unit (walker + page-walk caches) instead of a
@@ -110,42 +113,6 @@ type Config struct {
 	// slots contend, MSHRs coalesce, and the in-flight histograms in
 	// Result fill out.
 	MLP int
-}
-
-// withDefaults fills zero fields.
-func (c Config) withDefaults() Config {
-	if c.Cores == 0 {
-		c.Cores = 1
-	}
-	if c.FootprintBytes == 0 {
-		// 9.5 GB at 1 core up to 13.5 GB at 8 cores: the paper's
-		// datasets (8-33 GB) scaled to the 16 GB machine, growing with
-		// core count ("as the workload scale and the number of NDP
-		// cores increase", Section VII-B).
-		c.FootprintBytes = uint64(19+c.Cores) << 29
-	}
-	if c.MemoryBytes == 0 {
-		c.MemoryBytes = 16 << 30
-	}
-	if c.FragHoles == 0 {
-		c.FragHoles = int(800 * (c.MemoryBytes >> 30) / 16)
-	}
-	if c.Instructions == 0 {
-		c.Instructions = 300_000
-	}
-	if c.Warmup == 0 {
-		c.Warmup = 30_000
-	}
-	if c.FetchEvery == 0 {
-		c.FetchEvery = 8
-	}
-	if c.Seed == 0 {
-		c.Seed = 42
-	}
-	if c.MLP == 0 {
-		c.MLP = 1
-	}
-	return c
 }
 
 // Machine is an assembled simulation ready to run.
@@ -209,16 +176,13 @@ const codeBytes = 16 << 10
 // the memory hierarchy, the shared address space with the mechanism's
 // page table, the workload dataset, and one MMU + op stream per core.
 func New(cfg Config) (*Machine, error) {
-	cfg = cfg.withDefaults()
+	cfg = cfg.Normalize()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	spec, err := workload.Lookup(cfg.Workload)
 	if err != nil {
 		return nil, err
-	}
-	if cfg.Cores < 1 || cfg.Cores > 64 {
-		return nil, fmt.Errorf("sim: core count %d out of range", cfg.Cores)
-	}
-	if cfg.MLP < 1 || cfg.MLP > 64 {
-		return nil, fmt.Errorf("sim: MLP window %d out of range", cfg.MLP)
 	}
 
 	alloc := phys.New(cfg.MemoryBytes)

@@ -1,0 +1,124 @@
+// Package sweep is the run-orchestration layer of the reproduction: a
+// declarative cross-product Plan over simulation configurations, a
+// context-aware parallel Runner, and content-addressed result Stores
+// keyed by sim.Config.Key(). The paper's evaluation is a large design-
+// space sweep (systems x mechanisms x cores x workloads, plus
+// sensitivity axes); this package makes such sweeps first-class:
+// declarative to build, parallel to execute, cancellable, and — with a
+// DirStore — incremental across process restarts, in the mold of the
+// hundreds-of-configurations studies the NMAT and Victima artifacts run
+// per figure.
+package sweep
+
+import (
+	"fmt"
+
+	"ndpage/internal/core"
+	"ndpage/internal/memsys"
+	"ndpage/internal/sim"
+)
+
+// Variant is one alternative mutation of a base configuration — a named
+// point on an ad-hoc sweep axis that the fixed Plan fields don't cover
+// (sensitivity knobs, budget overrides, anything on sim.Config).
+type Variant struct {
+	// Name labels the variant in errors ("w=4", "nopwc").
+	Name string
+	// Mutate edits the expanded configuration in place. A nil Mutate is
+	// the identity: the base configuration itself.
+	Mutate func(*sim.Config)
+}
+
+// Plan declares a cross product of simulation configurations. Base
+// seeds every run; each non-empty axis multiplies the product, and an
+// empty axis leaves Base's value for that dimension untouched. Every
+// run's seed is part of its configuration (Normalize pins the default),
+// so expansion is deterministic and each run content-addresses its
+// result via sim.Config.Key(); replicate sweeps enumerate Seeds
+// explicitly instead of drawing randomness at run time.
+type Plan struct {
+	// Base is the configuration every run starts from (budgets,
+	// footprint, fixed knobs).
+	Base sim.Config
+
+	// Axes. Expansion order is deterministic: Workloads (outermost),
+	// then Systems, Mechanisms, Cores, Seeds, Variants (innermost).
+	Systems    []memsys.Kind
+	Mechanisms []core.Mechanism
+	Cores      []int
+	Workloads  []string
+	Seeds      []uint64
+	Variants   []Variant
+}
+
+// Size returns the number of runs the plan expands to.
+func (p Plan) Size() int {
+	n := 1
+	for _, axis := range []int{
+		len(p.Systems), len(p.Mechanisms), len(p.Cores),
+		len(p.Workloads), len(p.Seeds), len(p.Variants),
+	} {
+		if axis > 0 {
+			n *= axis
+		}
+	}
+	return n
+}
+
+// Configs expands the cross product in deterministic order, validating
+// every configuration. The returned configs are not normalized — zero
+// optional fields still mean their defaults — so callers may apply
+// further overrides before running.
+func (p Plan) Configs() ([]sim.Config, error) {
+	orOne := func(n int) int {
+		if n == 0 {
+			return 1
+		}
+		return n
+	}
+	out := make([]sim.Config, 0, p.Size())
+	for wi := 0; wi < orOne(len(p.Workloads)); wi++ {
+		for si := 0; si < orOne(len(p.Systems)); si++ {
+			for mi := 0; mi < orOne(len(p.Mechanisms)); mi++ {
+				for ci := 0; ci < orOne(len(p.Cores)); ci++ {
+					for ri := 0; ri < orOne(len(p.Seeds)); ri++ {
+						for vi := 0; vi < orOne(len(p.Variants)); vi++ {
+							cfg := p.Base
+							if len(p.Workloads) > 0 {
+								cfg.Workload = p.Workloads[wi]
+							}
+							if len(p.Systems) > 0 {
+								cfg.System = p.Systems[si]
+							}
+							if len(p.Mechanisms) > 0 {
+								cfg.Mechanism = p.Mechanisms[mi]
+							}
+							if len(p.Cores) > 0 {
+								cfg.Cores = p.Cores[ci]
+							}
+							if len(p.Seeds) > 0 {
+								cfg.Seed = p.Seeds[ri]
+							}
+							var vname string
+							if len(p.Variants) > 0 {
+								v := p.Variants[vi]
+								vname = v.Name
+								if v.Mutate != nil {
+									v.Mutate(&cfg)
+								}
+							}
+							if err := cfg.Validate(); err != nil {
+								if vname != "" {
+									return nil, fmt.Errorf("sweep: plan run %s (variant %s): %w", cfg.Desc(), vname, err)
+								}
+								return nil, fmt.Errorf("sweep: plan run %s: %w", cfg.Desc(), err)
+							}
+							out = append(out, cfg)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,125 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+
+	"ndpage/internal/core"
+	"ndpage/internal/memsys"
+	"ndpage/internal/sim"
+)
+
+// testBase is a small valid base configuration.
+func testBase() sim.Config {
+	return sim.Config{
+		System:         memsys.NDP,
+		Cores:          1,
+		Mechanism:      core.Radix,
+		Workload:       "rnd",
+		FootprintBytes: 64 << 20,
+		MemoryBytes:    1 << 30,
+		Warmup:         500,
+		Instructions:   2_000,
+	}
+}
+
+func TestPlanEmptyAxesKeepBase(t *testing.T) {
+	p := Plan{Base: testBase()}
+	cfgs, err := p.Configs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfgs) != 1 || p.Size() != 1 {
+		t.Fatalf("empty-axes plan expanded to %d configs (Size %d), want 1", len(cfgs), p.Size())
+	}
+	if cfgs[0] != testBase() {
+		t.Errorf("base config mutated: %+v", cfgs[0])
+	}
+}
+
+func TestPlanCrossProductOrder(t *testing.T) {
+	p := Plan{
+		Base:       testBase(),
+		Systems:    []memsys.Kind{memsys.NDP, memsys.CPU},
+		Mechanisms: []core.Mechanism{core.Radix, core.NDPage},
+		Cores:      []int{1, 2},
+		Workloads:  []string{"rnd", "pr"},
+	}
+	cfgs, err := p.Configs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfgs) != 16 || p.Size() != 16 {
+		t.Fatalf("expanded to %d configs (Size %d), want 16", len(cfgs), p.Size())
+	}
+	// Workloads are the outermost axis, cores the innermost of the four.
+	if cfgs[0].Workload != "rnd" || cfgs[8].Workload != "pr" {
+		t.Errorf("workload order wrong: %s then %s", cfgs[0].Workload, cfgs[8].Workload)
+	}
+	if cfgs[0].Cores != 1 || cfgs[1].Cores != 2 {
+		t.Errorf("cores order wrong: %d then %d", cfgs[0].Cores, cfgs[1].Cores)
+	}
+	// Deterministic: a second expansion is identical.
+	again, _ := p.Configs()
+	for i := range cfgs {
+		if cfgs[i] != again[i] {
+			t.Fatalf("expansion not deterministic at %d", i)
+		}
+	}
+}
+
+func TestPlanSeedsAndVariants(t *testing.T) {
+	p := Plan{
+		Base:  testBase(),
+		Seeds: []uint64{1, 2, 3},
+		Variants: []Variant{
+			{Name: "base"},
+			{Name: "nopwc", Mutate: func(c *sim.Config) { c.DisablePWC = true }},
+		},
+	}
+	cfgs, err := p.Configs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfgs) != 6 {
+		t.Fatalf("expanded to %d configs, want 6", len(cfgs))
+	}
+	// Variants are innermost: seed 1 base, seed 1 nopwc, seed 2 base, ...
+	if cfgs[0].DisablePWC || !cfgs[1].DisablePWC {
+		t.Errorf("variant order wrong: %+v / %+v", cfgs[0].DisablePWC, cfgs[1].DisablePWC)
+	}
+	if cfgs[0].Seed != 1 || cfgs[2].Seed != 2 {
+		t.Errorf("seed axis wrong: %d then %d", cfgs[0].Seed, cfgs[2].Seed)
+	}
+	// Every config validates and hashes distinctly.
+	keys := map[string]bool{}
+	for _, c := range cfgs {
+		keys[c.Key()] = true
+	}
+	if len(keys) != 6 {
+		t.Errorf("expected 6 distinct keys, got %d", len(keys))
+	}
+}
+
+func TestPlanRejectsInvalidVariant(t *testing.T) {
+	p := Plan{
+		Base: testBase(),
+		Variants: []Variant{
+			{Name: "inert-width", Mutate: func(c *sim.Config) { c.WalkerWidth = 4 }},
+		},
+	}
+	_, err := p.Configs()
+	if err == nil {
+		t.Fatal("plan accepted an inert walker width")
+	}
+	if !strings.Contains(err.Error(), "inert-width") {
+		t.Errorf("error %q does not name the variant", err)
+	}
+}
+
+func TestPlanRejectsUnknownWorkload(t *testing.T) {
+	p := Plan{Base: testBase(), Workloads: []string{"rnd", "no-such"}}
+	if _, err := p.Configs(); err == nil {
+		t.Fatal("plan accepted an unknown workload")
+	}
+}

@@ -1,6 +1,7 @@
 package ndpage_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -103,6 +104,82 @@ func TestExperimentsQuick(t *testing.T) {
 	}
 	if csv := tab.CSV(); !strings.Contains(csv, "workload,ECH") {
 		t.Errorf("CSV header wrong: %s", csv)
+	}
+}
+
+// TestSweepAPI drives the first-class sweep surface end to end: a
+// declarative Plan, a Sweep runner over an explicit store, config
+// hashing, and cross-runner reuse of the persisted results.
+func TestSweepAPI(t *testing.T) {
+	base := quick(ndpage.Radix, ndpage.NDP, 1, "rnd")
+	plan := ndpage.Plan{
+		Base:       base,
+		Mechanisms: []ndpage.Mechanism{ndpage.Radix, ndpage.Ideal},
+		Workloads:  []string{"rnd"},
+		Variants: []ndpage.Variant{
+			{Name: "base"},
+			{Name: "nopwc", Mutate: func(c *ndpage.Config) { c.DisablePWC = true }},
+		},
+	}
+	if plan.Size() != 4 {
+		t.Fatalf("plan size = %d, want 4", plan.Size())
+	}
+
+	store := ndpage.NewMemStore()
+	var events, cached int
+	s := &ndpage.Sweep{
+		Store:    store,
+		Parallel: 2,
+		Progress: func(e ndpage.SweepEvent) {
+			events++
+			if e.Cached {
+				cached++
+			}
+		},
+	}
+	results, err := s.RunPlan(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("results = %d, want 4", len(results))
+	}
+	for i, res := range results {
+		if res == nil || res.Cycles == 0 {
+			t.Fatalf("result %d empty", i)
+		}
+	}
+	if events != 4 || cached != 0 {
+		t.Errorf("first sweep: %d events (%d cached), want 4 fresh", events, cached)
+	}
+
+	// A second runner over the same store simulates nothing.
+	warm := &ndpage.Sweep{Store: store}
+	again, err := warm.RunPlan(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range again {
+		if again[i] != results[i] {
+			t.Errorf("warm result %d not served from the store", i)
+		}
+	}
+
+	// Config identity: the run's stored config hashes to the same key
+	// callers compute.
+	if got := results[0].Config.Key(); got != base.Key() {
+		t.Errorf("result key %s != config key %s", got, base.Key())
+	}
+}
+
+func TestConfigValidateExposed(t *testing.T) {
+	cfg := quick(ndpage.Radix, ndpage.NDP, 1, "rnd")
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	cfg.WalkerWidth = 4 // inert without SharedWalker on a blocking core
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("inert walker width accepted")
 	}
 }
 

@@ -5,6 +5,9 @@ package ndpage_test
 // (subset of workloads, smaller windows) and reports the figure's
 // headline quantity via b.ReportMetric, so `go test -bench .` both
 // exercises the full pipeline and prints the reproduction's key numbers.
+// Every benchmark also reports allocations (b.ReportAllocs): the
+// simulator's per-instruction path is allocation-free in steady state,
+// and the allocs/op columns are what the CI bench job budgets against.
 // Full-scale tables come from `go run ./cmd/ndpexp`.
 
 import (
@@ -38,23 +41,30 @@ func benchTable(b *testing.B, f func() (*ndpage.Table, error)) *ndpage.Table {
 	return t
 }
 
-// lastCell parses the numeric cell at the given column of a table's last
-// (summary) row. Cells may carry a % or x suffix.
-func lastCell(b *testing.B, t *ndpage.Table, col int) float64 {
+// cellAt parses the numeric cell at (row, col) of a table. Cells may
+// carry a % or x suffix.
+func cellAt(b *testing.B, t *ndpage.Table, row, col int) float64 {
 	b.Helper()
-	row := t.Rows[len(t.Rows)-1]
-	s := row[col]
+	s := t.Rows[row][col]
 	for len(s) > 0 && (s[len(s)-1] == '%' || s[len(s)-1] == 'x') {
 		s = s[:len(s)-1]
 	}
 	v, err := strconv.ParseFloat(s, 64)
 	if err != nil {
-		b.Fatalf("cell %q: %v", row[col], err)
+		b.Fatalf("cell %q: %v", t.Rows[row][col], err)
 	}
 	return v
 }
 
+// lastCell parses the numeric cell at the given column of a table's last
+// (summary) row.
+func lastCell(b *testing.B, t *ndpage.Table, col int) float64 {
+	b.Helper()
+	return cellAt(b, t, len(t.Rows)-1, col)
+}
+
 func BenchmarkFig04_PTWLatency(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		t := benchTable(b, benchExperiments().Fig4)
 		b.ReportMetric(lastCell(b, t, 1), "cpu-ptw-cycles")
@@ -63,6 +73,7 @@ func BenchmarkFig04_PTWLatency(b *testing.B) {
 }
 
 func BenchmarkFig05_TranslationOverhead(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		t := benchTable(b, benchExperiments().Fig5)
 		b.ReportMetric(lastCell(b, t, 1), "cpu-xlat-pct")
@@ -71,6 +82,7 @@ func BenchmarkFig05_TranslationOverhead(b *testing.B) {
 }
 
 func BenchmarkFig06_CoreScaling(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		t := benchTable(b, benchExperiments().Fig6)
 		// Last row is the 8-core row; column 2 is NDP PTW.
@@ -79,6 +91,7 @@ func BenchmarkFig06_CoreScaling(b *testing.B) {
 }
 
 func BenchmarkFig07_CachePollution(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		t := benchTable(b, benchExperiments().Fig7)
 		b.ReportMetric(lastCell(b, t, 1), "data-ideal-miss-pct")
@@ -88,6 +101,7 @@ func BenchmarkFig07_CachePollution(b *testing.B) {
 }
 
 func BenchmarkFig08_Occupancy(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		t := benchTable(b, benchExperiments().Fig8)
 		// Report the PL1 occupancy of the last workload row.
@@ -97,16 +111,24 @@ func BenchmarkFig08_Occupancy(b *testing.B) {
 }
 
 func BenchmarkMotivation_SectionIVA(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		e := benchExperiments()
+		// Motivation rows: TLB miss rate, PTE access share, NDP/CPU PTE
+		// DRAM traffic ratio (Section IV-A's three scalars).
 		t := benchTable(b, e.Motivation)
-		_ = t
+		b.ReportMetric(cellAt(b, t, 0, 1), "tlb-miss-pct")
+		b.ReportMetric(cellAt(b, t, 1, 1), "pte-share-pct")
+		b.ReportMetric(cellAt(b, t, 2, 1), "pte-dram-ratio")
+		// PWCRates rows: PL4, PL3, PL2 hit rates (Section V-C).
 		p := benchTable(b, e.PWCRates)
-		_ = p
+		b.ReportMetric(cellAt(b, p, 1, 1), "pwc-pl3-pct")
+		b.ReportMetric(cellAt(b, p, 2, 1), "pwc-pl2-pct")
 	}
 }
 
 func BenchmarkFig12_SingleCoreSpeedup(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		t := benchTable(b, benchExperiments().Fig12)
 		b.ReportMetric(lastCell(b, t, 1), "ech-speedup")
@@ -115,6 +137,7 @@ func BenchmarkFig12_SingleCoreSpeedup(b *testing.B) {
 }
 
 func BenchmarkFig13_QuadCoreSpeedup(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		t := benchTable(b, benchExperiments().Fig13)
 		b.ReportMetric(lastCell(b, t, 3), "ndpage-speedup")
@@ -122,6 +145,7 @@ func BenchmarkFig13_QuadCoreSpeedup(b *testing.B) {
 }
 
 func BenchmarkFig14_OctaCoreSpeedup(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		t := benchTable(b, benchExperiments().Fig14)
 		b.ReportMetric(lastCell(b, t, 3), "ndpage-speedup")
@@ -130,6 +154,7 @@ func BenchmarkFig14_OctaCoreSpeedup(b *testing.B) {
 }
 
 func BenchmarkAblation_NDPageDecomposition(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		t := benchTable(b, benchExperiments().Ablation)
 		b.ReportMetric(lastCell(b, t, 1), "bypass-only-speedup")
@@ -138,29 +163,40 @@ func BenchmarkAblation_NDPageDecomposition(b *testing.B) {
 	}
 }
 
-// BenchmarkEngineStep measures the event queue itself: schedule+dispatch
-// cycles per second with a machine-sized actor population, the operation
-// the engine performs once per simulated instruction (replacing the old
-// O(cores) min-clock scan).
+// tickActor is BenchmarkEngineStep's typed actor: every delivered event
+// reschedules itself with a deterministic, actor-dependent stride until
+// the budget is spent — the schedule+dispatch pattern the engine
+// performs once per simulated instruction.
+type tickActor struct {
+	eng       *engine.Engine
+	id        int
+	remaining *int
+}
+
+func (a *tickActor) OnEvent(now uint64, kind uint8, payload uint64) {
+	if *a.remaining <= 0 {
+		return
+	}
+	*a.remaining--
+	a.eng.Schedule(now+uint64(7+a.id%13), a.id, a, 0, 0)
+}
+
+// BenchmarkEngineStep measures the event queue itself: typed-event
+// schedule+dispatch operations per second with a machine-sized actor
+// population, the operation the engine performs once per simulated
+// instruction (replacing the old O(cores) min-clock scan).
 func BenchmarkEngineStep(b *testing.B) {
+	b.ReportAllocs()
 	const actors = 64
 	eng := engine.New()
 	remaining := b.N
-	var tick func(id int) func()
-	tick = func(id int) func() {
-		return func() {
-			if remaining <= 0 {
-				return
-			}
-			remaining--
-			// Deterministic, actor-dependent stride keeps the heap busy
-			// without Math.rand.
-			eng.Schedule(eng.Now()+uint64(7+id%13), id, tick(id))
-		}
+	ticks := make([]tickActor, actors)
+	for i := range ticks {
+		ticks[i] = tickActor{eng: eng, id: i, remaining: &remaining}
 	}
 	b.ResetTimer()
-	for i := 0; i < actors; i++ {
-		eng.Schedule(uint64(i), i, tick(i))
+	for i := range ticks {
+		eng.Schedule(uint64(i), i, &ticks[i], 0, 0)
 	}
 	eng.Run()
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
@@ -170,6 +206,7 @@ func BenchmarkEngineStep(b *testing.B) {
 // warmup + measure), the unit of work the exp Runner fans out; the
 // sims/s metric is the number to watch across engine changes.
 func BenchmarkRunSmall(b *testing.B) {
+	b.ReportAllocs()
 	cfg := ndpage.Config{
 		System:         ndpage.NDP,
 		Cores:          4,
@@ -192,7 +229,12 @@ func BenchmarkRunSmall(b *testing.B) {
 
 // BenchmarkSimulatorThroughput measures raw simulation speed: simulated
 // instructions per wall-clock second for the default NDP/NDPage setup.
+// Machine construction is inside the loop (each iteration is one full
+// run), so allocs/op here is per-simulation; the per-instruction
+// steady-state allocation budget is measured by
+// internal/sim.BenchmarkStepThroughput.
 func BenchmarkSimulatorThroughput(b *testing.B) {
+	b.ReportAllocs()
 	cfg := ndpage.Config{
 		System:         ndpage.NDP,
 		Cores:          4,
@@ -215,6 +257,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 }
 
 func BenchmarkSensitivity_Oversubscription(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		e := &ndpage.Experiments{
 			Instructions: 20_000,

@@ -6,49 +6,81 @@
 //	ndpsim -mech Radix -workload rnd -instructions 500000
 //	ndpsim -mech Radix -cores 4 -mlp 4 -shared-walker -walker-width 2
 //	ndpsim -mech NDPage -workload gups -json > run.json
+//	ndpsim -mech NDPage -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // -json emits the full result — every counter, histogram, and the
 // normalized configuration — as the same JSON document the sweep
 // cache stores, instead of the human-readable summary.
+//
+// -cpuprofile and -memprofile write pprof profiles of the simulation
+// (construction + run; the CPU profile excludes flag parsing, the heap
+// profile is taken after the run completes), for `go tool pprof`.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"ndpage"
 	"ndpage/internal/addr"
 )
 
+// errFlagParse marks a flag-parsing failure the FlagSet has already
+// reported (with usage) on stderr; main exits nonzero without
+// repeating it.
+var errFlagParse = errors.New("flag parsing failed")
+
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if !errors.Is(err, errFlagParse) {
+			fmt.Fprintln(os.Stderr, "ndpsim:", err)
+		}
+		os.Exit(1)
+	}
+}
+
+// run executes one ndpsim invocation: parse args, simulate, report.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ndpsim", flag.ContinueOnError)
 	var (
-		system    = flag.String("system", "ndp", "system kind: ndp or cpu (Table I)")
-		mechName  = flag.String("mech", "NDPage", "translation mechanism: Radix, ECH, HugePage, NDPage, Ideal, FlattenOnly, BypassOnly")
-		cores     = flag.Int("cores", 1, "number of cores (1-64)")
-		wl        = flag.String("workload", "bfs", "workload name (see -list)")
-		footprint = flag.Uint64("footprint", 0, "dataset bytes (0 = scaled default)")
-		memory    = flag.Uint64("memory", 0, "physical memory bytes (0 = 16 GB)")
-		instr     = flag.Uint64("instructions", 0, "measured ops per core (0 = 300k)")
-		warmup    = flag.Uint64("warmup", 0, "warmup ops per core (0 = 30k)")
-		seed      = flag.Uint64("seed", 0, "random seed (0 = 42)")
-		width     = flag.Int("walker-width", 0, "concurrent walk slots per walker (0 = 1, blocking)")
-		shared    = flag.Bool("shared-walker", false, "serve all cores' misses from one cluster-level walker")
-		mlp       = flag.Int("mlp", 0, "per-core in-flight memory-op window (0 = 1, blocking core)")
-		jsonOut   = flag.Bool("json", false, "emit the full result as JSON instead of the text summary")
-		list      = flag.Bool("list", false, "list workloads and exit")
+		system     = fs.String("system", "ndp", "system kind: ndp or cpu (Table I)")
+		mechName   = fs.String("mech", "NDPage", "translation mechanism: Radix, ECH, HugePage, NDPage, Ideal, FlattenOnly, BypassOnly")
+		cores      = fs.Int("cores", 1, "number of cores (1-64)")
+		wl         = fs.String("workload", "bfs", "workload name (see -list)")
+		footprint  = fs.Uint64("footprint", 0, "dataset bytes (0 = scaled default)")
+		memory     = fs.Uint64("memory", 0, "physical memory bytes (0 = 16 GB)")
+		instr      = fs.Uint64("instructions", 0, "measured ops per core (0 = 300k)")
+		warmup     = fs.Uint64("warmup", 0, "warmup ops per core (0 = 30k)")
+		seed       = fs.Uint64("seed", 0, "random seed (0 = 42)")
+		width      = fs.Int("walker-width", 0, "concurrent walk slots per walker (0 = 1, blocking)")
+		shared     = fs.Bool("shared-walker", false, "serve all cores' misses from one cluster-level walker")
+		mlp        = fs.Int("mlp", 0, "per-core in-flight memory-op window (0 = 1, blocking core)")
+		jsonOut    = fs.Bool("json", false, "emit the full result as JSON instead of the text summary")
+		list       = fs.Bool("list", false, "list workloads and exit")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the simulation to FILE")
+		memProfile = fs.String("memprofile", "", "write a heap profile (post-run) to FILE")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h: usage already printed, clean exit
+		}
+		return errFlagParse
+	}
 
 	if *list {
-		fmt.Print(ndpage.TableII())
-		return
+		fmt.Fprint(out, ndpage.TableII())
+		return nil
 	}
 
 	mech, err := ndpage.ParseMechanism(*mechName)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	sys := ndpage.NDP
 	switch *system {
@@ -56,7 +88,19 @@ func main() {
 	case "cpu":
 		sys = ndpage.CPU
 	default:
-		fatal(fmt.Errorf("unknown system %q (want ndp or cpu)", *system))
+		return fmt.Errorf("unknown system %q (want ndp or cpu)", *system)
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	res, err := ndpage.Run(ndpage.Config{
@@ -74,48 +118,63 @@ func main() {
 		MLP:            *mlp,
 	})
 	if err != nil {
-		fatal(err)
+		return err
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		defer f.Close()
+		runtime.GC() // materialize the retained heap
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
 	}
 
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(res); err != nil {
-			fatal(err)
-		}
-		return
+		return enc.Encode(res)
 	}
 
-	fmt.Printf("system=%s mechanism=%s cores=%d workload=%s\n", *system, mech, *cores, *wl)
-	fmt.Printf("  instructions        %d (%d loads, %d stores)\n", res.Instructions, res.Loads, res.Stores)
-	fmt.Printf("  cycles              %d (CPI %.2f)\n", res.Cycles, res.CPI())
-	fmt.Printf("  translation         %.1f%% of time, %d walks, mean PTW %.1f cycles\n",
+	printSummary(out, *system, mech, *cores, *wl, *shared, *width, *mlp, res)
+	return nil
+}
+
+// printSummary renders the human-readable metric summary.
+func printSummary(out io.Writer, system string, mech ndpage.Mechanism, cores int, wl string, shared bool, width, mlp int, res *ndpage.Result) {
+	fmt.Fprintf(out, "system=%s mechanism=%s cores=%d workload=%s\n", system, mech, cores, wl)
+	fmt.Fprintf(out, "  instructions        %d (%d loads, %d stores)\n", res.Instructions, res.Loads, res.Stores)
+	fmt.Fprintf(out, "  cycles              %d (CPI %.2f)\n", res.Cycles, res.CPI())
+	fmt.Fprintf(out, "  translation         %.1f%% of time, %d walks, mean PTW %.1f cycles\n",
 		100*res.TranslationOverhead(), res.Walks, res.MeanPTWLatency())
-	fmt.Printf("  TLB miss rate       %.2f%% (L1 %.2f%%, L2 %.2f%%)\n",
+	fmt.Fprintf(out, "  TLB miss rate       %.2f%% (L1 %.2f%%, L2 %.2f%%)\n",
 		100*res.TLBMissRate(), 100*res.L1TLB.MissRate(), 100*res.L2TLB.MissRate())
-	if *shared || *width > 1 || *mlp > 1 {
-		fmt.Printf("  walker              MSHR hits %d (%.2f%%), overlapped %d (%.2f%%), queued %d (%.1f cycles/walk), peak in-flight %d\n",
+	if shared || width > 1 || mlp > 1 {
+		fmt.Fprintf(out, "  walker              MSHR hits %d (%.2f%%), overlapped %d (%.2f%%), queued %d (%.1f cycles/walk), peak in-flight %d\n",
 			res.MSHRHits, 100*res.MSHRHitRate(), res.OverlappedWalks, 100*res.WalkOverlapRate(),
 			res.QueuedWalks, res.MeanWalkQueueCycles(), res.MaxConcurrentWalks)
-		fmt.Printf("  walk overlap        mean %.2f in flight%s\n", res.MeanWalkConcurrency(), hist(res.WalkOverlapHist))
+		fmt.Fprintf(out, "  walk overlap        mean %.2f in flight%s\n", res.MeanWalkConcurrency(), hist(res.WalkOverlapHist))
 	}
-	if *mlp > 1 {
-		fmt.Printf("  core window         mean %.2f ops in flight (MLP %d)%s\n",
+	if mlp > 1 {
+		fmt.Fprintf(out, "  core window         mean %.2f ops in flight (MLP %d)%s\n",
 			res.MeanInFlight(), res.Config.MLP, hist(res.InFlightHist))
 	}
-	fmt.Printf("  PTE share           %.1f%% of memory accesses (%d PTE accesses)\n",
+	fmt.Fprintf(out, "  PTE share           %.1f%% of memory accesses (%d PTE accesses)\n",
 		100*res.PTEAccessShare(), res.PTEAccesses)
-	fmt.Printf("  L1 miss rates       data %.2f%%, metadata %.2f%% (%d bypassed)\n",
+	fmt.Fprintf(out, "  L1 miss rates       data %.2f%%, metadata %.2f%% (%d bypassed)\n",
 		100*res.L1DataMissRate(), 100*res.L1PTEMissRate(), res.L1Bypassed)
-	fmt.Printf("  PWC hit rates       PL4 %.1f%% PL3 %.1f%% PL2 %.1f%%\n",
+	fmt.Fprintf(out, "  PWC hit rates       PL4 %.1f%% PL3 %.1f%% PL2 %.1f%%\n",
 		100*res.PWCHitRate(addr.PL4), 100*res.PWCHitRate(addr.PL3), 100*res.PWCHitRate(addr.PL2))
-	fmt.Printf("  DRAM                mean latency %.1f cycles, mean queue %.1f\n",
+	fmt.Fprintf(out, "  DRAM                mean latency %.1f cycles, mean queue %.1f\n",
 		res.DRAMMeanLatency, res.DRAMMeanQueue)
-	fmt.Printf("  faults              %d x 4K, %d x 2M, %d huge fallbacks, %d compaction cycles\n",
+	fmt.Fprintf(out, "  faults              %d x 4K, %d x 2M, %d huge fallbacks, %d compaction cycles\n",
 		res.Faults4K, res.Faults2M, res.HugeFallbacks, res.CompactionCycles)
-	fmt.Printf("  page table          %d mapped pages\n", res.MappedPages)
+	fmt.Fprintf(out, "  page table          %d mapped pages\n", res.MappedPages)
 	for _, o := range res.Occupancy {
-		fmt.Printf("    %-6s %6d nodes, occupancy %6.2f%%\n", o.Level, o.Nodes, 100*o.Rate())
+		fmt.Fprintf(out, "    %-6s %6d nodes, occupancy %6.2f%%\n", o.Level, o.Nodes, 100*o.Rate())
 	}
 }
 
@@ -133,9 +192,4 @@ func hist(h []uint64) string {
 		}
 	}
 	return s
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "ndpsim:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// tiny returns arguments for a fast simulation.
+func tiny(extra ...string) []string {
+	args := []string{
+		"-mech", "NDPage", "-workload", "rnd", "-cores", "1",
+		"-footprint", "33554432", "-memory", "268435456",
+		"-warmup", "200", "-instructions", "1000",
+	}
+	return append(args, extra...)
+}
+
+func TestRunTextSummary(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(tiny(), &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"system=ndp mechanism=NDPage", "instructions", "TLB miss rate"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("summary missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(tiny("-json"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "\"Instructions\"") {
+		t.Errorf("JSON output missing Instructions field:\n%.200s", out.String())
+	}
+}
+
+// TestProfileFlagsWriteFiles: -cpuprofile and -memprofile must create
+// non-empty pprof files covering the simulation.
+func TestProfileFlagsWriteFiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var out bytes.Buffer
+	if err := run(tiny("-cpuprofile", cpu, "-memprofile", mem), &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s not created: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}
+
+func TestRunRejectsUnknownSystem(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-system", "tpu"}, &out); err == nil {
+		t.Error("unknown system accepted")
+	}
+}
+
+func TestHelpFlagIsCleanExit(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-h"}, &out); err != nil {
+		t.Errorf("-h returned error: %v", err)
+	}
+}
+
+func TestBadFlagReportsOnce(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-no-such-flag"}, &out)
+	if err == nil {
+		t.Fatal("bad flag accepted")
+	}
+	if !strings.Contains(err.Error(), "flag parsing failed") {
+		t.Errorf("bad flag error = %v, want the already-reported marker", err)
+	}
+}

@@ -1,0 +1,72 @@
+// Package bitset provides a paged bitmap over uint64 keys: a directory
+// of fixed-size bit pages allocated on first touch. It backs the OS
+// model's per-chunk state (huge-page fallback marks, residency tracking)
+// that used to live in map[addr.VPN]bool sets — a Get is two array
+// indexes and a mask instead of a map-bucket probe, which matters
+// because the residency and fallback checks sit on the demand-paging
+// path of every simulated load and store.
+//
+// Keys are expected to be dense-ish (the simulator's address spaces
+// bump-allocate virtual chunks from a fixed base, so chunk ordinals are
+// a short dense run); sparse keys still work, paying one page per
+// occupied key range. The zero value is an empty set ready to use.
+package bitset
+
+// pageBits is log2 of the bits per directory page. 1<<15 bits = 4 KB of
+// words per page, so a 16 GB address space's 2 MB-chunk ordinals (8192
+// chunks) fit in a single page.
+const (
+	pageBits = 15
+	pageSize = 1 << pageBits // bits per page
+	words    = pageSize / 64
+)
+
+// Paged is a paged bitmap. Not safe for concurrent use.
+type Paged struct {
+	pages [][]uint64
+	count uint64
+}
+
+// Get reports whether key is in the set.
+func (p *Paged) Get(key uint64) bool {
+	pi := key >> pageBits
+	if pi >= uint64(len(p.pages)) || p.pages[pi] == nil {
+		return false
+	}
+	bit := key & (pageSize - 1)
+	return p.pages[pi][bit>>6]&(1<<(bit&63)) != 0
+}
+
+// Set adds key to the set, allocating its page on first touch.
+func (p *Paged) Set(key uint64) {
+	pi := key >> pageBits
+	for uint64(len(p.pages)) <= pi {
+		p.pages = append(p.pages, nil)
+	}
+	if p.pages[pi] == nil {
+		p.pages[pi] = make([]uint64, words)
+	}
+	bit := key & (pageSize - 1)
+	w, m := bit>>6, uint64(1)<<(bit&63)
+	if p.pages[pi][w]&m == 0 {
+		p.pages[pi][w] |= m
+		p.count++
+	}
+}
+
+// Clear removes key from the set.
+func (p *Paged) Clear(key uint64) {
+	pi := key >> pageBits
+	if pi >= uint64(len(p.pages)) || p.pages[pi] == nil {
+		return
+	}
+	bit := key & (pageSize - 1)
+	w, m := bit>>6, uint64(1)<<(bit&63)
+	if p.pages[pi][w]&m != 0 {
+		p.pages[pi][w] &^= m
+		p.count--
+	}
+}
+
+// Len returns the number of keys in the set.
+func (p *Paged) Len() uint64 { return p.count }

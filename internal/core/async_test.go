@@ -8,17 +8,36 @@ import (
 	"ndpage/internal/engine"
 )
 
-// translateAsyncAt schedules one TranslateAsync request at time t and
-// returns pointers to the recorded (pa, done) outcome.
-func translateAsyncAt(eng *engine.Engine, m *MMU, t uint64, v addr.V) (*addr.P, *uint64) {
-	var pa addr.P
-	var at uint64
-	eng.Schedule(t, 0, func() {
-		m.TranslateAsync(eng, t, v, access.Read, func(p addr.P, done uint64) {
-			pa, at = p, done
-		})
+// xlatOut records one TranslateAsync completion. It implements
+// TranslationClient.
+type xlatOut struct {
+	pa addr.P
+	at uint64
+}
+
+func (o *xlatOut) OnTranslated(pa addr.P, at uint64) { o.pa, o.at = pa, at }
+
+// xlatIssuer injects TranslateAsync requests as engine events, the way
+// the non-blocking front-end does.
+type xlatIssuer struct {
+	eng *engine.Engine
+	m   *MMU
+	fns []func()
+}
+
+func (xi *xlatIssuer) OnEvent(now uint64, kind uint8, payload uint64) {
+	xi.fns[payload]()
+}
+
+// translateAt schedules one TranslateAsync request at time t and
+// returns the record its completion will fill.
+func (xi *xlatIssuer) translateAt(t uint64, v addr.V) *xlatOut {
+	out := &xlatOut{}
+	xi.fns = append(xi.fns, func() {
+		xi.m.TranslateAsync(xi.eng, t, v, access.Read, out)
 	})
-	return &pa, &at
+	xi.eng.Schedule(t, 0, xi, 0, uint64(len(xi.fns)-1))
+	return out
 }
 
 // TestTranslateAsyncMatchesSynchronousTiming: a lone async translation
@@ -36,11 +55,12 @@ func TestTranslateAsyncMatchesSynchronousTiming(t *testing.T) {
 			wantPA, wantDone := syncMMU.Translate(now, v, access.Read)
 
 			eng := engine.New()
-			gotPA, gotDone := translateAsyncAt(eng, asyncMMU, now, v)
+			xi := &xlatIssuer{eng: eng, m: asyncMMU}
+			got := xi.translateAt(now, v)
 			eng.Run()
-			if *gotPA != wantPA || *gotDone != wantDone {
+			if got.pa != wantPA || got.at != wantDone {
 				t.Errorf("%v access %d: async (%#x, %d) != sync (%#x, %d)",
-					mech, i, uint64(*gotPA), *gotDone, uint64(wantPA), wantDone)
+					mech, i, uint64(got.pa), got.at, uint64(wantPA), wantDone)
 			}
 		}
 	}
@@ -52,26 +72,27 @@ func TestTranslateAsyncMatchesSynchronousTiming(t *testing.T) {
 func TestTranslateAsyncCoalescesConcurrentMisses(t *testing.T) {
 	mmu, base := rig(t, Radix)
 	eng := engine.New()
-	_, doneA := translateAsyncAt(eng, mmu, 0, base)
-	_, doneB := translateAsyncAt(eng, mmu, 10, base+64)
+	xi := &xlatIssuer{eng: eng, m: mmu}
+	a := xi.translateAt(0, base)
+	b := xi.translateAt(10, base+64)
 	eng.Run()
 	ws := mmu.Walker().Stats()
 	if ws.Walks.Value() != 1 || ws.MSHRHits.Value() != 1 {
 		t.Fatalf("walks=%d mshr=%d, want 1 walk + 1 coalesce", ws.Walks.Value(), ws.MSHRHits.Value())
 	}
-	if *doneA != *doneB {
-		t.Errorf("coalesced translations complete at %d/%d, want equal", *doneA, *doneB)
+	if a.at != b.at {
+		t.Errorf("coalesced translations complete at %d/%d, want equal", a.at, b.at)
 	}
 
 	// After completion the page is in the DTLB: a hit resolves in the
 	// L1 TLB latency with no further walk.
-	_, doneC := translateAsyncAt(eng, mmu, *doneA+100, base+128)
+	c := xi.translateAt(a.at+100, base+128)
 	eng.Run()
 	if got := mmu.Walker().Stats().Walks.Value(); got != 1 {
 		t.Errorf("TLB-filled page walked again (%d walks)", got)
 	}
-	if want := *doneA + 100 + mmu.DTLB().Latency(); *doneC != want {
-		t.Errorf("post-fill hit completed at %d, want %d", *doneC, want)
+	if want := a.at + 100 + mmu.DTLB().Latency(); c.at != want {
+		t.Errorf("post-fill hit completed at %d, want %d", c.at, want)
 	}
 }
 
@@ -80,8 +101,9 @@ func TestTranslateAsyncCoalescesConcurrentMisses(t *testing.T) {
 func TestTranslateAsyncWindowContention(t *testing.T) {
 	mmu, base := rig(t, Radix)
 	eng := engine.New()
-	_, doneA := translateAsyncAt(eng, mmu, 0, base)
-	_, doneB := translateAsyncAt(eng, mmu, 0, base+addr.PageSize)
+	xi := &xlatIssuer{eng: eng, m: mmu}
+	a := xi.translateAt(0, base)
+	b := xi.translateAt(0, base+addr.PageSize)
 	eng.Run()
 	ws := mmu.Walker().Stats()
 	if ws.Walks.Value() != 2 {
@@ -90,7 +112,7 @@ func TestTranslateAsyncWindowContention(t *testing.T) {
 	if ws.QueuedWalks.Value() != 1 {
 		t.Errorf("queued = %d, want 1 (width-1 slot held)", ws.QueuedWalks.Value())
 	}
-	if !(*doneB > *doneA) {
-		t.Errorf("second miss (%d) did not queue behind the first (%d)", *doneB, *doneA)
+	if !(b.at > a.at) {
+		t.Errorf("second miss (%d) did not queue behind the first (%d)", b.at, a.at)
 	}
 }

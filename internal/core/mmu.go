@@ -69,7 +69,71 @@ type MMU struct {
 	unit   *WalkUnit
 	table  pagetable.Table
 
+	// xlatFree heads the free list of pooled async-translation records,
+	// so a TLB miss in the event-scheduled path allocates nothing in
+	// steady state.
+	xlatFree *xlatReq
+
 	stats Stats
+}
+
+// TranslationClient receives the completion of an asynchronous
+// translation: the physical address and the absolute time it resolved.
+// Implementations are caller-owned records (the simulator pools its
+// in-flight memory ops), invoked exactly once per TranslateAsync call.
+type TranslationClient interface {
+	OnTranslated(pa addr.P, at uint64)
+}
+
+// xlatReq is one in-flight asynchronous translation: the context the
+// MMU needs to fill its TLBs and account latency when the walk's
+// completion event fires. Records are pooled on the MMU's free list and
+// registered with the walker as Waiters, so a miss allocates nothing.
+type xlatReq struct {
+	m      *MMU
+	vpn    addr.VPN
+	v      addr.V
+	now    uint64
+	client TranslationClient
+	next   *xlatReq
+}
+
+var _ walker.Waiter = (*xlatReq)(nil)
+
+// OnWalkDone implements walker.Waiter: fill the TLBs, account the
+// translation latency, recycle the record, and hand the result to the
+// client.
+func (r *xlatReq) OnWalkDone(resp walker.Response) {
+	m := r.m
+	if !resp.Found {
+		panic(unmapped(r.v))
+	}
+	te := tlb.Entry{PFN: resp.Entry.PFN, Huge: resp.Entry.Huge}
+	m.dtlb.Insert(r.vpn, te)
+	m.stlb.Insert(r.vpn, te)
+	m.stats.TranslationCycles.Add(resp.Done - r.now)
+	client, pa := r.client, physical(resp.Entry, r.v)
+	m.putXlat(r)
+	client.OnTranslated(pa, resp.Done)
+}
+
+// getXlat takes a pooled translation record (or grows the pool).
+func (m *MMU) getXlat(vpn addr.VPN, v addr.V, now uint64, client TranslationClient) *xlatReq {
+	r := m.xlatFree
+	if r == nil {
+		r = &xlatReq{m: m}
+	} else {
+		m.xlatFree = r.next
+	}
+	r.vpn, r.v, r.now, r.client, r.next = vpn, v, now, client, nil
+	return r
+}
+
+// putXlat returns a completed record to the free list.
+func (m *MMU) putXlat(r *xlatReq) {
+	r.client = nil
+	r.next = m.xlatFree
+	m.xlatFree = r
 }
 
 // Options tunes an MMU away from the Table I defaults, for sensitivity
@@ -197,48 +261,41 @@ func (m *MMU) Translate(now uint64, v addr.V, op access.Op) (addr.P, uint64) {
 }
 
 // TranslateAsync resolves v as a request/completion pair on the event
-// schedule: done is invoked exactly once with the physical address and
-// the absolute completion time. It is layered over the same TLB and walk
-// machinery as Translate — TLB hits resolve inline (their few-cycle
-// latency is known immediately), while misses go through the walk unit's
-// event-scheduled path, so concurrent translations contend for real walk
-// slots, coalesce in the MSHRs, and fill the TLBs only when their walk's
-// completion event fires. Used by the non-blocking core model
-// (sim.Config.MLP > 1); the blocking model keeps Translate.
-func (m *MMU) TranslateAsync(s walker.Scheduler, now uint64, v addr.V, op access.Op, done func(pa addr.P, at uint64)) {
+// schedule: client.OnTranslated is invoked exactly once with the
+// physical address and the absolute completion time. It is layered over
+// the same TLB and walk machinery as Translate — TLB hits resolve
+// inline (their few-cycle latency is known immediately), while misses
+// go through the walk unit's event-scheduled path, so concurrent
+// translations contend for real walk slots, coalesce in the MSHRs, and
+// fill the TLBs only when their walk's completion event fires. The miss
+// context rides a pooled record registered with the walker, so the path
+// allocates nothing in steady state. Used by the non-blocking core
+// model (sim.Config.MLP > 1); the blocking model keeps Translate.
+func (m *MMU) TranslateAsync(s walker.Scheduler, now uint64, v addr.V, op access.Op, client TranslationClient) {
 	m.stats.Translations.Inc()
 	if m.mech == Ideal {
 		e, ok := m.table.Lookup(v.Page())
 		if !ok {
 			panic(unmapped(v))
 		}
-		done(physical(e, v), now)
+		client.OnTranslated(physical(e, v), now)
 		return
 	}
 	vpn := v.Page()
 	t := now + m.dtlb.Latency()
 	if e, ok := m.dtlb.Lookup(vpn); ok {
 		m.stats.TranslationCycles.Add(t - now)
-		done(physical(pagetable.Entry(e), v), t)
+		client.OnTranslated(physical(pagetable.Entry(e), v), t)
 		return
 	}
 	t += m.stlb.Latency()
 	if e, ok := m.stlb.Lookup(vpn); ok {
 		m.dtlb.Insert(vpn, e)
 		m.stats.TranslationCycles.Add(t - now)
-		done(physical(pagetable.Entry(e), v), t)
+		client.OnTranslated(physical(pagetable.Entry(e), v), t)
 		return
 	}
-	m.unit.Walker.WalkAsync(s, walker.Request{Core: m.coreID, V: v, Time: t}, func(resp walker.Response) {
-		if !resp.Found {
-			panic(unmapped(v))
-		}
-		te := tlb.Entry{PFN: resp.Entry.PFN, Huge: resp.Entry.Huge}
-		m.dtlb.Insert(vpn, te)
-		m.stlb.Insert(vpn, te)
-		m.stats.TranslationCycles.Add(resp.Done - now)
-		done(physical(resp.Entry, v), resp.Done)
-	})
+	m.unit.Walker.WalkAsync(s, walker.Request{Core: m.coreID, V: v, Time: t}, m.getXlat(vpn, v, now, client))
 }
 
 // TranslateCode resolves an instruction-fetch address. Fetch translation

@@ -1,27 +1,41 @@
 // Package engine is the simulator's event-scheduled execution core: a
 // deterministic discrete-event queue that replaces the per-step
-// min-clock scan over all cores. Actors (cores, walkers) schedule
-// closures at absolute times; Run dispatches them in strict
-// (time, actor, seq) order, so ties between actors resolve by actor id
-// (matching the old scan's lowest-index-first choice) and ties within an
-// actor resolve by scheduling order. The queue is a binary min-heap, so
-// each dispatch costs O(log n) in the number of pending events instead
-// of the O(cores) scan the step-driven loop paid per instruction.
+// min-clock scan over all cores. Actors (cores, walkers) implement the
+// Actor interface once; events are typed — a (kind, payload) pair
+// delivered to a target actor at an absolute time — and are stored
+// inline in the heap as value structs, so scheduling an event performs
+// no heap allocation. Run dispatches in strict (time, actor, seq)
+// order, so ties between actors resolve by actor id (matching the old
+// scan's lowest-index-first choice) and ties within an actor resolve by
+// scheduling order. The queue is a binary min-heap, so each dispatch
+// costs O(log n) in the number of pending events instead of the
+// O(cores) scan the step-driven loop paid per instruction.
 //
-// The engine is single-threaded and allocation-light: one heap slot per
-// pending event, no goroutines, no channels. A simulation owns exactly
-// one engine; separate simulations (the exp Runner prefetches runs
-// across goroutines) own separate engines and share nothing.
+// The engine is single-threaded and allocation-free on the hot path:
+// one inline heap slot per pending event, no closures, no goroutines,
+// no channels. A simulation owns exactly one engine; separate
+// simulations (the sweep Runner fans runs out across goroutines) own
+// separate engines and share nothing.
 package engine
 
 import "fmt"
 
-// event is one scheduled closure.
+// Actor receives dispatched events. Cores and walkers implement it once
+// and interpret (kind, payload) themselves: kind namespaces are private
+// to each actor type, and payload carries whatever one word of context
+// the event needs (a slot index, a completion time — or nothing).
+type Actor interface {
+	OnEvent(now uint64, kind uint8, payload uint64)
+}
+
+// event is one scheduled typed event, stored inline in the heap.
 type event struct {
-	time  uint64
-	actor int
-	seq   uint64
-	fn    func()
+	time    uint64
+	seq     uint64
+	payload uint64
+	target  Actor
+	actor   int32
+	kind    uint8
 }
 
 // before is the strict (time, actor, seq) order.
@@ -72,15 +86,19 @@ func (e *Engine) Rewind() {
 	e.now = 0
 }
 
-// Schedule enqueues fn to run at absolute time t on behalf of actor.
-// Events fire in (time, actor, seq) order; seq is the global scheduling
-// order, so two events at the same (time, actor) fire in the order they
-// were scheduled. Scheduling into the past is a model bug and panics.
-func (e *Engine) Schedule(t uint64, actor int, fn func()) {
+// Schedule enqueues a (kind, payload) event for target at absolute time
+// t, ordered on behalf of actor. The actor id is purely an ordering
+// key: a walker schedules its release events under the requesting
+// core's id so that ties at equal times resolve exactly as they did
+// when the core itself did the work. Events fire in (time, actor, seq)
+// order; seq is the global scheduling order, so two events at the same
+// (time, actor) fire in the order they were scheduled. Scheduling into
+// the past is a model bug and panics.
+func (e *Engine) Schedule(t uint64, actor int, target Actor, kind uint8, payload uint64) {
 	if t < e.now {
 		panic(fmt.Sprintf("engine: event scheduled at %d, before current time %d", t, e.now))
 	}
-	e.heap = append(e.heap, event{time: t, actor: actor, seq: e.seq, fn: fn})
+	e.heap = append(e.heap, event{time: t, seq: e.seq, payload: payload, target: target, actor: int32(actor), kind: kind})
 	e.seq++
 	e.up(len(e.heap) - 1)
 }
@@ -94,14 +112,14 @@ func (e *Engine) Step() bool {
 	ev := e.heap[0]
 	last := len(e.heap) - 1
 	e.heap[0] = e.heap[last]
-	e.heap[last] = event{} // release the closure
+	e.heap[last] = event{} // drop the vacated slot's Actor reference
 	e.heap = e.heap[:last]
 	if last > 0 {
 		e.down(0)
 	}
 	e.now = ev.time
 	e.dispatched++
-	ev.fn()
+	ev.target.OnEvent(ev.time, ev.kind, ev.payload)
 	return true
 }
 

@@ -24,6 +24,7 @@ import (
 	"fmt"
 
 	"ndpage/internal/addr"
+	"ndpage/internal/bitset"
 	"ndpage/internal/pagetable"
 	"ndpage/internal/phys"
 	"ndpage/internal/xrand"
@@ -161,16 +162,19 @@ type AddressSpace struct {
 
 	brk     addr.V
 	regions []Region
-	// fallback4K marks 2 MB chunks (by huge-aligned VPN) that lost the
-	// contiguity race under the Huge2M policy.
-	fallback4K map[addr.VPN]bool
+	// fallback4K marks 2 MB chunks (by chunk ordinal, see chunkKey) that
+	// lost the contiguity race under the Huge2M policy. It is consulted
+	// on every data-side fault, so it is a paged bitmap rather than a
+	// map — no bucket probe on the demand-paging path.
+	fallback4K bitset.Paged
 	holeRNG    *xrand.RNG
 
 	// Reclaim state (active when cfg.ResidentLimitFrames > 0): FIFO of
-	// resident chunks and the current resident page count.
+	// resident chunks, the resident-chunk bitmap, and the current
+	// resident page count.
 	residentFIFO  []addr.VPN
 	fifoHead      int
-	residentSet   map[addr.VPN]bool
+	residentSet   bitset.Paged
 	residentPages uint64
 
 	stats Stats
@@ -181,16 +185,26 @@ type AddressSpace struct {
 // the constant is just hygiene).
 const vaBase = addr.V(1) << 39
 
+// chunkKey maps a huge-aligned VPN to its dense 2 MB-chunk ordinal
+// relative to the heap base: the bump allocator hands out chunks
+// upward from vaBase, so ordinals index the paged bitmaps densely from
+// zero.
+func chunkKey(vpn addr.VPN) uint64 {
+	const basePage = uint64(vaBase) >> addr.PageShift
+	if uint64(vpn) < basePage {
+		panic(fmt.Sprintf("osmm: chunk VPN %#x below the heap base", uint64(vpn)))
+	}
+	return (uint64(vpn) - basePage) >> addr.LevelBits
+}
+
 // New creates an address space over the given table and allocator.
 func New(table pagetable.Table, alloc *phys.Allocator, cfg Config) *AddressSpace {
 	return &AddressSpace{
-		table:       table,
-		alloc:       alloc,
-		cfg:         cfg,
-		brk:         vaBase,
-		fallback4K:  make(map[addr.VPN]bool),
-		holeRNG:     xrand.New(cfg.HoleSeed),
-		residentSet: make(map[addr.VPN]bool),
+		table:   table,
+		alloc:   alloc,
+		cfg:     cfg,
+		brk:     vaBase,
+		holeRNG: xrand.New(cfg.HoleSeed),
 	}
 }
 
@@ -201,15 +215,15 @@ func (as *AddressSpace) noteResident(chunk addr.VPN, pages uint64) uint64 {
 		return 0
 	}
 	as.residentPages += pages
-	if !as.residentSet[chunk] {
-		as.residentSet[chunk] = true
+	if !as.residentSet.Get(chunkKey(chunk)) {
+		as.residentSet.Set(chunkKey(chunk))
 		as.residentFIFO = append(as.residentFIFO, chunk)
 	}
 	cost := uint64(0)
 	for as.residentPages > as.cfg.ResidentLimitFrames && as.fifoHead < len(as.residentFIFO) {
 		victim := as.residentFIFO[as.fifoHead]
 		as.fifoHead++
-		if !as.residentSet[victim] || victim == chunk {
+		if !as.residentSet.Get(chunkKey(victim)) || victim == chunk {
 			continue // already gone, or the chunk being faulted in
 		}
 		cost += as.reclaimChunk(victim)
@@ -225,7 +239,7 @@ func (as *AddressSpace) noteResident(chunk addr.VPN, pages uint64) uint64 {
 // reclaimChunk unmaps every page of the chunk, returning the frames to
 // the allocator and charging the reclaim cost.
 func (as *AddressSpace) reclaimChunk(chunk addr.VPN) uint64 {
-	delete(as.residentSet, chunk)
+	as.residentSet.Clear(chunkKey(chunk))
 	freed := uint64(0)
 	for k := uint64(0); k < addr.EntriesPerTable; {
 		e, ok := as.table.Unmap(chunk + addr.VPN(k))
@@ -323,7 +337,7 @@ func (as *AddressSpace) populateChunk(vpn addr.VPN) {
 			as.stats.Populated += addr.EntriesPerTable
 			return
 		}
-		as.fallback4K[vpn] = true
+		as.fallback4K.Set(chunkKey(vpn))
 		as.stats.HugeFallbacks++
 	}
 	// 4 KB population; grab contiguity when available purely as a fast
@@ -366,7 +380,7 @@ func (as *AddressSpace) fault(v addr.V) uint64 {
 	}
 	vpn := v.Page()
 	chunk := v.HugePage()
-	if as.cfg.Policy == Huge2M && !as.fallback4K[chunk] {
+	if as.cfg.Policy == Huge2M && !as.fallback4K.Get(chunkKey(chunk)) {
 		// A fresh chunk triggers a huge allocation attempt. Under
 		// contiguity pressure the fault stalls on direct compaction
 		// whether or not a block is ultimately found.
@@ -381,7 +395,7 @@ func (as *AddressSpace) fault(v addr.V) uint64 {
 			as.stats.FaultCycles += cost + as.cfg.FaultCost2M
 			return cost + as.cfg.FaultCost2M
 		}
-		as.fallback4K[chunk] = true
+		as.fallback4K.Set(chunkKey(chunk))
 		as.stats.HugeFallbacks++
 	}
 	cost += as.noteResident(chunk, 1)

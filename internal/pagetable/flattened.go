@@ -37,11 +37,16 @@ type Flattened struct {
 	// (PL4,PL3) prefix -> flattened node. Node structures mirror the
 	// radix layout for the two upper levels.
 	root *radixNode
-	// flats holds the flattened nodes keyed by the PL3 child slot.
-	flats map[uint64]*flatNode
+	// flats holds the flattened nodes indexed densely by the PL3 child
+	// slot (the 18-bit PL4+PL3 prefix), grown on demand. The simulator's
+	// address spaces bump-allocate from a fixed base, so occupied slots
+	// are a short dense run and the slice stays small — and Lookup, which
+	// runs on every demand-paging check of every load/store, indexes it
+	// with no map-bucket probe.
+	flats []*flatNode
 
-	nodes      map[addr.Level]uint64
-	used       map[addr.Level]uint64
+	nodes      levelCounts
+	used       levelCounts
 	mapped     uint64
 	hugeBacked uint64 // flattened nodes that got a contiguous 2 MB block
 	chunkFalls uint64 // flattened nodes that fell back to chunked frames
@@ -49,14 +54,25 @@ type Flattened struct {
 
 // NewFlattened builds an empty NDPage table backed by alloc.
 func NewFlattened(alloc *phys.Allocator) *Flattened {
-	f := &Flattened{
-		alloc: alloc,
-		flats: make(map[uint64]*flatNode),
-		nodes: make(map[addr.Level]uint64),
-		used:  make(map[addr.Level]uint64),
-	}
+	f := &Flattened{alloc: alloc}
 	f.root = f.newUpperNode(addr.PL4)
 	return f
+}
+
+// flatAt returns the flattened node at slot, nil when absent.
+func (f *Flattened) flatAt(slot uint64) *flatNode {
+	if slot >= uint64(len(f.flats)) {
+		return nil
+	}
+	return f.flats[slot]
+}
+
+// setFlat stores fn at slot, growing the dense index as needed.
+func (f *Flattened) setFlat(slot uint64, fn *flatNode) {
+	for uint64(len(f.flats)) <= slot {
+		f.flats = append(f.flats, nil)
+	}
+	f.flats[slot] = fn
 }
 
 // Kind implements Table.
@@ -127,13 +143,13 @@ func (f *Flattened) flatFor(v addr.V, create bool) *flatNode {
 		f.used[addr.PL4]++
 	}
 	slot := pl3Slot(v)
-	fn := f.flats[slot]
+	fn := f.flatAt(slot)
 	if fn == nil {
 		if !create {
 			return nil
 		}
 		fn = f.newFlatNode()
-		f.flats[slot] = fn
+		f.setFlat(slot, fn)
 		n3.used++
 		f.used[addr.PL3]++
 	}
@@ -233,7 +249,7 @@ func (f *Flattened) WalkInto(v addr.V, w *Walk) {
 		return
 	}
 	w.Seq = append(w.Seq, Access{addr.PL3, pteAddr(n3.basePA, addr.Index(v, addr.PL3))})
-	fn := f.flats[pl3Slot(v)]
+	fn := f.flatAt(pl3Slot(v))
 	if fn == nil {
 		return
 	}

@@ -24,24 +24,26 @@ type radixNode struct {
 	present []bool
 }
 
+// levelCounts is a dense per-level counter array indexed by addr.Level
+// (PL1..L2L1), replacing the map the occupancy bookkeeping used to key
+// through: Map/Unmap touch these counters on every call and a map
+// bucket probe per mapped page is measurable at population scale.
+type levelCounts [addr.L2L1 + 1]uint64
+
 // Radix is the conventional x86-64 4-level page table. It also serves the
 // Huge Page mechanism via MapHuge (2 MB leaves at PL2).
 type Radix struct {
 	alloc  *phys.Allocator
 	root   *radixNode
-	nodes  map[addr.Level]uint64
-	used   map[addr.Level]uint64
+	nodes  levelCounts
+	used   levelCounts
 	mapped uint64
 }
 
 // NewRadix builds an empty 4-level table whose nodes are backed by frames
 // from alloc.
 func NewRadix(alloc *phys.Allocator) *Radix {
-	r := &Radix{
-		alloc: alloc,
-		nodes: make(map[addr.Level]uint64),
-		used:  make(map[addr.Level]uint64),
-	}
+	r := &Radix{alloc: alloc}
 	r.root = r.newNode(addr.PL4)
 	return r
 }

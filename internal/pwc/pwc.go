@@ -57,11 +57,14 @@ type Cache interface {
 	Fill(v addr.V, walked []addr.Level)
 }
 
-// PWC is a set of per-level page-walk caches. Not safe for concurrent use.
+// PWC is a set of per-level page-walk caches. The per-level tables and
+// counters are dense arrays indexed by addr.Level — Probe runs before
+// every sequential walk and Fill after it, so the per-level lookups
+// must touch no map buckets. Not safe for concurrent use.
 type PWC struct {
 	cfg    Config
-	tables map[addr.Level]*assoc.Table[struct{}]
-	stats  map[addr.Level]*stats.HitMiss
+	tables [addr.L2L1 + 1]*assoc.Table[struct{}]
+	stats  [addr.L2L1 + 1]*stats.HitMiss
 }
 
 var _ Cache = (*PWC)(nil)
@@ -71,12 +74,11 @@ func New(cfg Config) *PWC {
 	if cfg.Entries <= 0 || cfg.Ways <= 0 || cfg.Entries%cfg.Ways != 0 {
 		panic(fmt.Sprintf("pwc: invalid geometry %+v", cfg))
 	}
-	p := &PWC{
-		cfg:    cfg,
-		tables: make(map[addr.Level]*assoc.Table[struct{}], len(cfg.Levels)),
-		stats:  make(map[addr.Level]*stats.HitMiss, len(cfg.Levels)),
-	}
+	p := &PWC{cfg: cfg}
 	for _, l := range cfg.Levels {
+		if l < 0 || l > addr.L2L1 {
+			panic(fmt.Sprintf("pwc: invalid level %v", l))
+		}
 		p.tables[l] = assoc.New[struct{}](cfg.Entries/cfg.Ways, cfg.Ways)
 		p.stats[l] = &stats.HitMiss{}
 	}
@@ -91,8 +93,7 @@ func (p *PWC) Levels() []addr.Level { return p.cfg.Levels }
 
 // Has reports whether level l has a PWC.
 func (p *PWC) Has(l addr.Level) bool {
-	_, ok := p.tables[l]
-	return ok
+	return l >= 0 && l <= addr.L2L1 && p.tables[l] != nil
 }
 
 // Probe checks all per-level caches for the walk of v in one parallel
@@ -124,7 +125,7 @@ func lower(a, b addr.Level) bool {
 // level's prefix is inserted.
 func (p *PWC) Fill(v addr.V, walked []addr.Level) {
 	for _, l := range walked {
-		if t, ok := p.tables[l]; ok {
+		if t := p.tables[l]; t != nil {
 			t.Insert(addr.Prefix(v, l), struct{}{})
 		}
 	}
@@ -133,25 +134,34 @@ func (p *PWC) Fill(v addr.V, walked []addr.Level) {
 // HitRate returns the hit rate of level l's PWC (0 if the level has no
 // PWC or saw no probes).
 func (p *PWC) HitRate(l addr.Level) float64 {
-	if s, ok := p.stats[l]; ok {
-		return s.HitRate()
+	if !p.Has(l) {
+		return 0
 	}
-	return 0
+	return p.stats[l].HitRate()
 }
 
 // Stats returns the live counters for level l (nil if no PWC at l).
-func (p *PWC) Stats(l addr.Level) *stats.HitMiss { return p.stats[l] }
+func (p *PWC) Stats(l addr.Level) *stats.HitMiss {
+	if l < 0 || l > addr.L2L1 {
+		return nil
+	}
+	return p.stats[l]
+}
 
 // ResetStats zeroes all counters (contents preserved).
 func (p *PWC) ResetStats() {
 	for l := range p.stats {
-		p.stats[l] = &stats.HitMiss{}
+		if p.stats[l] != nil {
+			p.stats[l] = &stats.HitMiss{}
+		}
 	}
 }
 
 // Flush empties all per-level caches.
 func (p *PWC) Flush() {
 	for _, t := range p.tables {
-		t.Flush()
+		if t != nil {
+			t.Flush()
+		}
 	}
 }

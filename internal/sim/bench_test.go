@@ -9,10 +9,15 @@ import (
 
 // BenchmarkStepThroughput measures raw engine speed in simulated
 // instructions per second for each mechanism (the simulator's own
-// performance, not the simulated machine's).
+// performance, not the simulated machine's). Each iteration advances
+// every core by one instruction, so ns/op is per Cores instructions —
+// and allocs/op is the steady-state measured-instruction-path
+// allocation count, which must stay ~0 (the CI bench job budgets
+// against it via scripts/bench.sh).
 func BenchmarkStepThroughput(b *testing.B) {
 	for _, mech := range core.Mechanisms {
 		b.Run(mech.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			m, err := New(Config{
 				System:         memsys.NDP,
 				Cores:          4,
@@ -39,11 +44,46 @@ func BenchmarkStepThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkStepThroughputMLP is the non-blocking variant: typed
+// translation/completion events, pooled in-flight op records, and
+// walker slot contention on the event schedule. Its allocs/op pins the
+// zero-allocation property of the MLP > 1 path, which used to allocate
+// several closures per instruction.
+func BenchmarkStepThroughputMLP(b *testing.B) {
+	b.ReportAllocs()
+	m, err := New(Config{
+		System:         memsys.NDP,
+		Cores:          4,
+		Mechanism:      core.Radix,
+		Workload:       "pr",
+		FootprintBytes: 512 << 20,
+		MemoryBytes:    4 << 30,
+		FragHoles:      200,
+		Warmup:         1,
+		Instructions:   1,
+		MLP:            4,
+		SharedWalker:   true,
+		WalkerWidth:    2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.run(1) // settle init
+	b.ResetTimer()
+	target := uint64(1)
+	for i := 0; i < b.N; i++ {
+		target++
+		m.run(target)
+	}
+	b.ReportMetric(float64(len(m.cores)), "cores")
+}
+
 // BenchmarkMachineConstruction measures setup cost (allocator,
 // fragmentation, dataset population, table build).
 func BenchmarkMachineConstruction(b *testing.B) {
 	for _, mech := range []core.Mechanism{core.Radix, core.NDPage, core.ECH} {
 		b.Run(mech.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				_, err := New(Config{
 					System:         memsys.NDP,

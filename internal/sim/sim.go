@@ -124,21 +124,33 @@ type Machine struct {
 	eng    *engine.Engine
 	cores  []*simCore
 	target uint64 // per-core instruction budget of the current phase
+	// opFree heads the free list of pooled in-flight memory-op records
+	// (MLP > 1), so issuing a load/store allocates nothing in steady
+	// state.
+	opFree *memOp
 }
+
+// Event kinds delivered to a simCore (engine.Actor). The front-end
+// event carries no payload; the completion event's time is the op's
+// completion, delivered as the event's `now`.
+const (
+	evFrontEnd uint8 = iota // run the core's front-end (stepEvent or issueStaged)
+	evMemOpDone             // retire one in-flight memory op (MLP > 1)
+)
 
 // simCore is one simulated core: its op stream, MMU, and local clock.
 // The clock is the front-end's time; with MLP > 1 completions of
-// in-flight ops may trail it (maxDone tracks the latest).
+// in-flight ops may trail it (maxDone tracks the latest). The core is
+// an engine.Actor: its front-end and op-retirement events are typed
+// (kind, payload) pairs, so the per-instruction path schedules without
+// allocating.
 type simCore struct {
 	id    int
+	m     *Machine
 	clock uint64
 	gen   workload.Generator
 	mmu   *core.MMU
 	op    workload.Op
-	// frontEnd is the core's pre-bound event closure (stepEvent or
-	// issueStaged), allocated once so the hot loop schedules without
-	// allocating.
-	frontEnd func()
 
 	codeBase addr.V
 	codePos  uint64
@@ -221,18 +233,30 @@ func New(cfg Config) (*Machine, error) {
 	for i := 0; i < cfg.Cores; i++ {
 		c := &simCore{
 			id:       i,
+			m:        m,
 			gen:      w.Thread(i, cfg.Seed*1_000_003+uint64(i)),
 			mmu:      core.NewMMUWithOptions(cfg.Mechanism, i, table, hier, opts),
 			codeBase: space.Alloc(codeBytes, fmt.Sprintf("code.%d", i)),
 		}
-		if cfg.MLP == 1 {
-			c.frontEnd = func() { m.stepEvent(c) }
-		} else {
-			c.frontEnd = func() { m.issueStaged(c) }
-		}
 		m.cores = append(m.cores, c)
 	}
 	return m, nil
+}
+
+// OnEvent implements engine.Actor: route the core's typed events.
+func (c *simCore) OnEvent(now uint64, kind uint8, payload uint64) {
+	switch kind {
+	case evFrontEnd:
+		if c.m.cfg.MLP == 1 {
+			c.m.stepEvent(c)
+		} else {
+			c.m.issueStaged(c)
+		}
+	case evMemOpDone:
+		c.m.completeMemOp(c, now)
+	default:
+		panic(fmt.Sprintf("sim: unknown event kind %d", kind))
+	}
 }
 
 // Config returns the (defaults-resolved) configuration.
@@ -335,7 +359,7 @@ func (m *Machine) run(target uint64) {
 
 // scheduleFrontEnd schedules core c's next front-end event at time t.
 func (m *Machine) scheduleFrontEnd(c *simCore, t uint64) {
-	m.eng.Schedule(t, c.id, c.frontEnd)
+	m.eng.Schedule(t, c.id, c, evFrontEnd, 0)
 }
 
 // stepEvent is the blocking model's event: one full op, then reschedule
@@ -343,7 +367,7 @@ func (m *Machine) scheduleFrontEnd(c *simCore, t uint64) {
 func (m *Machine) stepEvent(c *simCore) {
 	m.step(c)
 	if c.instructions < m.target {
-		m.eng.Schedule(c.clock, c.id, c.frontEnd)
+		m.eng.Schedule(c.clock, c.id, c, evFrontEnd, 0)
 	}
 }
 
@@ -441,17 +465,57 @@ func (m *Machine) issueStaged(c *simCore) {
 	}
 }
 
+// memOp is one in-flight load/store (MLP > 1): the context needed when
+// its translation completes. Records are pooled on the machine's free
+// list and handed to the MMU as TranslationClients, so issuing an op
+// allocates nothing in steady state.
+type memOp struct {
+	c      *simCore
+	issued uint64
+	op     access.Op
+	next   *memOp
+}
+
+var _ core.TranslationClient = (*memOp)(nil)
+
+// OnTranslated implements core.TranslationClient: issue the data access
+// at the translation's completion, recycle the record, and schedule the
+// window-release event that retires the op.
+func (o *memOp) OnTranslated(pa addr.P, at uint64) {
+	c := o.c
+	m := c.m
+	c.translationCycles += at - o.issued
+	done := m.hier.Access(c.id, at, pa, o.op, access.Data)
+	c.dataCycles += done - at
+	m.putMemOp(o)
+	m.eng.Schedule(done, c.id, c, evMemOpDone, 0)
+}
+
+// getMemOp takes a pooled op record (or grows the pool).
+func (m *Machine) getMemOp(c *simCore, issued uint64, op access.Op) *memOp {
+	o := m.opFree
+	if o == nil {
+		o = &memOp{}
+	} else {
+		m.opFree = o.next
+	}
+	o.c, o.issued, o.op, o.next = c, issued, op, nil
+	return o
+}
+
+// putMemOp returns a retired record to the free list.
+func (m *Machine) putMemOp(o *memOp) {
+	o.c = nil
+	o.next = m.opFree
+	m.opFree = o
+}
+
 // issueMemOp sends one load/store down the translation+access pipeline:
 // the translation completes as an engine event (inline for TLB hits),
 // the data access issues inside that completion, and a window-release
 // event retires the op.
 func (m *Machine) issueMemOp(c *simCore, issued uint64, v addr.V, op access.Op) {
-	c.mmu.TranslateAsync(m.eng, issued, v, op, func(pa addr.P, at uint64) {
-		c.translationCycles += at - issued
-		done := m.hier.Access(c.id, at, pa, op, access.Data)
-		c.dataCycles += done - at
-		m.eng.Schedule(done, c.id, func() { m.completeMemOp(c, done) })
-	})
+	c.mmu.TranslateAsync(m.eng, issued, v, op, m.getMemOp(c, issued, op))
 }
 
 // completeMemOp retires one in-flight op at time done and resumes a

@@ -9,34 +9,60 @@ import (
 )
 
 // asyncResp collects one WalkAsync outcome plus the engine time the
-// callback fired at.
+// waiter was woken at. It implements walker.Waiter.
 type asyncResp struct {
 	walker.Response
+	eng     *engine.Engine
 	firedAt uint64
 	done    bool
 }
 
-func walkAsyncAt(eng *engine.Engine, w *walker.Walker, t uint64, core int, v addr.V, out *asyncResp) {
-	eng.Schedule(t, core, func() {
-		w.WalkAsync(eng, walker.Request{Core: core, V: v, Time: t}, func(r walker.Response) {
-			out.Response = r
-			out.firedAt = eng.Now()
-			out.done = true
-		})
+func (r *asyncResp) OnWalkDone(resp walker.Response) {
+	r.Response = resp
+	r.firedAt = r.eng.Now()
+	r.done = true
+}
+
+// walkIssuer is a test actor that injects WalkAsync requests (and
+// arbitrary checks) as engine events, the way the MMU's miss path does.
+type walkIssuer struct {
+	eng *engine.Engine
+	w   *walker.Walker
+	fns []func()
+}
+
+func (wi *walkIssuer) OnEvent(now uint64, kind uint8, payload uint64) {
+	wi.fns[payload]()
+}
+
+func (wi *walkIssuer) at(t uint64, core int, fn func()) {
+	wi.fns = append(wi.fns, fn)
+	wi.eng.Schedule(t, core, wi, 0, uint64(len(wi.fns)-1))
+}
+
+func newIssuer(eng *engine.Engine, w *walker.Walker) *walkIssuer {
+	return &walkIssuer{eng: eng, w: w}
+}
+
+func (wi *walkIssuer) walkAt(t uint64, core int, v addr.V, out *asyncResp) {
+	out.eng = wi.eng
+	wi.at(t, core, func() {
+		wi.w.WalkAsync(wi.eng, walker.Request{Core: core, V: v, Time: t}, out)
 	})
 }
 
 func TestAsyncMatchesBlockingTiming(t *testing.T) {
 	w, base := radixRig(t, walker.Config{})
 	eng := engine.New()
+	wi := newIssuer(eng, w)
 	var r asyncResp
-	walkAsyncAt(eng, w, 1000, 0, base, &r)
+	wi.walkAt(1000, 0, base, &r)
 	eng.Run()
 	if !r.done || !r.Found {
 		t.Fatal("async walk did not complete with a mapping")
 	}
 	// Same cold radix timing as the synchronous path: 4 dependent
-	// accesses of 100 cycles, callback inside the completion event.
+	// accesses of 100 cycles, waiter woken inside the completion event.
 	if r.Done != 1400 || r.firedAt != 1400 {
 		t.Errorf("walk done=%d fired=%d, want 1400/1400", r.Done, r.firedAt)
 	}
@@ -50,10 +76,11 @@ func TestAsyncMatchesBlockingTiming(t *testing.T) {
 func TestAsyncWidthOneQueuesOnReleaseEvent(t *testing.T) {
 	w, base := radixRig(t, walker.Config{Width: 1})
 	eng := engine.New()
+	wi := newIssuer(eng, w)
 	var a, b asyncResp
-	walkAsyncAt(eng, w, 0, 0, base, &a)
-	walkAsyncAt(eng, w, 100, 1, base+addr.PageSize, &b)
-	eng.Schedule(100, 2, func() {
+	wi.walkAt(0, 0, base, &a)
+	wi.walkAt(100, 1, base+addr.PageSize, &b)
+	wi.at(100, 2, func() {
 		if got := w.PendingWalks(); got != 1 {
 			t.Errorf("at t=100: %d pending walks, want 1 (slot held until release)", got)
 		}
@@ -78,9 +105,10 @@ func TestAsyncWidthOneQueuesOnReleaseEvent(t *testing.T) {
 func TestAsyncCoalescesOntoLiveWalk(t *testing.T) {
 	w, base := radixRig(t, walker.Config{Width: 4})
 	eng := engine.New()
+	wi := newIssuer(eng, w)
 	var a, b asyncResp
-	walkAsyncAt(eng, w, 0, 0, base, &a)
-	walkAsyncAt(eng, w, 50, 1, base+64, &b) // same page, in flight
+	wi.walkAt(0, 0, base, &a)
+	wi.walkAt(50, 1, base+64, &b) // same page, in flight
 	eng.Run()
 	if !b.Coalesced {
 		t.Fatal("duplicate in-flight walk was not coalesced")
@@ -96,7 +124,7 @@ func TestAsyncCoalescesOntoLiveWalk(t *testing.T) {
 
 	// After the release event the walk no longer coalesces.
 	var c asyncResp
-	walkAsyncAt(eng, w, a.Done+10, 0, base, &c)
+	wi.walkAt(a.Done+10, 0, base, &c)
 	eng.Run()
 	if c.Coalesced {
 		t.Error("retired walk still coalescing")
@@ -109,10 +137,11 @@ func TestAsyncCoalescesOntoLiveWalk(t *testing.T) {
 func TestAsyncOverlapAndHistogram(t *testing.T) {
 	w, base := radixRig(t, walker.Config{Width: 2})
 	eng := engine.New()
+	wi := newIssuer(eng, w)
 	var a, b, c asyncResp
-	walkAsyncAt(eng, w, 0, 0, base, &a)
-	walkAsyncAt(eng, w, 100, 1, base+addr.PageSize, &b)
-	walkAsyncAt(eng, w, 150, 2, base+2*addr.PageSize, &c)
+	wi.walkAt(0, 0, base, &a)
+	wi.walkAt(100, 1, base+addr.PageSize, &b)
+	wi.walkAt(150, 2, base+2*addr.PageSize, &c)
 	eng.Run()
 	if a.Done != 400 || b.Done != 500 {
 		t.Errorf("overlapped walks done at %d/%d, want 400/500", a.Done, b.Done)
@@ -140,16 +169,14 @@ func TestAsyncOverlapAndHistogram(t *testing.T) {
 func TestAsyncDequeuedWalkWaitsForItsRequestTime(t *testing.T) {
 	w, base := radixRig(t, walker.Config{Width: 1})
 	eng := engine.New()
+	wi := newIssuer(eng, w)
 	var a, b asyncResp
-	walkAsyncAt(eng, w, 0, 0, base, &a) // [0, 400]
+	wi.walkAt(0, 0, base, &a) // [0, 400]
 	// Arrives (event) at 397 but carries a post-TLB timestamp of 410:
 	// the slot frees at 400, before the request time.
-	eng.Schedule(397, 1, func() {
-		w.WalkAsync(eng, walker.Request{Core: 1, V: base + addr.PageSize, Time: 410}, func(r walker.Response) {
-			b.Response = r
-			b.firedAt = eng.Now()
-			b.done = true
-		})
+	b.eng = eng
+	wi.at(397, 1, func() {
+		w.WalkAsync(eng, walker.Request{Core: 1, V: base + addr.PageSize, Time: 410}, &b)
 	})
 	eng.Run()
 	if !b.done {
@@ -173,10 +200,11 @@ func TestAsyncDequeuedWalkWaitsForItsRequestTime(t *testing.T) {
 func TestAsyncPendingDuplicateCoalesces(t *testing.T) {
 	w, base := radixRig(t, walker.Config{Width: 1})
 	eng := engine.New()
+	wi := newIssuer(eng, w)
 	var a, b, c asyncResp
-	walkAsyncAt(eng, w, 0, 0, base, &a)                   // [0, 400]
-	walkAsyncAt(eng, w, 50, 1, base+addr.PageSize, &b)    // parked
-	walkAsyncAt(eng, w, 60, 2, base+addr.PageSize+64, &c) // duplicate of parked b
+	wi.walkAt(0, 0, base, &a)                   // [0, 400]
+	wi.walkAt(50, 1, base+addr.PageSize, &b)    // parked
+	wi.walkAt(60, 2, base+addr.PageSize+64, &c) // duplicate of parked b
 	eng.Run()
 	if !c.Coalesced {
 		t.Fatal("duplicate of a pending walk was not coalesced")
@@ -196,15 +224,41 @@ func TestAsyncFIFONoQueueJumping(t *testing.T) {
 	// frees must line up behind them.
 	w, base := radixRig(t, walker.Config{Width: 1})
 	eng := engine.New()
+	wi := newIssuer(eng, w)
 	var a, b, c, d asyncResp
-	walkAsyncAt(eng, w, 0, 0, base, &a)                  // [0, 400]
-	walkAsyncAt(eng, w, 10, 1, base+addr.PageSize, &b)   // parked
-	walkAsyncAt(eng, w, 20, 2, base+2*addr.PageSize, &c) // parked
+	wi.walkAt(0, 0, base, &a)                  // [0, 400]
+	wi.walkAt(10, 1, base+addr.PageSize, &b)   // parked
+	wi.walkAt(20, 2, base+2*addr.PageSize, &c) // parked
 	// Arrives at the release instant; actor id 3 orders it after the
 	// release event's work at t=400.
-	walkAsyncAt(eng, w, 400, 3, base+3*addr.PageSize, &d)
+	wi.walkAt(400, 3, base+3*addr.PageSize, &d)
 	eng.Run()
 	if b.Done != 800 || c.Done != 1200 || d.Done != 1600 {
 		t.Errorf("FIFO order violated: b=%d c=%d d=%d, want 800/1200/1600", b.Done, c.Done, d.Done)
+	}
+}
+
+// TestAsyncSteadyStateDoesNotAllocate pins the pooled walk records:
+// after warmup, a stream of misses, coalesces, and queued walks
+// performs no heap allocation inside the walker.
+func TestAsyncSteadyStateDoesNotAllocate(t *testing.T) {
+	w, base := radixRig(t, walker.Config{Width: 2})
+	eng := engine.New()
+	out := make([]asyncResp, 8)
+	var start uint64
+	round := func() {
+		for i := range out {
+			out[i] = asyncResp{eng: eng}
+			v := base + addr.V(i/2)*addr.PageSize // pairs share a page: coalesce
+			req := walker.Request{Core: i % 4, V: v, Time: start + uint64(10*i)}
+			w.WalkAsync(eng, req, &out[i])
+		}
+		eng.Run()
+		start = eng.Now() + 1
+	}
+	round() // warm the pools
+	allocs := testing.AllocsPerRun(50, round)
+	if allocs > 0 {
+		t.Errorf("steady-state WalkAsync allocated %.1f times per round, want 0", allocs)
 	}
 }

@@ -22,19 +22,24 @@
 //   - WalkAsync is the event-scheduled path for the non-blocking core
 //     model (sim.Config.MLP > 1). Requests arrive in global time order
 //     from the engine, so slots are really acquired and released: a busy
-//     counter gates admission, blocked requests wait on a FIFO, a
+//     counter gates admission, blocked requests wait on a FIFO, a typed
 //     release event scheduled at each walk's completion frees the slot
 //     and starts the next queued walk, and duplicate requests attach to
 //     the in-flight walk's waiter list. MSHR coalescing and slot
 //     queueing then emerge from the schedule instead of being
 //     reconstructed from intervals — the concurrent-walk contention the
-//     NDPage paper measures as its motivation.
+//     NDPage paper measures as its motivation. The path allocates
+//     nothing in steady state: waiters are interface values over
+//     caller-owned request records, in-flight walk records are pooled,
+//     and the release event is a (kind, payload) pair whose payload is
+//     the walk's slot index.
 package walker
 
 import (
 	"ndpage/internal/access"
 	"ndpage/internal/addr"
 	"ndpage/internal/assoc"
+	"ndpage/internal/engine"
 	"ndpage/internal/pagetable"
 	"ndpage/internal/pwc"
 	"ndpage/internal/stats"
@@ -144,30 +149,41 @@ type mshr struct {
 	found      bool
 }
 
-// Scheduler is the walker's view of the event engine: schedule a
-// closure at an absolute time on behalf of an actor. *engine.Engine
-// satisfies it; tests may substitute their own.
+// Scheduler is the walker's view of the event engine: schedule a typed
+// (kind, payload) event for a target actor at an absolute time, ordered
+// under an actor id. *engine.Engine satisfies it; tests may substitute
+// their own.
 type Scheduler interface {
-	Schedule(t uint64, actor int, fn func())
+	Schedule(t uint64, actor int, target engine.Actor, kind uint8, payload uint64)
 }
 
-// liveWalk is one event-scheduled walk in flight: its result, its
-// completion time, and the callbacks waiting on it (the walk's own
-// requester first, coalesced duplicates after).
+// Waiter receives the outcome of an event-scheduled walk. The walk's
+// own requester and every coalesced duplicate register one Waiter each;
+// OnWalkDone is invoked exactly once per Waiter, inside the walk's
+// release event. Implementations are caller-owned records (the MMU
+// pools its translation requests), so registering a Waiter allocates
+// nothing.
+type Waiter interface {
+	OnWalkDone(Response)
+}
+
+// evRelease is the walker's only event kind: a walk slot release at a
+// walk's completion time. The payload is the slot index.
+const evRelease uint8 = 0
+
+// liveWalk is one event-scheduled walk: its request, its result once
+// issued, and the waiters registered on it (the walk's own requester
+// first, coalesced duplicates after). The same pooled record serves a
+// walk through both lifecycle phases — parked on the FIFO waiting for
+// a slot (MSHRs allocate at request arrival, before a slot is won),
+// then occupying a slot until the release event retires it.
 type liveWalk struct {
-	vpn        addr.VPN
-	start, end uint64
-	entry      pagetable.Entry
-	found      bool
-	waiters    []func(Response)
-}
-
-// pendingWalk is an event-scheduled request waiting for a free slot,
-// plus any duplicate requests that coalesced onto it while it waited
-// (real MSHRs allocate at request arrival, before a slot is won).
-type pendingWalk struct {
-	req Request
-	cbs []func(Response)
+	req     Request
+	vpn     addr.VPN
+	end     uint64
+	entry   pagetable.Entry
+	found   bool
+	waiters []Waiter
 }
 
 // Walker is a hardware page-table walker over one page-table
@@ -186,12 +202,18 @@ type Walker struct {
 	stats    Stats
 
 	// Event-scheduled (WalkAsync) state: live walks hold real slots
-	// (busy), releases are engine events, blocked requests wait in FIFO
-	// order. Disjoint from the synchronous path's interval bookkeeping.
+	// (slots[i] != nil, counted by busy), releases are typed engine
+	// events whose payload is the slot index, blocked requests wait in
+	// FIFO order, and retired records return to a free pool. Disjoint
+	// from the synchronous path's interval bookkeeping.
+	sched   Scheduler
 	busy    int
-	live    []*liveWalk
-	pending []pendingWalk
+	slots   []*liveWalk
+	pending []*liveWalk
+	lwPool  []*liveWalk
 }
+
+var _ engine.Actor = (*Walker)(nil)
 
 // New builds a walker over table, issuing PTE requests to mem.
 func New(table pagetable.Table, mem Memory, cfg Config) *Walker {
@@ -335,102 +357,161 @@ func (w *Walker) slotFree(t uint64) uint64 {
 	}
 }
 
-// WalkAsync resolves one walk request on the event schedule: cb is
-// invoked exactly once, inside an engine event at the walk's completion
-// time. A duplicate in-flight walk coalesces the request onto its waiter
-// list; a free slot starts the walk immediately and schedules its
-// release; a saturated walker parks the request on the FIFO until a
-// release event frees a slot. Callers must deliver requests in
-// nondecreasing time order (the engine's dispatch order guarantees
-// this), which is what lets slots be held by a simple busy counter
-// instead of the synchronous path's interval bookkeeping.
-func (w *Walker) WalkAsync(s Scheduler, req Request, cb func(Response)) {
+// WalkAsync resolves one walk request on the event schedule: wt's
+// OnWalkDone is invoked exactly once, inside an engine event at the
+// walk's completion time. A duplicate in-flight walk coalesces the
+// request onto its waiter list; a free slot starts the walk immediately
+// and schedules its release; a saturated walker parks the request on
+// the FIFO until a release event frees a slot. Callers must deliver
+// requests in nondecreasing time order (the engine's dispatch order
+// guarantees this), which is what lets slots be held by a simple busy
+// counter instead of the synchronous path's interval bookkeeping.
+func (w *Walker) WalkAsync(s Scheduler, req Request, wt Waiter) {
+	// Release events for parked walks fire through w.sched, so
+	// switching schedulers while walks are in flight would strand them
+	// on the old one; rebinding is only legal when the walker is idle
+	// (e.g. tests driving one walker with a fresh engine per phase).
+	if w.sched != s {
+		if w.busy > 0 || len(w.pending) > 0 {
+			panic("walker: WalkAsync called with a different Scheduler while walks are in flight")
+		}
+		w.sched = s
+	}
 	vpn := req.V.Page()
-	for _, lw := range w.live {
-		if lw.vpn == vpn {
+	for _, lw := range w.slots {
+		if lw != nil && lw.vpn == vpn {
 			w.stats.MSHRHits.Inc()
-			lw.waiters = append(lw.waiters, cb)
+			lw.waiters = append(lw.waiters, wt)
 			return
 		}
 	}
 	// A duplicate of a walk still waiting for a slot coalesces too: the
 	// MSHR is allocated at request arrival, not at slot grant.
-	for i := range w.pending {
-		if w.pending[i].req.V.Page() == vpn {
+	for _, lw := range w.pending {
+		if lw.vpn == vpn {
 			w.stats.MSHRHits.Inc()
-			w.pending[i].cbs = append(w.pending[i].cbs, cb)
+			lw.waiters = append(lw.waiters, wt)
 			return
 		}
 	}
+	lw := w.getWalkRecord(req, wt)
 	// Park when saturated — or when earlier requests are already parked,
 	// so a request arriving as a slot frees cannot jump the FIFO.
 	if w.busy >= w.width || len(w.pending) > 0 {
-		w.pending = append(w.pending, pendingWalk{req, []func(Response){cb}})
+		w.pending = append(w.pending, lw)
 		return
 	}
-	w.startAsync(s, req, []func(Response){cb}, req.Time)
+	w.startAsync(lw, req.Time)
 }
 
 // PendingWalks returns the number of event-scheduled requests waiting
 // for a walk slot (tests and stats).
 func (w *Walker) PendingWalks() int { return len(w.pending) }
 
-// startAsync acquires a slot at time at and performs req's walk,
-// scheduling the release event at its completion.
-func (w *Walker) startAsync(s Scheduler, req Request, cbs []func(Response), at uint64) {
+// getWalkRecord takes a walk record from the pool (or grows it) and
+// initializes it for req with wt as the first waiter.
+func (w *Walker) getWalkRecord(req Request, wt Waiter) *liveWalk {
+	var lw *liveWalk
+	if n := len(w.lwPool); n > 0 {
+		lw = w.lwPool[n-1]
+		w.lwPool[n-1] = nil
+		w.lwPool = w.lwPool[:n-1]
+	} else {
+		lw = &liveWalk{}
+	}
+	lw.req = req
+	lw.vpn = req.V.Page()
+	lw.waiters = append(lw.waiters, wt)
+	return lw
+}
+
+// putWalkRecord returns a retired record to the pool, dropping its
+// waiter references.
+func (w *Walker) putWalkRecord(lw *liveWalk) {
+	for i := range lw.waiters {
+		lw.waiters[i] = nil
+	}
+	lw.waiters = lw.waiters[:0]
+	w.lwPool = append(w.lwPool, lw)
+}
+
+// startAsync acquires a slot at time at and performs lw's walk,
+// scheduling the release event at its completion. The walker lazily
+// sizes its slot table to Width on first use.
+func (w *Walker) startAsync(lw *liveWalk, at uint64) {
 	// A slot can free before the request's own timestamp: requests are
 	// issued at their event time but stamped after the TLB lookups, so a
 	// parked request's walk cannot begin until the miss actually reaches
 	// the walker.
-	if at < req.Time {
-		at = req.Time
+	if at < lw.req.Time {
+		at = lw.req.Time
 	}
-	if at > req.Time {
+	if at > lw.req.Time {
 		w.stats.QueuedWalks.Inc()
-		w.stats.QueueCycles.Add(at - req.Time)
+		w.stats.QueueCycles.Add(at - lw.req.Time)
 	}
 	w.busy++
 	w.stats.noteStart(w.busy)
 
-	end := w.issue(at, req.Core, req.V)
+	end := w.issue(at, lw.req.Core, lw.req.V)
 
 	w.stats.Walks.Inc()
 	// Walk latency is measured from the request, so slot-queue delay is
 	// part of it — what the stalled load actually experiences.
-	lat := end - req.Time
+	lat := end - lw.req.Time
 	w.stats.WalkCycles.Add(lat)
 	if lat > w.stats.MaxWalkCycles {
 		w.stats.MaxWalkCycles = lat
 	}
-	lw := &liveWalk{
-		vpn: req.V.Page(), start: at, end: end,
-		entry: w.walk.Entry, found: w.walk.Found,
-		waiters: cbs,
+	lw.end = end
+	lw.entry = w.walk.Entry
+	lw.found = w.walk.Found
+
+	if w.slots == nil {
+		w.slots = make([]*liveWalk, w.width)
 	}
-	w.live = append(w.live, lw)
-	s.Schedule(end, req.Core, func() { w.release(s, lw) })
+	slot := -1
+	for i, s := range w.slots {
+		if s == nil {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		panic("walker: no free slot despite busy < width")
+	}
+	w.slots[slot] = lw
+	w.sched.Schedule(end, lw.req.Core, w, evRelease, uint64(slot))
+}
+
+// OnEvent implements engine.Actor: the walker's only event kind is the
+// slot release at a walk's completion, with the slot index as payload.
+func (w *Walker) OnEvent(now uint64, kind uint8, payload uint64) {
+	switch kind {
+	case evRelease:
+		w.release(int(payload))
+	default:
+		panic("walker: unknown event kind")
+	}
 }
 
 // release is the slot-release event at a walk's completion: retire the
 // walk, wake every waiter, and hand the freed slot to the FIFO head.
-func (w *Walker) release(s Scheduler, lw *liveWalk) {
-	for i, l := range w.live {
-		if l == lw {
-			w.live = append(w.live[:i], w.live[i+1:]...)
-			break
-		}
-	}
+func (w *Walker) release(slot int) {
+	lw := w.slots[slot]
+	w.slots[slot] = nil
 	w.busy--
-	for i, cb := range lw.waiters {
-		cb(Response{Entry: lw.entry, Found: lw.found, Done: lw.end, Coalesced: i > 0})
+	for i, wt := range lw.waiters {
+		wt.OnWalkDone(Response{Entry: lw.entry, Found: lw.found, Done: lw.end, Coalesced: i > 0})
 	}
 	if len(w.pending) > 0 && w.busy < w.width {
 		next := w.pending[0]
 		copy(w.pending, w.pending[1:])
-		w.pending[len(w.pending)-1] = pendingWalk{}
+		w.pending[len(w.pending)-1] = nil
 		w.pending = w.pending[:len(w.pending)-1]
-		w.startAsync(s, next.req, next.cbs, lw.end)
+		w.startAsync(next, lw.end)
 	}
+	w.putWalkRecord(lw)
 }
 
 // issue performs the table's access sequence for v starting at t0 and

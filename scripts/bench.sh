@@ -1,0 +1,129 @@
+#!/usr/bin/env bash
+# bench.sh — run the performance benchmark suite and record the
+# trajectory point for this tree into BENCH_PR4.json.
+#
+# Metrics recorded (see DESIGN.md "Performance"):
+#   sim_instr_per_s   BenchmarkSimulatorThroughput (full runs, 4-core NDP/NDPage/bfs)
+#   sims_per_s        BenchmarkRunSmall (build + warmup + measure per op)
+#   events_per_s      BenchmarkEngineStep (typed-event schedule+dispatch)
+#   allocs_per_instr  BenchmarkStepThroughput/NDPage allocs/op divided by cores —
+#                     the steady-state measured-instruction-path allocation rate
+#   *_allocs_per_op   raw allocs/op for the budget gates below
+#
+# Allocation budgets (the perf_opt contract — CI fails the bench job on
+# regression):
+#   BenchmarkSimulatorThroughput  <= SIM_ALLOC_BUDGET  (per full simulation,
+#                                    dominated by machine construction)
+#   BenchmarkStepThroughput/*     <= STEP_ALLOC_BUDGET (per 4-instruction step,
+#                                    blocking path; ~0 in steady state)
+#   BenchmarkStepThroughputMLP    <= STEP_ALLOC_BUDGET (non-blocking path)
+#
+# Scale knobs (CI runs reduced): BENCHTIME_RUNS (full-run benchmarks),
+# BENCHTIME_EVENTS (engine microbenchmark), BENCHTIME_STEPS (per-step
+# benchmarks). OUT overrides the output path.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME_RUNS=${BENCHTIME_RUNS:-30x}
+BENCHTIME_EVENTS=${BENCHTIME_EVENTS:-300000x}
+BENCHTIME_STEPS=${BENCHTIME_STEPS:-30000x}
+OUT=${OUT:-BENCH_PR4.json}
+SIM_ALLOC_BUDGET=${SIM_ALLOC_BUDGET:-800}
+STEP_ALLOC_BUDGET=${STEP_ALLOC_BUDGET:-2}
+
+runs=$(go test -run=NONE -bench='BenchmarkSimulatorThroughput|BenchmarkRunSmall' \
+	-benchmem -benchtime "$BENCHTIME_RUNS" . )
+events=$(go test -run=NONE -bench='BenchmarkEngineStep$' \
+	-benchmem -benchtime "$BENCHTIME_EVENTS" . )
+steps=$(go test -run=NONE -bench='BenchmarkStepThroughput' \
+	-benchmem -benchtime "$BENCHTIME_STEPS" ./internal/sim )
+printf '%s\n%s\n%s\n' "$runs" "$events" "$steps"
+
+# metric BENCH_REGEX UNIT <<< output: value of the column whose unit
+# label follows it on the matching benchmark line.
+metric() {
+	awk -v bench="$1" -v unit="$2" \
+		'$1 ~ bench { for (i = 2; i < NF; i++) if ($(i+1) == unit) { print $i; exit } }'
+}
+
+sim_instr=$(metric '^BenchmarkSimulatorThroughput' 'sim-instr/s' <<<"$runs")
+sim_allocs=$(metric '^BenchmarkSimulatorThroughput' 'allocs/op' <<<"$runs")
+sims=$(metric '^BenchmarkRunSmall' 'sims/s' <<<"$runs")
+evps=$(metric '^BenchmarkEngineStep' 'events/s' <<<"$events")
+ev_allocs=$(metric '^BenchmarkEngineStep' 'allocs/op' <<<"$events")
+step_ndpage_ns=$(metric '^BenchmarkStepThroughput/NDPage' 'ns/op' <<<"$steps")
+step_ndpage_allocs=$(metric '^BenchmarkStepThroughput/NDPage' 'allocs/op' <<<"$steps")
+step_cores=$(metric '^BenchmarkStepThroughput/NDPage' 'cores' <<<"$steps")
+mlp_ns=$(metric '^BenchmarkStepThroughputMLP' 'ns/op' <<<"$steps")
+mlp_allocs=$(metric '^BenchmarkStepThroughputMLP' 'allocs/op' <<<"$steps")
+
+for v in sim_instr sim_allocs sims evps step_ndpage_allocs mlp_allocs; do
+	if [ -z "${!v}" ]; then
+		echo "bench.sh: failed to parse $v from benchmark output" >&2
+		exit 1
+	fi
+done
+
+allocs_per_instr=$(awk -v a="$step_ndpage_allocs" -v c="${step_cores:-4}" \
+	'BEGIN { printf "%.4f", a / c }')
+
+# Provenance: the measured tree, with +dirty when it differs from HEAD
+# (e.g. a pre-commit run — the numbers are NOT HEAD's).
+commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+if ! git diff --quiet HEAD 2>/dev/null; then
+	commit="$commit+dirty"
+fi
+date=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+
+# The baseline block is the pre-PR4 main (PR 3 head) measured with this
+# script's default scales on the same reference machine, recorded so the
+# trajectory file always carries its own before/after comparison.
+cat > "$OUT" <<EOF
+{
+  "benchmark": "PR4 zero-allocation hot path",
+  "commit": "$commit",
+  "generated_utc": "$date",
+  "go": "$(go env GOVERSION)",
+  "current": {
+    "sim_instr_per_s": $sim_instr,
+    "sims_per_s": $sims,
+    "events_per_s": $evps,
+    "engine_event_allocs_per_op": ${ev_allocs:-0},
+    "allocs_per_instr": $allocs_per_instr,
+    "sim_throughput_allocs_per_op": $sim_allocs,
+    "step_ndpage_ns_per_op": ${step_ndpage_ns:-0},
+    "step_mlp_ns_per_op": ${mlp_ns:-0},
+    "step_mlp_allocs_per_op": $mlp_allocs
+  },
+  "baseline_pr3": {
+    "commit": "5fe36c3",
+    "sim_instr_per_s": 2933670,
+    "sims_per_s": 30.79,
+    "events_per_s": 8208517,
+    "engine_event_allocs_per_op": 1,
+    "allocs_per_instr": 0.0,
+    "sim_throughput_allocs_per_op": 675,
+    "step_ndpage_ns_per_op": 1595,
+    "step_mlp_ns_per_op": 2888,
+    "step_mlp_allocs_per_op": 8
+  },
+  "budgets": {
+    "sim_throughput_allocs_per_op": $SIM_ALLOC_BUDGET,
+    "step_allocs_per_op": $STEP_ALLOC_BUDGET
+  }
+}
+EOF
+echo "wrote $OUT"
+
+fail=0
+check_budget() { # name actual budget
+	if awk -v a="$2" -v b="$3" 'BEGIN { exit !(a > b) }'; then
+		echo "bench.sh: BUDGET EXCEEDED: $1 = $2 allocs/op (budget $3)" >&2
+		fail=1
+	fi
+}
+check_budget BenchmarkSimulatorThroughput "$sim_allocs" "$SIM_ALLOC_BUDGET"
+while read -r name allocs; do
+	[ -n "$allocs" ] && check_budget "$name" "$allocs" "$STEP_ALLOC_BUDGET"
+done < <(awk '/^BenchmarkStepThroughput/ { for (i = 2; i < NF; i++) if ($(i+1) == "allocs/op") print $1, $i }' <<<"$steps")
+exit $fail

@@ -34,7 +34,7 @@ func main() {
 	var (
 		quick     = flag.Bool("quick", false, "reduced scale (faster, noisier)")
 		figsArg   = flag.String("figs", "all", "comma-separated: fig4,fig5,fig6,fig7,fig8,motivation,pwc,fig12,fig13,fig14,ablation (plus extras: pwc-sensitivity,hbm-sensitivity,walker-sensitivity,mlp-sensitivity,population-sensitivity,oversubscription)")
-		wlArg     = flag.String("workloads", "", "comma-separated workload subset (default: all 11)")
+		wlArg     = flag.String("workloads", "", "comma-separated workload subset: builtin names or trace:<file> replays (default: all 11)")
 		outDir    = flag.String("out", "results", "directory for CSV output (empty = no files)")
 		cacheDir  = flag.String("cache", "", "directory for the persistent run cache (empty = in-memory only)")
 		parallel  = flag.Int("parallel", 0, "max concurrent simulations (0 = auto)")

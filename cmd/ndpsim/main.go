@@ -52,7 +52,7 @@ func run(args []string, out io.Writer) error {
 		system     = fs.String("system", "ndp", "system kind: ndp or cpu (Table I)")
 		mechName   = fs.String("mech", "NDPage", "translation mechanism: Radix, ECH, HugePage, NDPage, Ideal, FlattenOnly, BypassOnly")
 		cores      = fs.Int("cores", 1, "number of cores (1-64)")
-		wl         = fs.String("workload", "bfs", "workload name (see -list)")
+		wl         = fs.String("workload", "bfs", "workload name (see -list), or trace:<file> to replay a capture")
 		footprint  = fs.Uint64("footprint", 0, "dataset bytes (0 = scaled default)")
 		memory     = fs.Uint64("memory", 0, "physical memory bytes (0 = 16 GB)")
 		instr      = fs.Uint64("instructions", 0, "measured ops per core (0 = 300k)")

@@ -1,12 +1,18 @@
-// Command ndptrace dumps the virtual-address instruction stream of a
-// workload as CSV (op,address) — useful for feeding the synthetic
-// kernels into other simulators or inspecting their access patterns.
+// Command ndptrace is the capture side of the workload platform: it
+// dumps the virtual-address instruction stream of any workload as CSV
+// (inspectable, single-stream) or as a compact binary .ndpt capture
+// (gzip-framed, varint-delta encoded, multi-stream) that the simulator
+// replays via Config.Workload = "trace:<file>". See WORKLOADS.md for
+// the format specification.
 //
 // Usage:
 //
 //	ndptrace -workload bfs -ops 10000 > bfs.csv
 //	ndptrace -workload dlrm -threads 4 -thread 2 -ops 1000
-//	ndptrace -workload gen -stats          # op-mix summary instead of the trace
+//	ndptrace -workload gen -stats            # op-mix summary instead of the trace
+//	ndptrace -workload bfs -ops 200000 -o bfs.ndpt           # binary capture
+//	ndptrace -workload bfs -threads 4 -all-threads -o bfs4.ndpt
+//	ndptrace -verify bfs4.ndpt               # replay + check against the header
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 
 	"ndpage/internal/addr"
 	"ndpage/internal/workload"
+	"ndpage/internal/workload/trace"
 	"ndpage/internal/xrand"
 )
 
@@ -35,29 +42,52 @@ func (m *traceMem) alloc(size uint64) addr.V {
 func (m *traceMem) Alloc(size uint64, name string) addr.V     { return m.alloc(size) }
 func (m *traceMem) AllocLazy(size uint64, name string) addr.V { return m.alloc(size) }
 
-// options selects what trace to emit.
-type options struct {
-	workload  string
-	ops       uint64
-	threads   int
-	thread    int
-	footprint uint64
-	seed      uint64
-	stats     bool
+// captureBase is where the bump allocator starts; workloads replayed
+// against another bump allocator at the same base reproduce the
+// captured stream byte for byte.
+const captureBase = 1 << 39
+
+// threadSeed derives the per-thread generator seed exactly as sim.New
+// does, so captures replay with the simulator's Thread(core, seed)
+// semantics.
+func threadSeed(seed uint64, thread int) uint64 {
+	return seed*1_000_003 + uint64(thread)
 }
 
-// emit writes the trace (or, with opts.stats, the op-mix summary) to w.
-// The writer is buffered here, and the buffer's deferred write errors —
-// which a bare "defer Flush()" would discard — are returned.
-func emit(opts options, w io.Writer) (err error) {
+// options selects what trace to emit.
+type options struct {
+	workload   string
+	ops        uint64
+	threads    int
+	thread     int
+	footprint  uint64
+	seed       uint64
+	stats      bool
+	out        string // -o: binary capture file
+	allThreads bool   // capture every thread's stream (-o only)
+	verify     string // -verify: replay a capture and check its header
+}
+
+// build instantiates the workload on the capture allocator.
+func build(opts options) (workload.Spec, workload.Workload, error) {
 	spec, err := workload.Lookup(opts.workload)
+	if err != nil {
+		return workload.Spec{}, nil, err
+	}
+	wl := spec.New()
+	wl.Init(&traceMem{brk: captureBase}, xrand.New(opts.seed), opts.footprint, opts.threads)
+	return spec, wl, nil
+}
+
+// emit writes the CSV trace (or, with opts.stats, the op-mix summary)
+// to w. The writer is buffered here, and the buffer's deferred write
+// errors — which a bare "defer Flush()" would discard — are returned.
+func emit(opts options, w io.Writer) (err error) {
+	spec, wl, err := build(opts)
 	if err != nil {
 		return err
 	}
-	wl := spec.New()
-	mem := &traceMem{brk: 1 << 39}
-	wl.Init(mem, xrand.New(opts.seed), opts.footprint, opts.threads)
-	gen := wl.Thread(opts.thread, opts.seed*1_000_003+uint64(opts.thread))
+	gen := wl.Thread(opts.thread, threadSeed(opts.seed, opts.thread))
 
 	out := bufio.NewWriter(w)
 	defer func() {
@@ -94,7 +124,7 @@ func emit(opts options, w io.Writer) (err error) {
 		return nil
 	}
 
-	fmt.Fprintln(out, "op,addr")
+	fmt.Fprintln(out, trace.CSVHeader)
 	for i := uint64(0); i < opts.ops; i++ {
 		gen.Next(&op)
 		switch op.Kind {
@@ -109,18 +139,127 @@ func emit(opts options, w io.Writer) (err error) {
 	return nil
 }
 
+// capture writes a binary .ndpt capture to opts.out: opts.ops ops of
+// one thread (opts.thread), or of every thread with -all-threads.
+func capture(opts options) error {
+	_, wl, err := build(opts)
+	if err != nil {
+		return err
+	}
+	first, streams := opts.thread, 1
+	if opts.allThreads {
+		first, streams = 0, opts.threads
+	}
+	w := trace.NewWriter(opts.workload, opts.seed, streams)
+	var op workload.Op
+	for s := 0; s < streams; s++ {
+		gen := wl.Thread(first+s, threadSeed(opts.seed, first+s))
+		for i := uint64(0); i < opts.ops; i++ {
+			gen.Next(&op)
+			w.Append(s, trace.Op{Kind: trace.Kind(op.Kind), Addr: uint64(op.Addr), Cycles: op.Cycles})
+		}
+	}
+	f, err := os.Create(opts.out)
+	if err != nil {
+		return err
+	}
+	if err := w.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// verify replays a capture through the same workload machinery the
+// simulator uses ("trace:<path>") and checks the stream against the
+// file's header: per-stream op counts, and the address base/footprint
+// the ops actually span. It prints a summary on success.
+func verify(path string, out io.Writer) error {
+	hdr, err := trace.Sniff(path)
+	if err != nil {
+		return err
+	}
+	spec, err := workload.Lookup(workload.TracePrefix + path)
+	if err != nil {
+		return err
+	}
+	wl := spec.New()
+	mem := &traceMem{brk: captureBase}
+	wl.Init(mem, xrand.New(0), 0, hdr.Streams())
+
+	var loads, stores, computes uint64
+	streams := make([][]trace.Op, hdr.Streams())
+	var op workload.Op
+	for s := range streams {
+		gen := wl.Thread(s, 0)
+		hint := hdr.Ops[s]
+		if hint > 1<<20 { // header-supplied: cap the preallocation
+			hint = 1 << 20
+		}
+		ops := make([]trace.Op, 0, hint)
+		for i := uint64(0); i < hdr.Ops[s]; i++ {
+			gen.Next(&op)
+			switch op.Kind {
+			case workload.Load, workload.Store:
+				if op.Kind == workload.Load {
+					loads++
+				} else {
+					stores++
+				}
+				// Undo the replay's rebase so the ops compare against
+				// the header in capture coordinates.
+				a := uint64(op.Addr) - (captureBase - hdr.Base)
+				ops = append(ops, trace.Op{Kind: trace.Kind(op.Kind), Addr: a})
+			default:
+				computes++
+				ops = append(ops, trace.Op{Kind: trace.Compute, Cycles: op.Cycles})
+			}
+		}
+		streams[s] = ops
+	}
+	if err := hdr.Check(streams); err != nil {
+		return fmt.Errorf("verify %s: %w", path, err)
+	}
+	fmt.Fprintf(out, "ok %s: %d streams, %d ops (%d loads, %d stores, %d compute), %.1f MB span\n",
+		path, hdr.Streams(), hdr.TotalOps(), loads, stores, computes, float64(hdr.Footprint)/1e6)
+	return nil
+}
+
+// run executes one ndptrace invocation.
+func run(opts options, out io.Writer) error {
+	switch {
+	case opts.verify != "":
+		return verify(opts.verify, out)
+	case opts.threads < 1:
+		return fmt.Errorf("-threads %d: need at least one thread", opts.threads)
+	case opts.thread < 0 || opts.thread >= opts.threads:
+		return fmt.Errorf("-thread %d out of range [0, %d)", opts.thread, opts.threads)
+	case opts.allThreads && opts.out == "":
+		return fmt.Errorf("-all-threads needs -o: the CSV format is single-stream")
+	case opts.stats && opts.out != "":
+		return fmt.Errorf("-stats and -o are mutually exclusive")
+	case opts.out != "":
+		return capture(opts)
+	default:
+		return emit(opts, out)
+	}
+}
+
 func main() {
 	var opts options
-	flag.StringVar(&opts.workload, "workload", "bfs", "workload name")
-	flag.Uint64Var(&opts.ops, "ops", 100_000, "number of ops to emit")
+	flag.StringVar(&opts.workload, "workload", "bfs", "workload name (builtin or trace:<path>)")
+	flag.Uint64Var(&opts.ops, "ops", 100_000, "number of ops to emit per stream")
 	flag.IntVar(&opts.threads, "threads", 1, "total thread count the workload partitions for")
 	flag.IntVar(&opts.thread, "thread", 0, "which thread's stream to dump")
 	flag.Uint64Var(&opts.footprint, "footprint", 1<<30, "dataset bytes")
 	flag.Uint64Var(&opts.seed, "seed", 42, "random seed")
 	flag.BoolVar(&opts.stats, "stats", false, "print an op-mix summary instead of the trace")
+	flag.StringVar(&opts.out, "o", "", "write a binary .ndpt capture to FILE instead of CSV on stdout")
+	flag.BoolVar(&opts.allThreads, "all-threads", false, "capture every thread's stream (requires -o)")
+	flag.StringVar(&opts.verify, "verify", "", "replay capture FILE and check it against its header")
 	flag.Parse()
 
-	if err := emit(opts, os.Stdout); err != nil {
+	if err := run(opts, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "ndptrace:", err)
 		os.Exit(1)
 	}

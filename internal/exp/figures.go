@@ -388,11 +388,12 @@ func (r *Runner) All() ([]*stats.Table, error) {
 	return out, nil
 }
 
-// TableII renders the workload registry (Table II).
+// TableII renders the workload registry: the Table II benchmarks plus
+// any workloads registered in this process (workload.Register).
 func TableII() *stats.Table {
 	t := stats.NewTable("Table II: evaluated workloads",
 		"workload", "suite", "description", "paper dataset")
-	for _, name := range workload.Names() {
+	for _, name := range append(workload.Names(), workload.Registered()...) {
 		s := workload.MustLookup(name)
 		t.AddRow(s.Name, s.Suite, s.Description, s.PaperDataset)
 	}

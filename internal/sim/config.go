@@ -98,13 +98,26 @@ func (c Config) Validate() error {
 // resume incrementally. The hash covers every Config field; adding a
 // field to Config changes the Key of every configuration, which
 // deliberately invalidates caches recorded under the old schema.
+//
+// For workloads whose name alone does not pin their behavior, the
+// workload's identity material joins the hash: registered workloads
+// contribute their name+params, trace replays a content digest of the
+// capture file (workload.Identity). Built-in Table II names contribute
+// nothing, so their keys are unchanged from earlier schemas.
 func (c Config) Key() string {
-	b, err := json.Marshal(c.Normalize())
+	n := c.Normalize()
+	b, err := json.Marshal(n)
 	if err != nil {
 		// Config is a struct of scalars and strings; Marshal cannot fail.
 		panic(fmt.Sprintf("sim: config hash: %v", err))
 	}
-	sum := sha256.Sum256(b)
+	h := sha256.New()
+	h.Write(b)
+	if id := workload.Identity(n.Workload); id != "" {
+		h.Write([]byte{0})
+		h.Write([]byte(id))
+	}
+	sum := h.Sum(nil)
 	return hex.EncodeToString(sum[:16])
 }
 

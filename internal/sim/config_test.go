@@ -1,11 +1,16 @@
 package sim
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"ndpage/internal/core"
 	"ndpage/internal/memsys"
+	"ndpage/internal/workload"
+	"ndpage/internal/workload/trace"
 )
 
 func TestValidate(t *testing.T) {
@@ -103,6 +108,94 @@ func TestKeyIdentity(t *testing.T) {
 		if cfg.Key() == a.Key() {
 			t.Errorf("changing %s did not change the key", name)
 		}
+	}
+}
+
+// TestKeyWorkloadIdentity: non-builtin workloads mix their identity
+// material into the key — a trace key follows the capture's *content*,
+// a registered key its name+params — while builtins hash exactly as
+// before (no identity suffix).
+func TestKeyWorkloadIdentity(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "k.ndpt")
+	writeOps := func(a uint64) {
+		w := trace.NewWriter("k", 1, 1)
+		w.Append(0, trace.Op{Kind: trace.Load, Addr: a})
+		var buf bytes.Buffer
+		if err := w.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeOps(0x1000)
+	cfg := testCfg(memsys.NDP, 1, core.Radix, "trace:"+path)
+	k1 := cfg.Key()
+	if k2 := cfg.Key(); k2 != k1 {
+		t.Fatal("trace key not deterministic")
+	}
+	writeOps(0x2000)
+	if cfg.Key() == k1 {
+		t.Error("trace key unchanged after the capture's content changed")
+	}
+
+	if err := workload.Register(workload.Spec{
+		Name:   "sim-key-test",
+		Params: "v1",
+		New:    workload.MustLookup("rnd").New,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	reg := testCfg(memsys.NDP, 1, core.Radix, "sim-key-test")
+	if reg.Key() == testCfg(memsys.NDP, 1, core.Radix, "rnd").Key() {
+		t.Error("registered workload key collides with a builtin's")
+	}
+	if reg.Key() != reg.Key() {
+		t.Error("registered key not deterministic")
+	}
+}
+
+// TestTraceReplayRuns: a "trace:" workload drives a full simulation
+// end to end — Validate, New, Run — and the measured instruction count
+// matches the budget (the replay loops when the sim outruns the file).
+func TestTraceReplayRuns(t *testing.T) {
+	w := trace.NewWriter("e2e", 1, 2)
+	for s := 0; s < 2; s++ {
+		base := uint64(0x100000 * (s + 1))
+		for i := uint64(0); i < 64; i++ {
+			w.Append(s, trace.Op{Kind: trace.Load, Addr: base + 4096*i})
+			w.Append(s, trace.Op{Kind: trace.Compute, Cycles: 2})
+			w.Append(s, trace.Op{Kind: trace.Store, Addr: base + 4096*i})
+		}
+	}
+	var buf bytes.Buffer
+	if err := w.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "e2e.ndpt")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := testCfg(memsys.NDP, 2, core.NDPage, "trace:"+path)
+	res, err := RunConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instructions != cfg.Instructions*uint64(cfg.Cores) {
+		t.Errorf("instructions = %d, want %d", res.Instructions, cfg.Instructions*uint64(cfg.Cores))
+	}
+	if res.Loads == 0 || res.Stores == 0 {
+		t.Errorf("replay issued no memory traffic: %d loads, %d stores", res.Loads, res.Stores)
+	}
+	// Determinism: an identical second run reproduces the cycle count.
+	res2, err := RunConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Cycles != res.Cycles {
+		t.Errorf("replay not deterministic: %d vs %d cycles", res2.Cycles, res.Cycles)
 	}
 }
 

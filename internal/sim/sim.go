@@ -47,7 +47,10 @@ type Config struct {
 	System    memsys.Kind
 	Cores     int
 	Mechanism core.Mechanism
-	// Workload names a Table II benchmark (see workload.Names).
+	// Workload names the op-stream source: a Table II benchmark
+	// (workload.Names), a registered workload (workload.Register), or
+	// "trace:<path>" to replay a captured op stream (see ndptrace and
+	// WORKLOADS.md).
 	Workload string
 	// FootprintBytes is the shared dataset budget. Zero selects the
 	// core-count-scaled default ((19+cores)/2 GB: 10 GB at 1 core up to
@@ -134,8 +137,8 @@ type Machine struct {
 // event carries no payload; the completion event's time is the op's
 // completion, delivered as the event's `now`.
 const (
-	evFrontEnd uint8 = iota // run the core's front-end (stepEvent or issueStaged)
-	evMemOpDone             // retire one in-flight memory op (MLP > 1)
+	evFrontEnd  uint8 = iota // run the core's front-end (stepEvent or issueStaged)
+	evMemOpDone              // retire one in-flight memory op (MLP > 1)
 )
 
 // simCore is one simulated core: its op stream, MMU, and local clock.

@@ -3,9 +3,13 @@ package workload
 import (
 	"fmt"
 	"sort"
+	"strings"
+	"sync"
 )
 
-// Spec describes one benchmark of Table II.
+// Spec describes one workload the registry can build: a Table II
+// benchmark, a user registration (Register), or a trace replay
+// (resolved on the fly for "trace:<path>" names).
 type Spec struct {
 	Name        string
 	Suite       string
@@ -14,36 +18,118 @@ type Spec struct {
 	// reproduction scales footprints down (see DESIGN.md).
 	PaperDataset string
 	New          func() Workload
+	// Params is extra identity material for registered workloads: a
+	// string identifying the kernel's tuning knobs. Identity hashes it
+	// (with the name) into sim.Config.Key(), so two registrations that
+	// differ only in parameters content-address their runs apart.
+	// Built-in workloads leave it empty.
+	Params string
 }
 
 // specs is the Table II registry.
 var specs = map[string]Spec{
-	"bc":   {"bc", "GraphBIG", "Betweenness centrality", "8 GB", NewBC},
-	"bfs":  {"bfs", "GraphBIG", "Breadth-first search", "8 GB", NewBFS},
-	"cc":   {"cc", "GraphBIG", "Connected components", "8 GB", NewCC},
-	"gc":   {"gc", "GraphBIG", "Graph coloring", "8 GB", NewGC},
-	"pr":   {"pr", "GraphBIG", "PageRank", "8 GB", NewPR},
-	"tc":   {"tc", "GraphBIG", "Triangle counting", "8 GB", NewTC},
-	"sp":   {"sp", "GraphBIG", "Shortest path", "8 GB", NewSP},
-	"xs":   {"xs", "XSBench", "Particle simulation", "9 GB", NewXS},
-	"rnd":  {"rnd", "GUPS", "Random access", "10 GB", NewRND},
-	"dlrm": {"dlrm", "DLRM", "Sparse-length sum", "10 GB", NewDLRM},
-	"gen":  {"gen", "GenomicsBench", "k-mer counting", "33 GB", NewGEN},
+	"bc":   {Name: "bc", Suite: "GraphBIG", Description: "Betweenness centrality", PaperDataset: "8 GB", New: NewBC},
+	"bfs":  {Name: "bfs", Suite: "GraphBIG", Description: "Breadth-first search", PaperDataset: "8 GB", New: NewBFS},
+	"cc":   {Name: "cc", Suite: "GraphBIG", Description: "Connected components", PaperDataset: "8 GB", New: NewCC},
+	"gc":   {Name: "gc", Suite: "GraphBIG", Description: "Graph coloring", PaperDataset: "8 GB", New: NewGC},
+	"pr":   {Name: "pr", Suite: "GraphBIG", Description: "PageRank", PaperDataset: "8 GB", New: NewPR},
+	"tc":   {Name: "tc", Suite: "GraphBIG", Description: "Triangle counting", PaperDataset: "8 GB", New: NewTC},
+	"sp":   {Name: "sp", Suite: "GraphBIG", Description: "Shortest path", PaperDataset: "8 GB", New: NewSP},
+	"xs":   {Name: "xs", Suite: "XSBench", Description: "Particle simulation", PaperDataset: "9 GB", New: NewXS},
+	"rnd":  {Name: "rnd", Suite: "GUPS", Description: "Random access", PaperDataset: "10 GB", New: NewRND},
+	"dlrm": {Name: "dlrm", Suite: "DLRM", Description: "Sparse-length sum", PaperDataset: "10 GB", New: NewDLRM},
+	"gen":  {Name: "gen", Suite: "GenomicsBench", Description: "k-mer counting", PaperDataset: "33 GB", New: NewGEN},
 }
 
 // paperOrder is the presentation order of the paper's figures.
 var paperOrder = []string{"bc", "bfs", "cc", "gc", "pr", "tc", "sp", "xs", "rnd", "dlrm", "gen"}
 
-// Names returns all workload names in the paper's figure order.
+// registered holds user-registered workloads (Register), guarded by
+// regMu. Built-ins stay in specs so the paper's evaluation set is
+// immutable.
+var (
+	regMu      sync.RWMutex
+	registered = map[string]Spec{}
+)
+
+// Names returns the Table II workload names in the paper's figure
+// order. It deliberately excludes registered and trace workloads: the
+// paper's evaluation sweeps (internal/exp) iterate this set.
 func Names() []string {
 	out := make([]string, len(paperOrder))
 	copy(out, paperOrder)
 	return out
 }
 
-// Lookup returns the spec for a workload name.
+// Registered returns the names of user-registered workloads, sorted.
+func Registered() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registered))
+	for n := range registered {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// validName reports whether a registration name is acceptable:
+// lowercase alphanumerics plus ._- (no ":" — reserved for scheme
+// prefixes like "trace:").
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9':
+		case i > 0 && (c == '.' || c == '_' || c == '-'):
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Register adds a user-defined workload to the registry, making its
+// name valid everywhere a built-in name is: sim.Config.Workload,
+// sweep plans, and the CLIs. The name must be lowercase
+// ([a-z0-9][a-z0-9._-]*), must not collide with a Table II benchmark
+// or a previous registration, and spec.New must be non-nil. Safe for
+// concurrent use.
+func Register(s Spec) error {
+	if !validName(s.Name) {
+		return fmt.Errorf("workload: invalid registration name %q (want [a-z0-9][a-z0-9._-]*)", s.Name)
+	}
+	if s.New == nil {
+		return fmt.Errorf("workload: register %q: nil constructor", s.Name)
+	}
+	if _, ok := specs[s.Name]; ok {
+		return fmt.Errorf("workload: register %q: collides with a built-in Table II benchmark", s.Name)
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, ok := registered[s.Name]; ok {
+		return fmt.Errorf("workload: register %q: already registered", s.Name)
+	}
+	registered[s.Name] = s
+	return nil
+}
+
+// Lookup resolves a workload name: a Table II benchmark, a registered
+// workload, or a "trace:<path>" replay (validated by reading the
+// capture's header).
 func Lookup(name string) (Spec, error) {
+	if strings.HasPrefix(name, TracePrefix) {
+		return traceSpec(name)
+	}
 	if s, ok := specs[name]; ok {
+		return s, nil
+	}
+	regMu.RLock()
+	s, ok := registered[name]
+	regMu.RUnlock()
+	if ok {
 		return s, nil
 	}
 	all := make([]string, 0, len(specs))
@@ -51,7 +137,8 @@ func Lookup(name string) (Spec, error) {
 		all = append(all, n)
 	}
 	sort.Strings(all)
-	return Spec{}, fmt.Errorf("unknown workload %q (have %v)", name, all)
+	all = append(all, Registered()...)
+	return Spec{}, fmt.Errorf("unknown workload %q (have %v, or trace:<path> to replay a capture)", name, all)
 }
 
 // MustLookup is Lookup for static names.
@@ -61,4 +148,26 @@ func MustLookup(name string) Spec {
 		panic(err)
 	}
 	return s
+}
+
+// Identity returns the extra identity material a workload name
+// contributes to sim.Config.Key(): empty for built-ins (whose behavior
+// is fully determined by the name, keeping pre-existing keys stable),
+// name+params for registered workloads, and a content digest for trace
+// replays (so editing a capture invalidates its cached runs).
+func Identity(name string) string {
+	if strings.HasPrefix(name, TracePrefix) {
+		return traceIdentity(name)
+	}
+	if _, ok := specs[name]; ok {
+		return ""
+	}
+	regMu.RLock()
+	s, ok := registered[name]
+	regMu.RUnlock()
+	if ok {
+		return "reg\x00" + s.Name + "\x00" + s.Params
+	}
+	// Unknown names fail Validate before any key is ever stored.
+	return ""
 }

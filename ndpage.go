@@ -18,7 +18,10 @@
 // Eleven data-intensive workloads (Table II: GraphBIG BC/BFS/CC/GC/PR/TC/
 // SP, XSBench, GUPS, DLRM, GenomicsBench k-mer counting) drive the
 // simulations as synthetic kernels that reproduce the originals' memory
-// access patterns.
+// access patterns. The workload set is open: RegisterWorkload adds
+// user-defined kernels under new names, and Config.Workload =
+// "trace:<path>" replays an op stream captured with cmd/ndptrace
+// (WORKLOADS.md documents the catalog, the API, and the trace formats).
 //
 // Quick start:
 //
@@ -92,20 +95,24 @@ type Result = sim.Result
 // and collect statistics.
 func Run(cfg Config) (*Result, error) { return sim.RunConfig(cfg) }
 
-// WorkloadInfo describes one Table II benchmark.
+// WorkloadInfo describes one registry workload.
 type WorkloadInfo struct {
 	Name        string // registry name passed to Config.Workload
 	Suite       string
 	Description string
 	// PaperDataset is the dataset size the paper evaluated with; this
 	// reproduction scales footprints to the simulated 16 GB machine.
+	// Empty for registered workloads.
 	PaperDataset string
 }
 
-// Workloads lists the Table II benchmarks in the paper's figure order.
+// Workloads lists the registry: the Table II benchmarks in the paper's
+// figure order, followed by any workloads added with RegisterWorkload
+// (sorted by name). Trace replays ("trace:<path>") are resolved on the
+// fly and not listed.
 func Workloads() []WorkloadInfo {
 	var out []WorkloadInfo
-	for _, name := range workload.Names() {
+	for _, name := range append(workload.Names(), workload.Registered()...) {
 		s := workload.MustLookup(name)
 		out = append(out, WorkloadInfo{s.Name, s.Suite, s.Description, s.PaperDataset})
 	}

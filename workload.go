@@ -1,0 +1,84 @@
+package ndpage
+
+import (
+	"ndpage/internal/addr"
+	"ndpage/internal/workload"
+	"ndpage/internal/xrand"
+)
+
+// The workload platform: the simulator's benchmark set is open.
+// Anything that implements Workload — the address stream of a kernel,
+// not its arithmetic — can be registered under a name
+// (RegisterWorkload) and then drives simulations, sweeps, and the CLI
+// tools exactly like a Table II benchmark. Captured op streams replay
+// the same way via Config.Workload = "trace:<path>" (see
+// cmd/ndptrace and WORKLOADS.md).
+
+// VAddr is a simulated virtual address.
+type VAddr = addr.V
+
+// OpKind is the kind of one instruction-level operation.
+type OpKind = workload.OpKind
+
+// Operation kinds a Generator emits.
+const (
+	// OpCompute is a non-memory instruction burst of Op.Cycles cycles.
+	OpCompute OpKind = workload.Compute
+	// OpLoad reads Op.Addr.
+	OpLoad OpKind = workload.Load
+	// OpStore writes Op.Addr.
+	OpStore OpKind = workload.Store
+)
+
+// Op is one instruction emitted by a workload generator.
+type Op = workload.Op
+
+// Mem is the allocation interface a workload uses to reserve its
+// dataset; the simulator passes its OS model's address space.
+type Mem = workload.Mem
+
+// RNG is the deterministic pseudo-random generator handed to
+// Workload.Init; a given seed always produces the same stream, which
+// is what makes runs content-addressable.
+type RNG = xrand.RNG
+
+// Workload is a benchmark: a shared dataset plus one infinite op
+// stream per simulated core. Implementations must be deterministic in
+// (Init arguments, Thread arguments): the run cache assumes a
+// workload's name and parameters pin its behavior.
+type Workload = workload.Workload
+
+// Generator is an infinite instruction stream (one core's thread).
+type Generator = workload.Generator
+
+// WorkloadSpec describes a user-defined workload for RegisterWorkload.
+type WorkloadSpec struct {
+	// Suite and Description label the workload in listings (ndpsim
+	// -list, Workloads()).
+	Suite       string
+	Description string
+	// Params identifies the kernel's tuning knobs (any stable encoding
+	// of them, e.g. "nodes=1e6,stride=64"). It is hashed together with
+	// the name into Config.Key(), so changing a parameter invalidates
+	// the content-addressed run cache. Leave it empty only if the name
+	// alone pins the workload's behavior.
+	Params string
+	// New constructs a fresh instance; each simulation gets its own.
+	New func() Workload
+}
+
+// RegisterWorkload adds a user-defined workload to the global registry
+// under the given name ([a-z0-9][a-z0-9._-]*). The name then works
+// everywhere a built-in name does: Config.Workload, Plan.Workloads,
+// Workloads(), and the CLIs built on this package. Registering a name
+// twice, or shadowing a Table II benchmark, is an error. Safe for
+// concurrent use.
+func RegisterWorkload(name string, spec WorkloadSpec) error {
+	return workload.Register(workload.Spec{
+		Name:        name,
+		Suite:       spec.Suite,
+		Description: spec.Description,
+		Params:      spec.Params,
+		New:         spec.New,
+	})
+}

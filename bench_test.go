@@ -11,6 +11,7 @@ package ndpage_test
 // Full-scale tables come from `go run ./cmd/ndpexp`.
 
 import (
+	"context"
 	"strconv"
 	"testing"
 
@@ -254,6 +255,68 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		instr += res.Instructions
 	}
 	b.ReportMetric(float64(instr)/b.Elapsed().Seconds(), "sim-instr/s")
+}
+
+// sweepReplications builds a figure-style replication sweep: the same
+// small configuration under distinct seeds, so every run is a genuine
+// simulation (no dedupe) of equal weight.
+func sweepReplications(n int) []ndpage.Config {
+	cfgs := make([]ndpage.Config, n)
+	for i := range cfgs {
+		cfgs[i] = ndpage.Config{
+			System:         ndpage.NDP,
+			Cores:          4,
+			Mechanism:      ndpage.NDPage,
+			Workload:       "rnd",
+			FootprintBytes: 128 << 20,
+			MemoryBytes:    2 << 30,
+			Warmup:         2_000,
+			Instructions:   10_000,
+			Seed:           uint64(i + 1),
+		}
+	}
+	return cfgs
+}
+
+// benchSweep runs one replication sweep per iteration through run (a
+// fresh Runner each time, so the store never short-circuits the work)
+// and reports aggregate simulated instructions per second — the number
+// sharding is meant to scale with cores.
+func benchSweep(b *testing.B, run func(cfgs []ndpage.Config) ([]*ndpage.Result, error)) {
+	b.ReportAllocs()
+	cfgs := sweepReplications(8)
+	b.ResetTimer()
+	var instr uint64
+	for i := 0; i < b.N; i++ {
+		out, err := run(cfgs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, res := range out {
+			instr += res.Instructions
+		}
+	}
+	b.ReportMetric(float64(instr)/b.Elapsed().Seconds(), "sweep-instr/s")
+}
+
+// BenchmarkSweepSerial is the sharding baseline: the same replication
+// sweep on a single worker.
+func BenchmarkSweepSerial(b *testing.B) {
+	benchSweep(b, func(cfgs []ndpage.Config) ([]*ndpage.Result, error) {
+		r := &ndpage.Sweep{Parallel: 1}
+		return r.Run(context.Background(), cfgs)
+	})
+}
+
+// BenchmarkSweepSharded measures the sharded replication runner at one
+// shard per CPU. The sweep-instr/s ratio against BenchmarkSweepSerial is
+// the multicore scaling the bench gates check (only meaningful when
+// GOMAXPROCS > 1; a single-CPU machine runs the shards sequentially).
+func BenchmarkSweepSharded(b *testing.B) {
+	benchSweep(b, func(cfgs []ndpage.Config) ([]*ndpage.Result, error) {
+		r := &ndpage.Sweep{}
+		return r.RunSharded(context.Background(), cfgs, 0)
+	})
 }
 
 func BenchmarkSensitivity_Oversubscription(b *testing.B) {

@@ -6,39 +6,56 @@
 // page numbers, walk prefixes). The set index is taken from the low bits
 // of the key after a mixing step, so callers may pass keys with poor
 // low-bit entropy.
+//
+// The storage is structure-of-arrays: tags, LRU stamps, and values live
+// in three parallel set-major slices, with one occupancy bitmask word
+// per set. Lookup — the simulator's second-hottest loop after resource
+// reservation — therefore scans a dense run of bare uint64 tags instead
+// of striding over full entry structs (for a TLB entry the AoS stride
+// was 5 words per way; the tag scan now touches one). Validity lives in
+// the occupancy word, so invalid ways cost a bit test, not a struct
+// load, and the free-way probe is a single trailing-zeros instruction.
+// The parallel arrays are always indexed identically, which keeps
+// victim selection, free-way choice (lowest invalid way), and Range
+// order exactly what the AoS implementation produced.
 package assoc
+
+import "math/bits"
 
 // Table is a set-associative array mapping uint64 keys to values of type V
 // with true-LRU replacement within each set.
 type Table[V any] struct {
-	sets  int
-	ways  int
-	mask  uint64
-	lines []line[V] // sets*ways entries, set-major
-	clock uint64    // global LRU timestamp source
-}
-
-type line[V any] struct {
-	key   uint64
-	value V
-	valid bool
-	lru   uint64
+	sets int
+	ways int
+	mask uint64
+	// Parallel set-major arrays, sets*ways entries each: way w of set s
+	// is index s*ways+w in all three. A tag or value is meaningful only
+	// while the way's occupancy bit is set; clearing the bit is the only
+	// invalidation (stale tags never match because the bit gates them).
+	tags  []uint64
+	lru   []uint64
+	vals  []V
+	occ   []uint64 // per-set occupancy word; bit w = way w valid
+	clock uint64   // global LRU timestamp source
 }
 
 // New creates a table with the given number of sets (must be a power of
-// two, >= 1) and ways (>= 1).
+// two, >= 1) and ways (1..64 — the occupancy bitmask is one word).
 func New[V any](sets, ways int) *Table[V] {
 	if sets < 1 || sets&(sets-1) != 0 {
 		panic("assoc: sets must be a positive power of two")
 	}
-	if ways < 1 {
-		panic("assoc: ways must be >= 1")
+	if ways < 1 || ways > 64 {
+		panic("assoc: ways must be in 1..64")
 	}
 	return &Table[V]{
-		sets:  sets,
-		ways:  ways,
-		mask:  uint64(sets - 1),
-		lines: make([]line[V], sets*ways),
+		sets: sets,
+		ways: ways,
+		mask: uint64(sets - 1),
+		tags: make([]uint64, sets*ways),
+		lru:  make([]uint64, sets*ways),
+		vals: make([]V, sets*ways),
+		occ:  make([]uint64, sets),
 	}
 }
 
@@ -58,21 +75,27 @@ func mix(key uint64) uint64 {
 	return key * 0x9e3779b97f4a7c15 >> 17
 }
 
-func (t *Table[V]) set(key uint64) []line[V] {
+// find returns the line index of key, or -1. The tag scan runs over the
+// dense tag run for the set; the occupancy bit gates stale tags.
+func (t *Table[V]) find(key uint64) int {
 	s := int(mix(key) & t.mask)
-	return t.lines[s*t.ways : (s+1)*t.ways]
+	base := s * t.ways
+	occ := t.occ[s]
+	for w, tag := range t.tags[base : base+t.ways] {
+		if tag == key && occ&(1<<uint(w)) != 0 {
+			return base + w
+		}
+	}
+	return -1
 }
 
 // Lookup finds key, promoting it to most-recently-used. The second result
 // reports whether the key was present.
 func (t *Table[V]) Lookup(key uint64) (V, bool) {
-	set := t.set(key)
-	for i := range set {
-		if set[i].valid && set[i].key == key {
-			t.clock++
-			set[i].lru = t.clock
-			return set[i].value, true
-		}
+	if i := t.find(key); i >= 0 {
+		t.clock++
+		t.lru[i] = t.clock
+		return t.vals[i], true
 	}
 	var zero V
 	return zero, false
@@ -80,11 +103,8 @@ func (t *Table[V]) Lookup(key uint64) (V, bool) {
 
 // Peek finds key without updating recency.
 func (t *Table[V]) Peek(key uint64) (V, bool) {
-	set := t.set(key)
-	for i := range set {
-		if set[i].valid && set[i].key == key {
-			return set[i].value, true
-		}
+	if i := t.find(key); i >= 0 {
+		return t.vals[i], true
 	}
 	var zero V
 	return zero, false
@@ -93,12 +113,9 @@ func (t *Table[V]) Peek(key uint64) (V, bool) {
 // Update replaces the value of an existing key without changing recency.
 // It reports whether the key was present.
 func (t *Table[V]) Update(key uint64, v V) bool {
-	set := t.set(key)
-	for i := range set {
-		if set[i].valid && set[i].key == key {
-			set[i].value = v
-			return true
-		}
+	if i := t.find(key); i >= 0 {
+		t.vals[i] = v
+		return true
 	}
 	return false
 }
@@ -108,61 +125,61 @@ func (t *Table[V]) Update(key uint64, v V) bool {
 // The eviction results report what was displaced, so caches can model
 // dirty write-backs.
 func (t *Table[V]) Insert(key uint64, v V) (evictedKey uint64, evictedVal V, evicted bool) {
-	set := t.set(key)
+	s := int(mix(key) & t.mask)
+	base := s * t.ways
+	occ := t.occ[s]
 	t.clock++
 	// Hit: replace in place.
-	for i := range set {
-		if set[i].valid && set[i].key == key {
-			set[i].value = v
-			set[i].lru = t.clock
+	for w, tag := range t.tags[base : base+t.ways] {
+		if tag == key && occ&(1<<uint(w)) != 0 {
+			t.vals[base+w] = v
+			t.lru[base+w] = t.clock
 			return 0, evictedVal, false
 		}
 	}
-	// Free way.
-	for i := range set {
-		if !set[i].valid {
-			set[i] = line[V]{key: key, value: v, valid: true, lru: t.clock}
-			return 0, evictedVal, false
-		}
+	// Free way: the lowest invalid one, same choice the AoS scan made.
+	if w := bits.TrailingZeros64(^occ); w < t.ways {
+		t.tags[base+w] = key
+		t.vals[base+w] = v
+		t.lru[base+w] = t.clock
+		t.occ[s] = occ | 1<<uint(w)
+		return 0, evictedVal, false
 	}
-	// Evict LRU.
-	victim := 0
-	for i := 1; i < len(set); i++ {
-		if set[i].lru < set[victim].lru {
+	// Evict LRU (every way is valid here).
+	victim := base
+	for i := base + 1; i < base+t.ways; i++ {
+		if t.lru[i] < t.lru[victim] {
 			victim = i
 		}
 	}
-	evictedKey, evictedVal = set[victim].key, set[victim].value
-	set[victim] = line[V]{key: key, value: v, valid: true, lru: t.clock}
+	evictedKey, evictedVal = t.tags[victim], t.vals[victim]
+	t.tags[victim] = key
+	t.vals[victim] = v
+	t.lru[victim] = t.clock
 	return evictedKey, evictedVal, true
 }
 
 // Invalidate removes key, reporting whether it was present.
 func (t *Table[V]) Invalidate(key uint64) bool {
-	set := t.set(key)
-	for i := range set {
-		if set[i].valid && set[i].key == key {
-			set[i].valid = false
-			return true
-		}
+	if i := t.find(key); i >= 0 {
+		t.occ[i/t.ways] &^= 1 << uint(i%t.ways)
+		return true
 	}
 	return false
 }
 
 // Flush removes every entry.
 func (t *Table[V]) Flush() {
-	for i := range t.lines {
-		t.lines[i].valid = false
+	for i := range t.occ {
+		t.occ[i] = 0
 	}
 }
 
 // Len returns the number of valid entries.
 func (t *Table[V]) Len() int {
 	n := 0
-	for i := range t.lines {
-		if t.lines[i].valid {
-			n++
-		}
+	for _, occ := range t.occ {
+		n += bits.OnesCount64(occ)
 	}
 	return n
 }
@@ -170,9 +187,16 @@ func (t *Table[V]) Len() int {
 // Range calls fn for every valid entry; if fn returns false iteration
 // stops. Iteration order is internal array order (deterministic).
 func (t *Table[V]) Range(fn func(key uint64, v V) bool) {
-	for i := range t.lines {
-		if t.lines[i].valid && !fn(t.lines[i].key, t.lines[i].value) {
-			return
+	for s := 0; s < t.sets; s++ {
+		occ := t.occ[s]
+		if occ == 0 {
+			continue
+		}
+		base := s * t.ways
+		for w := 0; w < t.ways; w++ {
+			if occ&(1<<uint(w)) != 0 && !fn(t.tags[base+w], t.vals[base+w]) {
+				return
+			}
 		}
 	}
 }

@@ -186,6 +186,145 @@ func TestSetDistribution(t *testing.T) {
 	}
 }
 
+// refTable is the pre-SoA array-of-structs implementation, kept verbatim
+// as the differential oracle: the SoA table must make identical hit,
+// free-way, victim, and Range-order decisions for any operation mix,
+// because table decisions feed simulated timing and the golden tests pin
+// that timing bit for bit.
+type refTable[V any] struct {
+	ways  int
+	mask  uint64
+	lines []refLine[V]
+	clock uint64
+}
+
+type refLine[V any] struct {
+	key   uint64
+	value V
+	valid bool
+	lru   uint64
+}
+
+func newRef[V any](sets, ways int) *refTable[V] {
+	return &refTable[V]{ways: ways, mask: uint64(sets - 1), lines: make([]refLine[V], sets*ways)}
+}
+
+func (t *refTable[V]) set(key uint64) []refLine[V] {
+	s := int(mix(key) & t.mask)
+	return t.lines[s*t.ways : (s+1)*t.ways]
+}
+
+func (t *refTable[V]) Lookup(key uint64) (V, bool) {
+	set := t.set(key)
+	for i := range set {
+		if set[i].valid && set[i].key == key {
+			t.clock++
+			set[i].lru = t.clock
+			return set[i].value, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+func (t *refTable[V]) Insert(key uint64, v V) (uint64, V, bool) {
+	var zeroV V
+	set := t.set(key)
+	t.clock++
+	for i := range set {
+		if set[i].valid && set[i].key == key {
+			set[i].value = v
+			set[i].lru = t.clock
+			return 0, zeroV, false
+		}
+	}
+	for i := range set {
+		if !set[i].valid {
+			set[i] = refLine[V]{key: key, value: v, valid: true, lru: t.clock}
+			return 0, zeroV, false
+		}
+	}
+	victim := 0
+	for i := 1; i < len(set); i++ {
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	ek, ev := set[victim].key, set[victim].value
+	set[victim] = refLine[V]{key: key, value: v, valid: true, lru: t.clock}
+	return ek, ev, true
+}
+
+func (t *refTable[V]) Invalidate(key uint64) bool {
+	set := t.set(key)
+	for i := range set {
+		if set[i].valid && set[i].key == key {
+			set[i].valid = false
+			return true
+		}
+	}
+	return false
+}
+
+func (t *refTable[V]) Range(fn func(key uint64, v V) bool) {
+	for i := range t.lines {
+		if t.lines[i].valid && !fn(t.lines[i].key, t.lines[i].value) {
+			return
+		}
+	}
+}
+
+// TestSoAMatchesAoSReference drives the SoA table and the AoS reference
+// through long pseudo-random operation mixes on a small hot table (heavy
+// eviction and invalidation) and requires identical results, including
+// eviction victims and Range order.
+func TestSoAMatchesAoSReference(t *testing.T) {
+	state := uint64(0x2545F4914F6CDD1D)
+	next := func() uint64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return state
+	}
+	got := New[uint64](4, 4)
+	want := newRef[uint64](4, 4)
+	for op := 0; op < 20000; op++ {
+		key := next() % 96 // ~6 hot keys per set: constant conflict
+		switch next() % 4 {
+		case 0, 1:
+			gk, gv, ge := got.Insert(key, uint64(op))
+			wk, wv, we := want.Insert(key, uint64(op))
+			if gk != wk || gv != wv || ge != we {
+				t.Fatalf("op %d: Insert(%d) = (%d,%d,%v), reference (%d,%d,%v)",
+					op, key, gk, gv, ge, wk, wv, we)
+			}
+		case 2:
+			gv, gok := got.Lookup(key)
+			wv, wok := want.Lookup(key)
+			if gv != wv || gok != wok {
+				t.Fatalf("op %d: Lookup(%d) = (%d,%v), reference (%d,%v)", op, key, gv, gok, wv, wok)
+			}
+		case 3:
+			if g, w := got.Invalidate(key), want.Invalidate(key); g != w {
+				t.Fatalf("op %d: Invalidate(%d) = %v, reference %v", op, key, g, w)
+			}
+		}
+		if op%500 == 0 {
+			var gSeq, wSeq []uint64
+			got.Range(func(k uint64, v uint64) bool { gSeq = append(gSeq, k, v); return true })
+			want.Range(func(k uint64, v uint64) bool { wSeq = append(wSeq, k, v); return true })
+			if len(gSeq) != len(wSeq) {
+				t.Fatalf("op %d: Range visited %d entries, reference %d", op, len(gSeq)/2, len(wSeq)/2)
+			}
+			for i := range gSeq {
+				if gSeq[i] != wSeq[i] {
+					t.Fatalf("op %d: Range order diverged at %d: %d vs %d", op, i, gSeq[i], wSeq[i])
+				}
+			}
+		}
+	}
+}
+
 func BenchmarkLookupHit(b *testing.B) {
 	t := New[uint64](64, 8)
 	t.Insert(42, 42)

@@ -1,0 +1,173 @@
+package engine
+
+import "testing"
+
+// Calendar-queue-specific behavior: same-tick batching, window rebase
+// through the far list, width adaptation, and the Rewind bucket reset.
+
+// TestSameTickBatchDrainsWithoutReprobe pins the batch fast path: a run
+// of events at one timestamp is extracted once and drained without
+// probing the wheel again, which Batched() counts.
+func TestSameTickBatchDrainsWithoutReprobe(t *testing.T) {
+	e := New()
+	r := &recorder{}
+	for i := 0; i < 8; i++ {
+		e.Schedule(42, i, r, 0, uint64(i))
+	}
+	e.Schedule(50, 0, r, 0, 99)
+	e.Run()
+	if len(r.got) != 9 {
+		t.Fatalf("dispatched %d events, want 9", len(r.got))
+	}
+	for i := 0; i < 8; i++ {
+		if r.got[i].now != 42 || r.got[i].payload != uint64(i) {
+			t.Fatalf("dispatch %d = %+v, want time 42 payload %d", i, r.got[i], i)
+		}
+	}
+	// 8 events at t=42: one wheel probe extracts the batch, 7 dispatch
+	// as same-tick continuations; the t=50 event probes again.
+	if e.Batched() != 7 {
+		t.Errorf("Batched = %d, want 7", e.Batched())
+	}
+	if e.Dispatched() != 9 {
+		t.Errorf("Dispatched = %d, want 9", e.Dispatched())
+	}
+}
+
+// TestFarEventsRebaseIntoWindow schedules events far beyond the wheel's
+// horizon and checks they dispatch in order after the window rebases.
+func TestFarEventsRebaseIntoWindow(t *testing.T) {
+	e := New()
+	r := &recorder{}
+	horizon := uint64(nBuckets) << e.shift
+	times := []uint64{1, horizon * 3, horizon * 3, horizon*10 + 5, horizon * 42}
+	for i, at := range times {
+		e.Schedule(at, i, r, 0, uint64(i))
+	}
+	if len(e.far) == 0 {
+		t.Fatal("no events landed in the far list; horizon math changed?")
+	}
+	e.Run()
+	if len(r.got) != len(times) {
+		t.Fatalf("dispatched %d events, want %d", len(r.got), len(times))
+	}
+	for i, d := range r.got {
+		if d.now != times[i] || d.payload != uint64(i) {
+			t.Fatalf("dispatch %d = %+v, want time %d payload %d", i, d, times[i], i)
+		}
+	}
+}
+
+// TestWidthAdaptsToLargeDeltas drives the engine with deltas far wider
+// than the initial bucket width and checks a rebase widens the buckets
+// (the adaptation policy: mean delta spans at most an eighth of the
+// window).
+func TestWidthAdaptsToLargeDeltas(t *testing.T) {
+	e := New()
+	r := &recorder{}
+	for i := 1; i <= 64; i++ {
+		e.Schedule(uint64(i)<<20, 0, r, 0, uint64(i)) // megacycle spacing, all beyond the window
+	}
+	e.Run()
+	if len(r.got) != 64 {
+		t.Fatalf("dispatched %d events, want 64", len(r.got))
+	}
+	if e.shift <= initShift {
+		t.Errorf("shift = %d after 1M-cycle deltas, want > %d (width did not adapt up)", e.shift, initShift)
+	}
+}
+
+// TestCrowdedBucketRebuckets forces many distinct timestamps into one
+// bucket (a learned-too-wide width) and checks dispatch stays correct
+// and the width re-adapts downward.
+func TestCrowdedBucketRebuckets(t *testing.T) {
+	e := New()
+	e.shift = 20 // pretend a previous phase learned 1M-cycle buckets
+	r := &recorder{}
+	n := crowdLimit * 2
+	for i := 0; i < n; i++ {
+		e.Schedule(uint64(i), 0, r, 0, uint64(i)) // n distinct ticks, one bucket
+	}
+	e.Run()
+	if len(r.got) != n {
+		t.Fatalf("dispatched %d events, want %d", len(r.got), n)
+	}
+	for i, d := range r.got {
+		if d.now != uint64(i) {
+			t.Fatalf("dispatch %d at time %d, want %d", i, d.now, i)
+		}
+	}
+	if e.shift >= 20 {
+		t.Errorf("shift = %d after crowded bucket, want re-adapted below 20", e.shift)
+	}
+}
+
+// TestRewindAfterBatchedRun pins the Rewind satellite: after a run that
+// drained through same-tick batches (including mid-batch inserts), the
+// engine rewinds cleanly — clock and window base return to zero and a
+// new phase scheduled below the old horizon runs in order.
+func TestRewindAfterBatchedRun(t *testing.T) {
+	e := New()
+	r := &recorder{}
+	r.hook = func(now uint64, kind uint8, payload uint64) {
+		if kind == 1 {
+			// Mid-batch same-tick insert: joins the in-flight batch.
+			e.Schedule(now, 5, r, 0, 1000)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		e.Schedule(700, i, r, 0, uint64(i))
+	}
+	e.Schedule(700, 0, r, 1, 100) // triggers the mid-batch insert
+	e.Run()
+	if got := len(r.got); got != 6 {
+		t.Fatalf("phase 1 dispatched %d events, want 6", got)
+	}
+
+	e.Rewind()
+	if e.Now() != 0 || e.base != 0 {
+		t.Fatalf("Rewind left now=%d base=%d, want 0/0", e.Now(), e.base)
+	}
+	if e.Len() != 0 || e.batchPos != len(e.batch) {
+		t.Fatal("Rewind left pending or batched events")
+	}
+
+	// The next phase re-seeds below the previous horizon and must
+	// dispatch in order, including a fresh same-tick batch.
+	r.hook = nil
+	r.got = r.got[:0]
+	e.Schedule(5, 1, r, 0, 1)
+	e.Schedule(5, 0, r, 0, 0)
+	e.Schedule(3, 2, r, 0, 2)
+	e.Run()
+	if len(r.got) != 3 || r.got[0].payload != 2 || r.got[1].payload != 0 || r.got[2].payload != 1 {
+		t.Fatalf("post-Rewind order wrong: %+v", r.got)
+	}
+	if e.Batched() == 0 {
+		t.Error("batched runs recorded no same-tick continuations")
+	}
+}
+
+// TestLenCountsAllRegions checks Len across the wheel, the far list,
+// and a partially drained batch.
+func TestLenCountsAllRegions(t *testing.T) {
+	e := New()
+	r := &recorder{}
+	e.Schedule(1, 0, r, 0, 0)
+	e.Schedule(1, 1, r, 0, 0)
+	e.Schedule(2, 0, r, 0, 0)
+	e.Schedule(uint64(nBuckets)<<e.shift+12345, 0, r, 0, 0) // far
+	if e.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", e.Len())
+	}
+	if !e.Step() { // extracts the t=1 batch, dispatches one of two
+		t.Fatal("Step found no work")
+	}
+	if e.Len() != 3 {
+		t.Fatalf("Len after one Step = %d, want 3 (one batched event pending)", e.Len())
+	}
+	e.Run()
+	if e.Len() != 0 {
+		t.Fatalf("Len after Run = %d, want 0", e.Len())
+	}
+}

@@ -288,12 +288,17 @@ func TestScheduleDoesNotAllocate(t *testing.T) {
 	e := New()
 	r := &recorder{}
 	r.got = make([]delivered, 0, 4096)
-	// Reach steady-state capacity first.
-	for i := 0; i < 64; i++ {
-		e.Schedule(uint64(i), i, r, 0, 0)
+	// Reach steady-state capacity first: spin the clock across several
+	// window spans so every calendar bucket, the far list, and the
+	// batch buffer hit their high-water capacities.
+	for round := 0; round < 3*nBuckets; round++ {
+		base := e.Now()
+		for i := 0; i < 8; i++ {
+			e.Schedule(base+uint64(i*37), i, r, 0, 0)
+		}
+		e.Run()
+		r.got = r.got[:0]
 	}
-	e.Run()
-	r.got = r.got[:0]
 
 	allocs := testing.AllocsPerRun(100, func() {
 		base := e.Now()

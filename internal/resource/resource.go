@@ -34,6 +34,9 @@
 //     binary search, leaving only the short out-of-order frontier to
 //     walk. One flag tracks monotonicity; rare inversions fall back to
 //     the full scan, which re-detects monotonicity for the next call.
+//   - IdleAt is an O(1) comparison against the high-water end, valid
+//     because eviction removes a minimum end and so never forgets the
+//     interval holding the maximum.
 package resource
 
 // window is the number of busy intervals remembered. It bounds how far
@@ -219,6 +222,9 @@ func (s *Slots) insertAt(idx int, iv interval) {
 
 // NextFree returns the earliest time at or after now at which the
 // resource could begin a reservation of length dur, without booking it.
+// It shares Reserve's placement scan, including the monotone dead-prefix
+// skip: intervals ending at or before the candidate can neither bump it
+// nor host a gap before it.
 func (s *Slots) NextFree(now, dur uint64) uint64 {
 	candidate := now
 	if s.floor > candidate {
@@ -227,7 +233,20 @@ func (s *Slots) NextFree(now, dur uint64) uint64 {
 	if candidate >= s.maxEnd {
 		return candidate
 	}
-	for i := 0; i < s.n; i++ {
+	i0 := 0
+	if !s.unsorted {
+		lo, hi := 0, s.n
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if s.at(mid).end > candidate {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		i0 = lo
+	}
+	for i := i0; i < s.n; i++ {
 		iv := s.at(i)
 		if candidate+dur <= iv.start {
 			return candidate
@@ -239,14 +258,12 @@ func (s *Slots) NextFree(now, dur uint64) uint64 {
 	return candidate
 }
 
-// IdleAt reports whether no booked interval covers or follows t.
+// IdleAt reports whether no booked interval covers or follows t. This is
+// an O(1) maxEnd comparison: eviction always removes a minimum end, so
+// the interval holding maxEnd is never forgotten while the book is
+// non-empty, and an empty book has maxEnd zero.
 func (s *Slots) IdleAt(t uint64) bool {
-	for i := 0; i < s.n; i++ {
-		if s.at(i).end > t {
-			return false
-		}
-	}
-	return true
+	return t >= s.maxEnd
 }
 
 // Reset clears all reservations and the eviction floor.

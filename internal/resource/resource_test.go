@@ -216,6 +216,15 @@ func (s *refSlots) insert(idx int, iv interval) {
 	s.n++
 }
 
+func (s *refSlots) IdleAt(t uint64) bool {
+	for i := 0; i < s.n; i++ {
+		if s.busy[i].end > t {
+			return false
+		}
+	}
+	return true
+}
+
 func (s *refSlots) NextFree(now, dur uint64) uint64 {
 	candidate := now
 	if s.floor > candidate {
@@ -269,6 +278,12 @@ func TestReserveMatchesReferenceImplementation(t *testing.T) {
 				g, w := got.NextFree(now, dur), want.NextFree(now, dur)
 				if g != w {
 					t.Fatalf("round %d op %d: NextFree(%d, %d) = %d, reference %d", round, i, now, dur, g, w)
+				}
+			}
+			if next()%4 == 0 {
+				at := now + next()%200
+				if g, w := got.IdleAt(at), want.IdleAt(at); g != w {
+					t.Fatalf("round %d op %d: IdleAt(%d) = %v, reference %v", round, i, at, g, w)
 				}
 			}
 			g, w := got.Reserve(now, dur), want.Reserve(now, dur)

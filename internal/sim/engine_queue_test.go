@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"ndpage/internal/core"
+	"ndpage/internal/engine"
+)
+
+// TestEngineQueueDifferential runs whole simulations through both event
+// queues — the calendar wheel and the retained binary-heap fallback —
+// and requires identical Results. The goldens pin the wheel to the
+// recorded pre-wheel numbers; this test additionally pins every counter
+// of fresh configurations (blocking and MLP, narrow and shared walkers)
+// to the heap oracle, so any dispatch-order divergence the goldens'
+// two configurations miss still fails.
+func TestEngineQueueDifferential(t *testing.T) {
+	if engine.UseHeapFallback {
+		t.Fatal("UseHeapFallback set on entry")
+	}
+	cfgs := map[string]Config{
+		"blocking-2core-bfs": goldenCfg(2, core.NDPage, "bfs"),
+		"blocking-4core-rnd": goldenCfg(4, core.Radix, "rnd"),
+	}
+	mlp := goldenCfg(4, core.ECH, "dlrm")
+	mlp.MLP = 8
+	mlp.SharedWalker = true
+	mlp.WalkerWidth = 4
+	cfgs["mlp8-4core-dlrm"] = mlp
+
+	for name, cfg := range cfgs {
+		t.Run(name, func(t *testing.T) {
+			calendar := run(t, cfg)
+			engine.UseHeapFallback = true
+			heap := run(t, cfg)
+			engine.UseHeapFallback = false
+			if !reflect.DeepEqual(calendar, heap) {
+				t.Errorf("results diverge between calendar queue and heap oracle:\ncalendar: %+v\nheap:     %+v",
+					calendar, heap)
+			}
+		})
+	}
+}
+
+// TestEngineBatchesSameTickEvents checks the wheel's same-tick batching
+// actually engages on a real simulation: a multi-core run dispatches a
+// measurable fraction of its events as batch continuations.
+func TestEngineBatchesSameTickEvents(t *testing.T) {
+	m, err := New(goldenCfg(4, core.NDPage, "bfs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run()
+	d, b := m.eng.Dispatched(), m.eng.Batched()
+	if d == 0 {
+		t.Fatal("no events dispatched")
+	}
+	if b == 0 {
+		t.Error("no same-tick batch continuations on a 4-core run; batching never engaged")
+	}
+	t.Logf("dispatched %d events, %d batched (%.2f%%)", d, b, 100*float64(b)/float64(d))
+}

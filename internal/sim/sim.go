@@ -281,7 +281,9 @@ func (m *Machine) MMU(i int) *core.MMU { return m.cores[i].mmu }
 // (Config.MLP = 1). The whole op — fetch, faults, translation, data
 // access — runs inside the current event, and the caller schedules the
 // core's next event at the updated clock, which reproduces the
-// pre-engine min-clock step loop bit for bit.
+// pre-engine min-clock step loop bit for bit. Kept as the one-op
+// reference semantics behind stepEvent's compute-run fusion (and used
+// directly by tests).
 func (m *Machine) step(c *simCore) {
 	c.gen.Next(&c.op)
 	c.instructions++
@@ -294,7 +296,12 @@ func (m *Machine) step(c *simCore) {
 	default:
 		panic(fmt.Sprintf("sim: unknown op kind %d", c.op.Kind))
 	}
+	m.stepMem(c)
+}
 
+// stepMem executes the memory op already decoded into c.op: fetch
+// bookkeeping, demand faults, translation, and the data access.
+func (m *Machine) stepMem(c *simCore) {
 	// Instruction fetch: every FetchEvery-th op walks the code region
 	// through the ITLB/L1I (overlapped with the pipeline: structure
 	// activity, no cycle charge).
@@ -365,12 +372,36 @@ func (m *Machine) scheduleFrontEnd(c *simCore, t uint64) {
 	m.eng.Schedule(t, c.id, c, evFrontEnd, 0)
 }
 
-// stepEvent is the blocking model's event: one full op, then reschedule
-// at the op's completion.
+// stepEvent is the blocking model's event. It executes the memory op
+// this event was scheduled for (if one is pending), then decodes ahead:
+// runs of compute ops execute inline — a compute op touches only the
+// core's private clock and counters, so its standalone event was pure
+// front-end bookkeeping no other actor could observe — and the next
+// memory op is deferred to a fresh event at exactly the dispatch time
+// the unfused schedule gave it. Every shared-structure access therefore
+// keeps its pre-fusion (time, core) dispatch slot while the engine
+// round-trips for compute ops disappear. c.opValid marks the deferred
+// op between the two events (the staged MLP > 1 front-end owns the same
+// flag; the paths are mutually exclusive per configuration).
 func (m *Machine) stepEvent(c *simCore) {
-	m.step(c)
-	if c.instructions < m.target {
-		m.eng.Schedule(c.clock, c.id, c, evFrontEnd, 0)
+	if c.opValid {
+		c.opValid = false
+		m.stepMem(c)
+	}
+	for c.instructions < m.target {
+		c.gen.Next(&c.op)
+		c.instructions++
+		switch c.op.Kind {
+		case workload.Compute:
+			c.clock += uint64(c.op.Cycles)
+			c.computeCycles += uint64(c.op.Cycles)
+		case workload.Load, workload.Store:
+			c.opValid = true
+			m.eng.Schedule(c.clock, c.id, c, evFrontEnd, 0)
+			return
+		default:
+			panic(fmt.Sprintf("sim: unknown op kind %d", c.op.Kind))
+		}
 	}
 }
 

@@ -1,0 +1,148 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"ndpage/internal/sim"
+)
+
+// defaultShards is the shard count when the caller passes <= 0: one per
+// available CPU, since shards are compute-bound whole simulations.
+func defaultShards() int {
+	return runtime.GOMAXPROCS(0)
+}
+
+// RunSharded executes cfgs across a fixed set of shard goroutines and
+// returns results in input order, exactly like Run. Where Run feeds a
+// shared job channel (any worker takes the next job), RunSharded pins
+// every unique configuration to one shard chosen by hashing its content
+// key, and each shard executes its queue serially in key order. The
+// schedule — which goroutine runs which configuration, and in what
+// sequence — is therefore a pure function of the configuration set, not
+// of completion timing, which makes replication sweeps reproducible
+// under -race, under CPU contention, and across machines. Figure
+// replications (same config, different seeds) hash to different shards
+// and run in parallel.
+//
+// Shards <= 0 selects GOMAXPROCS shards. Like Run, cancelling ctx stops
+// each shard before its next run; in-flight simulations complete and
+// are stored. Results and errors follow Run's contract: input order,
+// first failure in input order, nil result for failed or undispatched
+// positions.
+func (r *Runner) RunSharded(ctx context.Context, cfgs []sim.Config, shards int) ([]*sim.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if shards <= 0 {
+		shards = defaultShards()
+	}
+	r.init()
+	n := len(cfgs)
+	norm := make([]sim.Config, n)
+	keys := make([]string, n)
+	for i, c := range cfgs {
+		if err := c.Validate(); err != nil {
+			return nil, fmt.Errorf("sweep: %s: %w", c.Desc(), err)
+		}
+		norm[i] = c.Normalize()
+		keys[i] = norm[i].Key()
+	}
+
+	results := make(map[string]*sim.Result, n)
+	runErrs := make(map[string]error)
+
+	// Classify: serve store hits and negatively-cached failures, then
+	// pin the rest — once per unique key — to its shard.
+	queues := make([][]int, shards)
+	queued := make(map[string]bool)
+	for i := range norm {
+		k := keys[i]
+		if queued[k] {
+			continue
+		}
+		queued[k] = true
+		r.mu.Lock()
+		_, failed := r.errs[k]
+		r.mu.Unlock()
+		if failed {
+			continue
+		}
+		res, ok, err := r.store.Get(k)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			r.mu.Lock()
+			results[k] = res
+			announce := !r.served[k]
+			r.served[k] = true
+			r.mu.Unlock()
+			if announce {
+				r.emit(Event{Config: norm[i], Key: k, Cached: true, Cycles: res.Cycles})
+			}
+			continue
+		}
+		s := shardOf(k, shards)
+		queues[s] = append(queues[s], i)
+	}
+
+	// Each shard runs its queue serially in key order: the per-shard
+	// sequence depends only on the key set, never on input order or on
+	// other shards' progress.
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		q := queues[s]
+		if len(q) == 0 {
+			continue
+		}
+		sort.Slice(q, func(a, b int) bool { return keys[q[a]] < keys[q[b]] })
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, i := range q {
+				if ctx.Err() != nil {
+					return
+				}
+				r.runOne(norm[i], keys[i], results, runErrs)
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Assemble in input order; surface the first failure.
+	out := make([]*sim.Result, n)
+	var firstErr error
+	for i, k := range keys {
+		r.mu.Lock()
+		out[i] = results[k]
+		err := r.errs[k]
+		if err == nil {
+			err = runErrs[k]
+		}
+		r.mu.Unlock()
+		if out[i] == nil && err == nil {
+			err = ctx.Err() // never dispatched
+		}
+		if firstErr == nil && err != nil {
+			firstErr = err
+		}
+	}
+	return out, firstErr
+}
+
+// shardOf pins key to a shard: FNV-1a over the content key, reduced mod
+// shards. The hash is stable across processes (the key is a content
+// address, the hash a fixed function), so a sweep's shard assignment is
+// reproducible anywhere.
+func shardOf(key string, shards int) int {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return int(h % uint64(shards))
+}

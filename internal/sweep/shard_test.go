@@ -1,0 +1,189 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"ndpage/internal/sim"
+)
+
+// TestRunShardedMatchesRun: sharded execution is an implementation detail
+// — for every shard count, the results (and their input-order placement)
+// must be indistinguishable from the pooled Run, including duplicated
+// configurations.
+func TestRunShardedMatchesRun(t *testing.T) {
+	cfgs := seedPlan(1, 2, 3, 4, 5, 6, 7, 8)
+	cfgs = append(cfgs, cfgs[2], cfgs[5]) // duplicates share one run
+
+	ref := &Runner{Simulate: fakeSim(new(atomic.Int64))}
+	want, err := ref.Run(context.Background(), cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, shards := range []int{1, 2, 3, 8, 16} {
+		var calls atomic.Int64
+		r := &Runner{Simulate: fakeSim(&calls)}
+		got, err := r.RunSharded(context.Background(), cfgs, shards)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("shards=%d: results differ from Run", shards)
+		}
+		if calls.Load() != 8 {
+			t.Errorf("shards=%d: %d sims, want 8 (dedupe)", shards, calls.Load())
+		}
+	}
+}
+
+// TestRunShardedScheduleIsDeterministic: the shard assignment and each
+// shard's serial order depend only on the configuration set — observed
+// per-run sequences must repeat exactly across executions and must not
+// depend on input order.
+func TestRunShardedScheduleIsDeterministic(t *testing.T) {
+	cfgs := seedPlan(1, 2, 3, 4, 5, 6, 7)
+	shards := 3
+
+	observe := func(in []sim.Config) [][]uint64 {
+		var mu sync.Mutex
+		order := make(map[int][]uint64) // goroutine-local via shard identity
+		r := &Runner{Simulate: func(cfg sim.Config) (*sim.Result, error) {
+			s := shardOf(cfg.Normalize().Key(), shards)
+			mu.Lock()
+			order[s] = append(order[s], cfg.Seed)
+			mu.Unlock()
+			return &sim.Result{Config: cfg, Cycles: cfg.Seed}, nil
+		}}
+		if _, err := r.RunSharded(context.Background(), in, shards); err != nil {
+			t.Fatal(err)
+		}
+		out := make([][]uint64, shards)
+		for s := 0; s < shards; s++ {
+			out[s] = order[s]
+		}
+		return out
+	}
+
+	first := observe(cfgs)
+	if again := observe(cfgs); !reflect.DeepEqual(again, first) {
+		t.Errorf("schedule changed across runs:\n%v\n%v", first, again)
+	}
+	// Reversed input: same key set, so the same schedule.
+	rev := make([]sim.Config, len(cfgs))
+	for i, c := range cfgs {
+		rev[len(cfgs)-1-i] = c
+	}
+	if reversed := observe(rev); !reflect.DeepEqual(reversed, first) {
+		t.Errorf("schedule depends on input order:\n%v\n%v", first, reversed)
+	}
+}
+
+// TestRunShardedRunsShardsConcurrently: two runs pinned to different
+// shards must be in flight at once — each fake sim blocks until both
+// have started.
+func TestRunShardedRunsShardsConcurrently(t *testing.T) {
+	// Pick two seeds whose keys land on different shards of 2.
+	var a, b sim.Config
+	found := false
+	for s := uint64(1); s < 64 && !found; s++ {
+		for u := s + 1; u < 64 && !found; u++ {
+			ca, cb := testBaseWithSeed(s), testBaseWithSeed(u)
+			if shardOf(ca.Normalize().Key(), 2) != shardOf(cb.Normalize().Key(), 2) {
+				a, b, found = ca, cb, true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no seed pair split across 2 shards")
+	}
+
+	var started sync.WaitGroup
+	started.Add(2)
+	r := &Runner{Simulate: func(cfg sim.Config) (*sim.Result, error) {
+		started.Done()
+		started.Wait() // deadlocks (test timeout) unless both shards run at once
+		return &sim.Result{Config: cfg, Cycles: 1}, nil
+	}}
+	if _, err := r.RunSharded(context.Background(), []sim.Config{a, b}, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunShardedCancelMidFlight: cancelling during the sweep stops each
+// shard before its next run; completed runs keep their results, never-
+// dispatched positions report ctx.Err with nil results.
+func TestRunShardedCancelMidFlight(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int64
+	r := &Runner{Simulate: func(cfg sim.Config) (*sim.Result, error) {
+		if calls.Add(1) == 1 {
+			cancel() // cancel while the first run is in flight
+		}
+		return &sim.Result{Config: cfg, Cycles: cfg.Seed}, nil
+	}}
+	cfgs := seedPlan(1, 2, 3, 4, 5, 6, 7, 8)
+	out, err := r.RunSharded(ctx, cfgs, 1) // one shard: strictly serial
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("%d runs after mid-flight cancel, want 1", calls.Load())
+	}
+	var done, missing int
+	for _, res := range out {
+		if res != nil {
+			done++
+		} else {
+			missing++
+		}
+	}
+	if done != 1 || missing != len(cfgs)-1 {
+		t.Errorf("results after cancel: %d done, %d missing", done, missing)
+	}
+}
+
+// TestRunShardedSurfacesFailures: a failing run is negatively cached and
+// reported in input order, exactly like Run.
+func TestRunShardedSurfacesFailures(t *testing.T) {
+	boom := errors.New("boom")
+	r := &Runner{Simulate: func(cfg sim.Config) (*sim.Result, error) {
+		if cfg.Seed == 2 {
+			return nil, boom
+		}
+		return &sim.Result{Config: cfg, Cycles: cfg.Seed}, nil
+	}}
+	out, err := r.RunSharded(context.Background(), seedPlan(1, 2, 3), 2)
+	if !errors.Is(err, boom) {
+		t.Fatalf("error = %v, want boom", err)
+	}
+	if out[0] == nil || out[1] != nil || out[2] == nil {
+		t.Fatalf("unexpected results: %v", out)
+	}
+}
+
+// TestRunShardedRealSimulationMatchesSerial pins the acceptance contract
+// on the real simulator: a sharded replication sweep produces results
+// byte-identical to the serial pool (Parallel=1), per configuration.
+func TestRunShardedRealSimulationMatchesSerial(t *testing.T) {
+	cfgs := seedPlan(1, 2, 3)
+	serial := &Runner{Parallel: 1}
+	want, err := serial.Run(context.Background(), cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded := &Runner{}
+	got, err := sharded.RunSharded(context.Background(), cfgs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("config %d: sharded result differs from serial", i)
+		}
+	}
+}

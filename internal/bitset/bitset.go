@@ -12,6 +12,11 @@
 // occupied key range. The zero value is an empty set ready to use.
 package bitset
 
+import (
+	"math/bits"
+	"slices"
+)
+
 // pageBits is log2 of the bits per directory page. 1<<15 bits = 4 KB of
 // words per page, so a 16 GB address space's 2 MB-chunk ordinals (8192
 // chunks) fit in a single page.
@@ -40,8 +45,8 @@ func (p *Paged) Get(key uint64) bool {
 // Set adds key to the set, allocating its page on first touch.
 func (p *Paged) Set(key uint64) {
 	pi := key >> pageBits
-	for uint64(len(p.pages)) <= pi {
-		p.pages = append(p.pages, nil)
+	if n := int(pi) + 1 - len(p.pages); n > 0 {
+		p.pages = slices.Grow(p.pages, n)[:pi+1]
 	}
 	if p.pages[pi] == nil {
 		p.pages[pi] = make([]uint64, words)
@@ -70,3 +75,67 @@ func (p *Paged) Clear(key uint64) {
 
 // Len returns the number of keys in the set.
 func (p *Paged) Len() uint64 { return p.count }
+
+// Word-bitmap helpers: operations on caller-owned []uint64 bitmaps, for
+// structures that know their capacity up front and want the bits inline
+// (page-table present sets, per-way occupancy maps). All helpers index
+// bit i at words[i>>6] bit i&63 and assume i is in range; they are small
+// enough to inline into the lookup paths that motivate them.
+
+// WordsFor returns the number of uint64 words covering n bits.
+func WordsFor(n uint64) int { return int((n + 63) / 64) }
+
+// TestBit reports whether bit i is set.
+func TestBit(words []uint64, i uint64) bool {
+	return words[i>>6]&(1<<(i&63)) != 0
+}
+
+// SetBit sets bit i, reporting whether it was previously clear.
+func SetBit(words []uint64, i uint64) bool {
+	w, m := i>>6, uint64(1)<<(i&63)
+	if words[w]&m != 0 {
+		return false
+	}
+	words[w] |= m
+	return true
+}
+
+// ClearBit clears bit i, reporting whether it was previously set.
+func ClearBit(words []uint64, i uint64) bool {
+	w, m := i>>6, uint64(1)<<(i&63)
+	if words[w]&m == 0 {
+		return false
+	}
+	words[w] &^= m
+	return true
+}
+
+// SetRun sets bits [i, i+n), returning how many were previously clear
+// (popcount of the freshly set bits, word at a time) — bulk-population
+// paths use the return value to maintain used counts without a
+// per-entry test.
+func SetRun(words []uint64, i, n uint64) uint64 {
+	fresh := uint64(0)
+	for n > 0 {
+		w, off := i>>6, i&63
+		span := 64 - off
+		if span > n {
+			span = n
+		}
+		mask := (^uint64(0) >> (64 - span)) << off
+		fresh += uint64(bits.OnesCount64(mask &^ words[w]))
+		words[w] |= mask
+		i += span
+		n -= span
+	}
+	return fresh
+}
+
+// Count returns the population count of the bitmap.
+func Count(words []uint64) uint64 {
+	total := uint64(0)
+	for _, w := range words {
+		total += uint64(bits.OnesCount64(w))
+	}
+	return total
+}

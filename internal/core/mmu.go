@@ -69,6 +69,12 @@ type MMU struct {
 	unit   *WalkUnit
 	table  pagetable.Table
 
+	// dtlbLat/stlbLat cache the constant probe latencies: Translate runs
+	// per simulated load/store and the TLB hit path should read MMU-local
+	// fields, not chase each TLB's config.
+	dtlbLat uint64
+	stlbLat uint64
+
 	// xlatFree heads the free list of pooled async-translation records,
 	// so a TLB miss in the event-scheduled path allocates nothing in
 	// steady state.
@@ -172,6 +178,8 @@ func NewMMUWithOptions(mech Mechanism, coreID int, table pagetable.Table, mem *m
 		stlb:   tlb.New(tlb.L2()),
 		table:  table,
 	}
+	m.dtlbLat = m.dtlb.Latency()
+	m.stlbLat = m.stlb.Latency()
 	if opts.SharedUnit != nil {
 		m.unit = opts.SharedUnit
 	} else {
@@ -238,12 +246,12 @@ func (m *MMU) Translate(now uint64, v addr.V, op access.Op) (addr.P, uint64) {
 		return physical(e, v), now
 	}
 	vpn := v.Page()
-	t := now + m.dtlb.Latency()
+	t := now + m.dtlbLat
 	if e, ok := m.dtlb.Lookup(vpn); ok {
 		m.stats.TranslationCycles.Add(t - now)
 		return physical(pagetable.Entry(e), v), t
 	}
-	t += m.stlb.Latency()
+	t += m.stlbLat
 	if e, ok := m.stlb.Lookup(vpn); ok {
 		m.dtlb.Insert(vpn, e)
 		m.stats.TranslationCycles.Add(t - now)
@@ -282,13 +290,13 @@ func (m *MMU) TranslateAsync(s walker.Scheduler, now uint64, v addr.V, op access
 		return
 	}
 	vpn := v.Page()
-	t := now + m.dtlb.Latency()
+	t := now + m.dtlbLat
 	if e, ok := m.dtlb.Lookup(vpn); ok {
 		m.stats.TranslationCycles.Add(t - now)
 		client.OnTranslated(physical(pagetable.Entry(e), v), t)
 		return
 	}
-	t += m.stlb.Latency()
+	t += m.stlbLat
 	if e, ok := m.stlb.Lookup(vpn); ok {
 		m.dtlb.Insert(vpn, e)
 		m.stats.TranslationCycles.Add(t - now)

@@ -387,13 +387,17 @@ func (as *AddressSpace) populateChunk(vpn addr.VPN) {
 
 // Touch ensures the page containing v is mapped, returning the cycle cost
 // charged to the faulting core (0 when already mapped — the common case).
+// A VPN-cache miss consults the table through Present — the bit-probe
+// predicate — rather than Lookup, so even the cache-miss half of the hit
+// path reads only present bitmaps, never frame numbers, before refilling
+// the cache.
 func (as *AddressSpace) Touch(v addr.V) uint64 {
 	vpn := v.Page()
 	slot := uint64(vpn) & (mapCacheSlots - 1)
 	if as.mapped[slot] == vpn+1 {
 		return 0
 	}
-	if _, ok := as.table.Lookup(vpn); ok {
+	if as.table.Present(vpn) {
 		as.mapped[slot] = vpn + 1
 		return 0
 	}

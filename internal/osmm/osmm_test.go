@@ -353,3 +353,26 @@ func TestUnmapFreesConsistently(t *testing.T) {
 		t.Errorf("frames in use %d, want <= limit+tables", used)
 	}
 }
+
+// BenchmarkTouchHit measures the demand-paging check on the ~99% path: a
+// page that is already mapped. The first pattern revisits pages inside
+// the positive VPN cache; the second sweeps a region wider than the
+// cache so most checks fall through to Table.Present.
+func BenchmarkTouchHit(b *testing.B) {
+	run := func(b *testing.B, pages uint64) {
+		as, _ := newAS(Base4K)
+		base := as.Alloc(pages*addr.PageSize, "hot")
+		rng := xrand.New(9)
+		addrs := make([]addr.V, 4096)
+		for i := range addrs {
+			addrs[i] = base + addr.V(rng.Uint64n(pages)*addr.PageSize)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			as.Touch(addrs[i&4095])
+		}
+	}
+	b.Run("cached", func(b *testing.B) { run(b, 1024) })     // fits VPN cache
+	b.Run("present", func(b *testing.B) { run(b, 1<<15) })   // spills to Present
+}

@@ -75,3 +75,70 @@ func BenchmarkRadixLookup(b *testing.B) {
 		t.Lookup(addrs[i&4095].Page())
 	}
 }
+
+// benchSparseTable maps a handful of pages per 1 GB region across many
+// regions, so lookups cross flat nodes and land in lazily materialized
+// chunks.
+func benchSparseTable(b *testing.B, t Table) []addr.V {
+	b.Helper()
+	rng := xrand.New(3)
+	addrs := make([]addr.V, 4096)
+	for i := range addrs {
+		region := rng.Uint64n(64) << 18 // one of 64 flat nodes
+		vpn := addr.VPN(region + rng.Uint64n(addr.FlatEntries))
+		t.Map(vpn, addr.PFN(i))
+		addrs[i] = vpn.Addr()
+	}
+	return addrs
+}
+
+func BenchmarkFlattenedLookup(b *testing.B) {
+	b.Run("dense", func(b *testing.B) {
+		t := NewFlattened(phys.New(1 << 30))
+		addrs := benchTable(b, t)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t.Lookup(addrs[i&4095].Page())
+		}
+	})
+	b.Run("sparse", func(b *testing.B) {
+		t := NewFlattened(phys.New(1 << 32))
+		addrs := benchSparseTable(b, t)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t.Lookup(addrs[i&4095].Page())
+		}
+	})
+}
+
+func BenchmarkFlattenedPresent(b *testing.B) {
+	t := NewFlattened(phys.New(1 << 30))
+	addrs := benchTable(b, t)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Present(addrs[i&4095].Page())
+	}
+}
+
+// BenchmarkFlattenedReferenceSweep populates the reference sweep — a
+// dense 1 GB region plus scattered pages across 63 more — and reports
+// resident metadata per mapped page, the bytes_per_mapped_page metric
+// scripts/bench.sh records and gates.
+func BenchmarkFlattenedReferenceSweep(b *testing.B) {
+	var perPage float64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t := NewFlattened(phys.New(1 << 32))
+		t.MapRange(0, addr.FlatEntries, 0) // dense 1 GB
+		rng := xrand.New(5)
+		for j := 0; j < 1<<14; j++ { // sparse tail over 63 GB
+			region := (1 + rng.Uint64n(63)) << 18
+			t.Map(addr.VPN(region+rng.Uint64n(addr.FlatEntries)), addr.PFN(j))
+		}
+		perPage = float64(t.MetadataBytes()) / float64(t.MappedPages())
+	}
+	b.ReportMetric(perPage, "bytes/page")
+}

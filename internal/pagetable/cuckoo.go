@@ -2,8 +2,10 @@ package pagetable
 
 import (
 	"fmt"
+	"unsafe"
 
 	"ndpage/internal/addr"
+	"ndpage/internal/bitset"
 	"ndpage/internal/phys"
 	"ndpage/internal/xrand"
 )
@@ -46,22 +48,34 @@ type CuckooStats struct {
 	Migrated uint64 // entries moved during gradual resizes
 }
 
+// cuckooSlot is one hash-table entry: exactly slotBytes wide, matching
+// the modelled PTE. Occupancy lives outside the slot array in a per-way
+// bitmap, so the slot stays two words and a lookup's emptiness test
+// reads bit-packed metadata instead of a padded bool per slot.
 type cuckooSlot struct {
-	vpn  addr.VPN
-	pfn  addr.PFN
-	full bool
+	vpn addr.VPN
+	pfn addr.PFN
 }
 
-type cuckooWay struct {
+// cuckooTab is one hash table (a way's old or new array during gradual
+// resizing): the slots, their occupancy bitmap, and the backing frames.
+type cuckooTab struct {
 	slots  []cuckooSlot
+	occ    []uint64 // one bit per slot
 	frames []addr.P // one frame per slotsPerFrame slots
-	count  int
+}
+
+// full reports whether slot i holds an entry.
+func (t *cuckooTab) full(i int) bool { return bitset.TestBit(t.occ, uint64(i)) }
+
+type cuckooWay struct {
+	cuckooTab
+	count int
 
 	// resize state
-	resizing  bool
-	newSlots  []cuckooSlot
-	newFrames []addr.P
-	migPtr    int
+	resizing bool
+	newTab   cuckooTab
+	migPtr   int
 }
 
 // slotsPerFrame is how many 16-byte slots fit a 4 KB frame.
@@ -96,7 +110,16 @@ func (c *Cuckoo) Kind() string { return "cuckoo" }
 func (c *Cuckoo) Stats() CuckooStats { return c.stats }
 
 func (c *Cuckoo) newWay(size int) *cuckooWay {
-	return &cuckooWay{slots: make([]cuckooSlot, size), frames: c.allocFrames(size)}
+	return &cuckooWay{cuckooTab: c.newTab(size)}
+}
+
+// newTab builds one hash table of size slots.
+func (c *Cuckoo) newTab(size int) cuckooTab {
+	return cuckooTab{
+		slots:  make([]cuckooSlot, size),
+		occ:    make([]uint64, bitset.WordsFor(uint64(size))),
+		frames: c.allocFrames(size),
+	}
 }
 
 func (c *Cuckoo) allocFrames(slots int) []addr.P {
@@ -121,27 +144,41 @@ func slotPA(frames []addr.P, i int) addr.P {
 	return frames[i/slotsPerFrame] + addr.P((i%slotsPerFrame)*slotBytes)
 }
 
-// probe resolves where a lookup for vpn lands in way w: the slot index,
-// which table (old or new), and the slot's physical address.
-func (c *Cuckoo) probe(w int, vpn addr.VPN) (slots []cuckooSlot, idx int, pa addr.P) {
+// probe resolves where a lookup for vpn lands in way w: the table (old,
+// or new during gradual resizing), the slot index, and the slot's
+// physical address.
+func (c *Cuckoo) probe(w int, vpn addr.VPN) (tab *cuckooTab, idx int, pa addr.P) {
 	way := c.ways[w]
 	hOld := c.hash(w, vpn, len(way.slots))
 	if way.resizing && hOld < way.migPtr {
-		hNew := c.hash(w, vpn, len(way.newSlots))
-		return way.newSlots, hNew, slotPA(way.newFrames, hNew)
+		hNew := c.hash(w, vpn, len(way.newTab.slots))
+		return &way.newTab, hNew, slotPA(way.newTab.frames, hNew)
 	}
-	return way.slots, hOld, slotPA(way.frames, hOld)
+	return &way.cuckooTab, hOld, slotPA(way.frames, hOld)
 }
 
 // Lookup implements Table.
 func (c *Cuckoo) Lookup(vpn addr.VPN) (Entry, bool) {
 	for w := range c.ways {
-		slots, idx, _ := c.probe(w, vpn)
-		if s := slots[idx]; s.full && s.vpn == vpn {
-			return Entry{PFN: s.pfn}, true
+		tab, idx, _ := c.probe(w, vpn)
+		if tab.full(idx) && tab.slots[idx].vpn == vpn {
+			return Entry{PFN: tab.slots[idx].pfn}, true
 		}
 	}
 	return Entry{}, false
+}
+
+// Present implements Table: the demand-paging fast predicate. The probe
+// already tags each slot with its VPN, so presence is the same d-way
+// probe without constructing an Entry.
+func (c *Cuckoo) Present(vpn addr.VPN) bool {
+	for w := range c.ways {
+		tab, idx, _ := c.probe(w, vpn)
+		if tab.full(idx) && tab.slots[idx].vpn == vpn {
+			return true
+		}
+	}
+	return false
 }
 
 // WalkInto implements Table: d parallel probes, one per way.
@@ -149,11 +186,11 @@ func (c *Cuckoo) WalkInto(v addr.V, w *Walk) {
 	w.Reset()
 	vpn := v.Page()
 	for way := range c.ways {
-		slots, idx, pa := c.probe(way, vpn)
+		tab, idx, pa := c.probe(way, vpn)
 		w.Par = append(w.Par, Access{HashLevel, pa})
-		if s := slots[idx]; s.full && s.vpn == vpn {
+		if tab.full(idx) && tab.slots[idx].vpn == vpn {
 			w.Found = true
-			w.Entry = Entry{PFN: s.pfn}
+			w.Entry = Entry{PFN: tab.slots[idx].pfn}
 			w.FoundIdx = way
 		}
 	}
@@ -164,9 +201,9 @@ func (c *Cuckoo) Map(vpn addr.VPN, pfn addr.PFN) {
 	c.stats.Inserts++
 	// Update in place if present.
 	for w := range c.ways {
-		slots, idx, _ := c.probe(w, vpn)
-		if s := &slots[idx]; s.full && s.vpn == vpn {
-			s.pfn = pfn
+		tab, idx, _ := c.probe(w, vpn)
+		if tab.full(idx) && tab.slots[idx].vpn == vpn {
+			tab.slots[idx].pfn = pfn
 			return
 		}
 	}
@@ -182,18 +219,18 @@ func (c *Cuckoo) insert(vpn addr.VPN, pfn addr.PFN, attempts int) {
 	if attempts > 8 {
 		panic("pagetable: cuckoo insertion failed after repeated resizes")
 	}
-	cur := cuckooSlot{vpn: vpn, pfn: pfn, full: true}
+	cur := cuckooSlot{vpn: vpn, pfn: pfn}
 	w := int(uint64(vpn)) % len(c.ways)
 	const maxKicks = 32
 	for kick := 0; kick < maxKicks; kick++ {
-		slots, idx, _ := c.probe(w, cur.vpn)
-		if !slots[idx].full {
-			slots[idx] = cur
-			c.wayFor(w, slots).count++
+		tab, idx, _ := c.probe(w, cur.vpn)
+		if bitset.SetBit(tab.occ, uint64(idx)) {
+			tab.slots[idx] = cur
+			c.ways[w].count++
 			return
 		}
 		// Displace the occupant and move it to the next way.
-		slots[idx], cur = cur, slots[idx]
+		tab.slots[idx], cur = cur, tab.slots[idx]
 		c.stats.Kicks++
 		w = (w + 1) % len(c.ways)
 	}
@@ -202,12 +239,6 @@ func (c *Cuckoo) insert(vpn addr.VPN, pfn addr.PFN, attempts int) {
 	c.forceResize()
 	c.advanceMigrations()
 	c.insert(cur.vpn, cur.pfn, attempts+1)
-}
-
-// wayFor maps a slots slice back to its way for count bookkeeping. The
-// slice identity tells old from new.
-func (c *Cuckoo) wayFor(w int, slots []cuckooSlot) *cuckooWay {
-	return c.ways[w]
 }
 
 // MapRange implements Table.
@@ -227,10 +258,11 @@ func (c *Cuckoo) MapHuge(vpn addr.VPN, base addr.PFN) {
 // Unmap implements Table.
 func (c *Cuckoo) Unmap(vpn addr.VPN) (Entry, bool) {
 	for w := range c.ways {
-		slots, idx, _ := c.probe(w, vpn)
-		if s := &slots[idx]; s.full && s.vpn == vpn {
-			e := Entry{PFN: s.pfn}
-			*s = cuckooSlot{}
+		tab, idx, _ := c.probe(w, vpn)
+		if tab.full(idx) && tab.slots[idx].vpn == vpn {
+			e := Entry{PFN: tab.slots[idx].pfn}
+			tab.slots[idx] = cuckooSlot{}
+			bitset.ClearBit(tab.occ, uint64(idx))
 			c.ways[w].count--
 			c.count--
 			return e, true
@@ -278,8 +310,7 @@ func (c *Cuckoo) forceResize() {
 
 func (c *Cuckoo) beginResize(way *cuckooWay) {
 	way.resizing = true
-	way.newSlots = make([]cuckooSlot, 2*len(way.slots))
-	way.newFrames = c.allocFrames(2 * len(way.slots))
+	way.newTab = c.newTab(2 * len(way.slots))
 	way.migPtr = 0
 	c.stats.Resizes++
 }
@@ -297,19 +328,20 @@ func (c *Cuckoo) advanceMigrations() {
 func (c *Cuckoo) migrate(way *cuckooWay, n int) {
 	w := c.wayIndex(way)
 	for i := 0; i < n && way.migPtr < len(way.slots); i++ {
-		s := way.slots[way.migPtr]
+		i0 := way.migPtr
+		s := way.slots[i0]
 		way.migPtr++
-		if !s.full {
+		if !way.full(i0) {
 			continue
 		}
-		hNew := c.hash(w, s.vpn, len(way.newSlots))
-		if way.newSlots[hNew].full {
+		hNew := c.hash(w, s.vpn, len(way.newTab.slots))
+		if !bitset.SetBit(way.newTab.occ, uint64(hNew)) {
 			// New-slot collision: bounce the entry through the
 			// regular insertion path (it may land in another way).
 			way.count--
 			c.insert(s.vpn, s.pfn, 0)
 		} else {
-			way.newSlots[hNew] = s
+			way.newTab.slots[hNew] = s
 		}
 		c.stats.Migrated++
 	}
@@ -318,9 +350,8 @@ func (c *Cuckoo) migrate(way *cuckooWay, n int) {
 		for _, f := range way.frames {
 			c.alloc.Free(f.Page())
 		}
-		way.slots = way.newSlots
-		way.frames = way.newFrames
-		way.newSlots, way.newFrames = nil, nil
+		way.cuckooTab = way.newTab
+		way.newTab = cuckooTab{}
 		way.resizing = false
 	}
 }
@@ -341,7 +372,7 @@ func (c *Cuckoo) Occupancy() []LevelOccupancy {
 	for _, way := range c.ways {
 		capacity += uint64(len(way.slots))
 		if way.resizing {
-			capacity += uint64(len(way.newSlots))
+			capacity += uint64(len(way.newTab.slots))
 		}
 	}
 	return []LevelOccupancy{{
@@ -355,13 +386,31 @@ func (c *Cuckoo) Occupancy() []LevelOccupancy {
 // MappedPages implements Table.
 func (c *Cuckoo) MappedPages() uint64 { return c.count }
 
+// MetadataBytes implements Table: the slot arrays, their occupancy
+// bitmaps, and backing-frame directories of every way (old and new
+// tables both, during gradual resizing).
+func (c *Cuckoo) MetadataBytes() uint64 {
+	tab := func(t *cuckooTab) uint64 {
+		return uint64(len(t.slots))*uint64(unsafe.Sizeof(cuckooSlot{})) +
+			uint64(len(t.occ))*8 + uint64(len(t.frames))*8
+	}
+	var total uint64
+	for _, way := range c.ways {
+		total += tab(&way.cuckooTab)
+		if way.resizing {
+			total += tab(&way.newTab)
+		}
+	}
+	return total
+}
+
 // LoadFactors returns the per-way load factors, for tests and reports.
 func (c *Cuckoo) LoadFactors() []float64 {
 	out := make([]float64, len(c.ways))
 	for i, way := range c.ways {
 		size := len(way.slots)
 		if way.resizing {
-			size += len(way.newSlots)
+			size += len(way.newTab.slots)
 		}
 		out[i] = float64(way.count) / float64(size)
 	}

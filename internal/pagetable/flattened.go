@@ -2,10 +2,34 @@ package pagetable
 
 import (
 	"fmt"
+	"slices"
+	"unsafe"
 
 	"ndpage/internal/addr"
+	"ndpage/internal/bitset"
 	"ndpage/internal/phys"
 )
+
+// flatChunks is the number of 512-entry runs in one flattened node
+// (2^18 entries / 512), and chunkWords the uint64 words of one chunk's
+// present bitmap.
+const (
+	flatChunks = addr.FlatEntries / addr.EntriesPerTable
+	chunkWords = addr.EntriesPerTable / 64
+)
+
+// flatChunk is one lazily materialized 512-entry run of a flattened
+// node: a bit-packed present set (64 B — one cache line) and the frame
+// numbers. Only chunks that hold mappings are resident, so a sparse
+// node (most of Table II's footprints) costs its pointer directory plus
+// ~4 KB per populated 2 MB span instead of a fully materialized 2^18
+// entry array, and the present probe of the demand-paging check stays
+// inside metadata small enough to be cache-resident.
+type flatChunk struct {
+	present [chunkWords]uint64
+	used    uint32 // mapped entries in this chunk; 0 releases the chunk
+	pfns    [addr.EntriesPerTable]addr.PFN
+}
 
 // flatNode is one flattened L2/L1 node: 2^18 entries covering 1 GB of
 // virtual space, replacing one PL2 node and its 512 PL1 children (paper
@@ -17,17 +41,34 @@ import (
 // frames. Either way the *walk* cost is identical — one directly indexed
 // PTE access — because flattening removes the dependent pointer chase,
 // not the physical placement.
+//
+// The simulator-side metadata (which entries exist, and their frames) is
+// materialized per 512-entry chunk in leaves; the physical *backing* of
+// the node (chunks/chunkOK) is a separate axis — a chunk-backed node
+// lazily allocates PTE frames the first time a walk touches a 512-entry
+// run, whether or not any entry there is mapped.
 type flatNode struct {
 	// contiguous 2 MB backing (preferred); base is valid when huge.
 	huge bool
 	base addr.P
-	// chunked backing: one frame per 512-entry chunk, allocated lazily.
+	// chunked backing: one frame per 512-entry chunk, allocated lazily;
+	// chunkOK is a flatChunks-bit bitmap of which frames exist.
 	chunks  []addr.P
-	chunkOK []bool
+	chunkOK []uint64
 
-	pfns    []addr.PFN
-	present []bool
-	used    int
+	leaves [flatChunks]*flatChunk
+	used   int
+}
+
+// leafFor materializes and returns the chunk holding entry idx.
+func (n *flatNode) leafFor(idx uint64) *flatChunk {
+	ci := idx >> addr.LevelBits
+	c := n.leaves[ci]
+	if c == nil {
+		c = new(flatChunk)
+		n.leaves[ci] = c
+	}
+	return c
 }
 
 // Flattened is NDPage's page table: PL4 -> PL3 -> flattened L2/L1 leaf.
@@ -67,10 +108,10 @@ func (f *Flattened) flatAt(slot uint64) *flatNode {
 	return f.flats[slot]
 }
 
-// setFlat stores fn at slot, growing the dense index as needed.
+// setFlat stores fn at slot, growing the dense index in one step.
 func (f *Flattened) setFlat(slot uint64, fn *flatNode) {
-	for uint64(len(f.flats)) <= slot {
-		f.flats = append(f.flats, nil)
+	if n := int(slot) + 1 - len(f.flats); n > 0 {
+		f.flats = slices.Grow(f.flats, n)[:slot+1]
 	}
 	f.flats[slot] = fn
 }
@@ -88,19 +129,17 @@ func (f *Flattened) newUpperNode(level addr.Level) *radixNode {
 	return n
 }
 
-// newFlatNode allocates the 1 GB-span leaf node.
+// newFlatNode allocates the 1 GB-span leaf node. Entry metadata is not
+// materialized here — leaves fill in as chunks gain mappings.
 func (f *Flattened) newFlatNode() *flatNode {
-	n := &flatNode{
-		pfns:    make([]addr.PFN, addr.FlatEntries),
-		present: make([]bool, addr.FlatEntries),
-	}
+	n := &flatNode{}
 	if base, ok := f.alloc.AllocHuge(); ok {
 		n.huge = true
 		n.base = base.Addr()
 		f.hugeBacked++
 	} else {
-		n.chunks = make([]addr.P, addr.EntriesPerTable)
-		n.chunkOK = make([]bool, addr.EntriesPerTable)
+		n.chunks = make([]addr.P, flatChunks)
+		n.chunkOK = make([]uint64, bitset.WordsFor(flatChunks))
 		f.chunkFalls++
 	}
 	f.nodes[addr.L2L1]++
@@ -113,13 +152,13 @@ func (n *flatNode) pteAddr(alloc *phys.Allocator, idx uint64) addr.P {
 		return n.base + addr.P(idx*addr.PTESize)
 	}
 	c := idx >> addr.LevelBits
-	if !n.chunkOK[c] {
+	if !bitset.TestBit(n.chunkOK, c) {
 		pfn, ok := alloc.AllocFrame()
 		if !ok {
 			panic("pagetable: out of physical memory for a flattened chunk")
 		}
 		n.chunks[c] = pfn.Addr()
-		n.chunkOK[c] = true
+		bitset.SetBit(n.chunkOK, c)
 	}
 	return n.chunks[c] + addr.P((idx&(addr.EntriesPerTable-1))*addr.PTESize)
 }
@@ -161,16 +200,21 @@ func (f *Flattened) Map(vpn addr.VPN, pfn addr.PFN) {
 	v := vpn.Addr()
 	fn := f.flatFor(v, true)
 	idx := addr.FlatIndex(v)
-	if !fn.present[idx] {
-		fn.present[idx] = true
+	c := fn.leafFor(idx)
+	sub := idx & (addr.EntriesPerTable - 1)
+	if bitset.SetBit(c.present[:], sub) {
+		c.used++
 		fn.used++
 		f.used[addr.L2L1]++
 		f.mapped++
 	}
-	fn.pfns[idx] = pfn
+	c.pfns[sub] = pfn
 }
 
-// MapRange implements Table.
+// MapRange implements Table: chunks are filled in bulk — present bits a
+// word at a time (the popcount of the freshly set bits maintains the
+// used counts) and frames linearly — without re-deriving the node and
+// chunk per entry.
 func (f *Flattened) MapRange(vpn addr.VPN, count uint64, base addr.PFN) {
 	for count > 0 {
 		v := vpn.Addr()
@@ -180,14 +224,23 @@ func (f *Flattened) MapRange(vpn addr.VPN, count uint64, base addr.PFN) {
 		if n > count {
 			n = count
 		}
-		for k := uint64(0); k < n; k++ {
-			if !fn.present[idx+k] {
-				fn.present[idx+k] = true
-				fn.used++
-				f.used[addr.L2L1]++
-				f.mapped++
+		for filled := uint64(0); filled < n; {
+			c := fn.leafFor(idx + filled)
+			sub := (idx + filled) & (addr.EntriesPerTable - 1)
+			run := uint64(addr.EntriesPerTable) - sub
+			if run > n-filled {
+				run = n - filled
 			}
-			fn.pfns[idx+k] = base + addr.PFN(k)
+			fresh := bitset.SetRun(c.present[:], sub, run)
+			c.used += uint32(fresh)
+			fn.used += int(fresh)
+			f.used[addr.L2L1] += fresh
+			f.mapped += fresh
+			b := base + addr.PFN(filled)
+			for k := uint64(0); k < run; k++ {
+				c.pfns[sub+k] = b + addr.PFN(k)
+			}
+			filled += run
 		}
 		vpn += addr.VPN(n)
 		base += addr.PFN(n)
@@ -213,13 +266,35 @@ func (f *Flattened) Lookup(vpn addr.VPN) (Entry, bool) {
 		return Entry{}, false
 	}
 	idx := addr.FlatIndex(v)
-	if !fn.present[idx] {
+	c := fn.leaves[idx>>addr.LevelBits]
+	if c == nil {
 		return Entry{}, false
 	}
-	return Entry{PFN: fn.pfns[idx]}, true
+	sub := idx & (addr.EntriesPerTable - 1)
+	if !bitset.TestBit(c.present[:], sub) {
+		return Entry{}, false
+	}
+	return Entry{PFN: c.pfns[sub]}, true
 }
 
-// Unmap implements Table.
+// Present implements Table: the demand-paging fast predicate. It reads
+// only the chunk directory and one present word — no frame load, no
+// Entry construction — so the 99%-hit path of osmm.Touch stays inside a
+// few cache lines of resident metadata.
+func (f *Flattened) Present(vpn addr.VPN) bool {
+	v := vpn.Addr()
+	fn := f.flatFor(v, false)
+	if fn == nil {
+		return false
+	}
+	idx := addr.FlatIndex(v)
+	c := fn.leaves[idx>>addr.LevelBits]
+	return c != nil && bitset.TestBit(c.present[:], idx&(addr.EntriesPerTable-1))
+}
+
+// Unmap implements Table. A chunk whose last entry is unmapped is
+// released, so reclaim (which evicts whole 2 MB spans) returns the
+// metadata too.
 func (f *Flattened) Unmap(vpn addr.VPN) (Entry, bool) {
 	v := vpn.Addr()
 	fn := f.flatFor(v, false)
@@ -227,14 +302,24 @@ func (f *Flattened) Unmap(vpn addr.VPN) (Entry, bool) {
 		return Entry{}, false
 	}
 	idx := addr.FlatIndex(v)
-	if !fn.present[idx] {
+	ci := idx >> addr.LevelBits
+	c := fn.leaves[ci]
+	if c == nil {
 		return Entry{}, false
 	}
-	fn.present[idx] = false
+	sub := idx & (addr.EntriesPerTable - 1)
+	if !bitset.ClearBit(c.present[:], sub) {
+		return Entry{}, false
+	}
+	e := Entry{PFN: c.pfns[sub]}
+	c.used--
 	fn.used--
 	f.used[addr.L2L1]--
 	f.mapped--
-	return Entry{PFN: fn.pfns[idx]}, true
+	if c.used == 0 {
+		fn.leaves[ci] = nil
+	}
+	return e, true
 }
 
 // WalkInto implements Table: PL4 access, PL3 access, then one directly
@@ -255,11 +340,13 @@ func (f *Flattened) WalkInto(v addr.V, w *Walk) {
 	}
 	idx := addr.FlatIndex(v)
 	w.Seq = append(w.Seq, Access{addr.L2L1, fn.pteAddr(f.alloc, idx)})
-	if !fn.present[idx] {
+	c := fn.leaves[idx>>addr.LevelBits]
+	sub := idx & (addr.EntriesPerTable - 1)
+	if c == nil || !bitset.TestBit(c.present[:], sub) {
 		return
 	}
 	w.Found = true
-	w.Entry = Entry{PFN: fn.pfns[idx]}
+	w.Entry = Entry{PFN: c.pfns[sub]}
 }
 
 // Occupancy implements Table. The L2L1 row reports the paper's "combined
@@ -278,6 +365,29 @@ func (f *Flattened) Occupancy() []LevelOccupancy {
 
 // MappedPages implements Table.
 func (f *Flattened) MappedPages() uint64 { return f.mapped }
+
+// MetadataBytes implements Table: the simulator-side resident metadata —
+// the upper nodes' child directories, the dense node index, and per
+// flattened node its chunk directory plus only the materialized chunks.
+func (f *Flattened) MetadataBytes() uint64 {
+	const ptr = uint64(unsafe.Sizeof((*flatNode)(nil)))
+	total := (f.nodes[addr.PL4] + f.nodes[addr.PL3]) *
+		(uint64(unsafe.Sizeof(radixNode{})) + addr.EntriesPerTable*ptr)
+	total += uint64(len(f.flats)) * ptr
+	for _, fn := range f.flats {
+		if fn == nil {
+			continue
+		}
+		total += uint64(unsafe.Sizeof(*fn))
+		total += uint64(len(fn.chunks))*8 + uint64(len(fn.chunkOK))*8
+		for _, c := range fn.leaves {
+			if c != nil {
+				total += uint64(unsafe.Sizeof(*c))
+			}
+		}
+	}
+	return total
+}
 
 // HugeBackedNodes returns how many flattened nodes obtained a contiguous
 // 2 MB physical block versus falling back to chunked frames.

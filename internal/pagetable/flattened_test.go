@@ -192,3 +192,70 @@ func TestFlattenedWalkUnmapped(t *testing.T) {
 		t.Fatalf("cross-span walk = found=%v len=%d", w.Found, len(w.Seq))
 	}
 }
+
+// TestFlattenedSparseSlotGrow pins the setFlat growth path: mapping a
+// page whose PL3 slot is far beyond the current dense index must grow
+// the index in one step (slices.Grow, not element-at-a-time append) and
+// leave every intervening slot nil and unmapped.
+func TestFlattenedSparseSlotGrow(t *testing.T) {
+	f := NewFlattened(newAlloc())
+	low := addr.VPN(5)
+	f.Map(low, 100)
+
+	// 200 GB away: slot 200 while the index holds 1 entry.
+	far := addr.VPN(200 << (30 - addr.PageShift))
+	f.Map(far, 200)
+
+	if got := uint64(len(f.flats)); got != pl3Slot(far.Addr())+1 {
+		t.Fatalf("flats length = %d, want %d", got, pl3Slot(far.Addr())+1)
+	}
+	for s := pl3Slot(low.Addr()) + 1; s < pl3Slot(far.Addr()); s++ {
+		if f.flats[s] != nil {
+			t.Fatalf("intervening slot %d materialized a node", s)
+		}
+	}
+	for _, tc := range []struct {
+		vpn addr.VPN
+		pfn addr.PFN
+	}{{low, 100}, {far, 200}} {
+		e, ok := f.Lookup(tc.vpn)
+		if !ok || e.PFN != tc.pfn {
+			t.Fatalf("Lookup(%#x) = %+v, %v", uint64(tc.vpn), e, ok)
+		}
+	}
+	// Growing backward-compatibly: a slot in the middle lands in the
+	// already-grown index without reallocating past the end.
+	mid := addr.VPN(100 << (30 - addr.PageShift))
+	f.Map(mid, 300)
+	if e, ok := f.Lookup(mid); !ok || e.PFN != 300 {
+		t.Fatalf("Lookup(mid) = %+v, %v", e, ok)
+	}
+	if f.MappedPages() != 3 {
+		t.Fatalf("MappedPages = %d, want 3", f.MappedPages())
+	}
+}
+
+// TestFlattenedSparseNodeMetadataBudget enforces the PR acceptance bound:
+// a flat node holding a handful of scattered pages must keep its resident
+// metadata at no more than 1/4 of the 256 KB the old always-materialized
+// present []bool alone consumed.
+func TestFlattenedSparseNodeMetadataBudget(t *testing.T) {
+	f := NewFlattened(newAlloc())
+	empty := f.MetadataBytes()
+	rng := xrand.New(3)
+	for i := 0; i < 8; i++ { // 8 pages scattered over one 1 GB node
+		f.Map(addr.VPN(rng.Uint64n(addr.FlatEntries)), addr.PFN(i))
+	}
+	sparse := f.MetadataBytes() - empty
+	const budget = 256 * 1024 / 4
+	if sparse > budget {
+		t.Fatalf("sparse flat node metadata = %d B, budget %d B", sparse, budget)
+	}
+	t.Logf("sparse flat node metadata: %d B (budget %d B)", sparse, budget)
+
+	// Dense comparison point, logged for the record: full node.
+	g := NewFlattened(newAlloc())
+	base := g.MetadataBytes()
+	g.MapRange(0, addr.FlatEntries, 0)
+	t.Logf("dense flat node metadata: %d B", g.MetadataBytes()-base)
+}

@@ -138,6 +138,12 @@ type Table interface {
 	// Lookup is the functional (zero-cost) translation used by the OS
 	// model and the Ideal mechanism.
 	Lookup(vpn addr.VPN) (Entry, bool)
+	// Present reports whether a translation covers vpn without
+	// constructing it: the fast predicate of the OS demand-paging check,
+	// which runs on every simulated load and store and hits ~99% of the
+	// time after warmup. Implementations keep it inside bit-packed,
+	// cache-resident metadata.
+	Present(vpn addr.VPN) bool
 	// Unmap removes the translation covering vpn, returning what was
 	// removed (a Huge entry removes the whole 2 MB mapping). Used by
 	// the reclaim model.
@@ -150,4 +156,9 @@ type Table interface {
 	// MappedPages returns the number of 4 KB-page translations
 	// installed (huge mappings count as 512).
 	MappedPages() uint64
+	// MetadataBytes reports the simulator-side resident metadata of the
+	// organization — the footprint of the lookup structures themselves,
+	// not the modelled PTE frames. It is the bytes-per-mapped-page
+	// regression metric (scripts/bench.sh).
+	MetadataBytes() uint64
 }

@@ -2,10 +2,17 @@ package pagetable
 
 import (
 	"fmt"
+	"unsafe"
 
 	"ndpage/internal/addr"
+	"ndpage/internal/bitset"
 	"ndpage/internal/phys"
 )
+
+// nodeWords is the size of one node-level present bitmap: one bit per
+// table entry, packed into uint64 words (8 words = 64 B — one cache
+// line — instead of a 512-byte bool array).
+const nodeWords = addr.EntriesPerTable / 64
 
 // radixNode is one 4 KB table node. Interior nodes hold child pointers;
 // PL2 nodes may also hold 2 MB leaf entries; PL1 nodes hold frame numbers.
@@ -17,11 +24,17 @@ type radixNode struct {
 	children []*radixNode
 	// hugeLeaf marks PL2 slots that are 2 MB leaf entries; hugePFN holds
 	// the base frame. Only allocated for PL2 nodes that need it.
-	hugeLeaf []bool
+	hugeLeaf []uint64
 	hugePFN  []addr.PFN
-	// pfns/present are populated for PL1 leaf nodes.
+	// pfns/present are populated for PL1 leaf nodes; present is a
+	// bit-packed entry bitmap.
 	pfns    []addr.PFN
-	present []bool
+	present []uint64
+}
+
+// isHuge reports whether PL2 slot idx of n holds a 2 MB leaf entry.
+func (n *radixNode) isHuge(idx uint64) bool {
+	return n.hugeLeaf != nil && bitset.TestBit(n.hugeLeaf, idx)
 }
 
 // levelCounts is a dense per-level counter array indexed by addr.Level
@@ -38,6 +51,9 @@ type Radix struct {
 	nodes  levelCounts
 	used   levelCounts
 	mapped uint64
+	// hugeNodes counts PL2 nodes that allocated huge-leaf side arrays
+	// (metadata accounting only).
+	hugeNodes uint64
 }
 
 // NewRadix builds an empty 4-level table whose nodes are backed by frames
@@ -59,7 +75,7 @@ func (r *Radix) newNode(level addr.Level) *radixNode {
 	n := &radixNode{basePA: pfn.Addr(), level: level}
 	if level == addr.PL1 {
 		n.pfns = make([]addr.PFN, addr.EntriesPerTable)
-		n.present = make([]bool, addr.EntriesPerTable)
+		n.present = make([]uint64, nodeWords)
 	} else {
 		n.children = make([]*radixNode, addr.EntriesPerTable)
 	}
@@ -105,7 +121,7 @@ func (r *Radix) pl1For(vpn addr.VPN, create bool) *radixNode {
 		return nil
 	}
 	i2 := addr.Index(v, addr.PL2)
-	if n.hugeLeaf != nil && n.hugeLeaf[i2] {
+	if n.isHuge(i2) {
 		panic(fmt.Sprintf("pagetable: 4K map under existing 2MB mapping at vpn %#x", uint64(vpn)))
 	}
 	return r.child(n, i2, create)
@@ -115,8 +131,7 @@ func (r *Radix) pl1For(vpn addr.VPN, create bool) *radixNode {
 func (r *Radix) Map(vpn addr.VPN, pfn addr.PFN) {
 	leaf := r.pl1For(vpn, true)
 	i1 := addr.Index(vpn.Addr(), addr.PL1)
-	if !leaf.present[i1] {
-		leaf.present[i1] = true
+	if bitset.SetBit(leaf.present, i1) {
 		leaf.used++
 		r.used[addr.PL1]++
 		r.mapped++
@@ -134,13 +149,11 @@ func (r *Radix) MapRange(vpn addr.VPN, count uint64, base addr.PFN) {
 		if n > count {
 			n = count
 		}
+		fresh := bitset.SetRun(leaf.present, i1, n)
+		leaf.used += int(fresh)
+		r.used[addr.PL1] += fresh
+		r.mapped += fresh
 		for k := uint64(0); k < n; k++ {
-			if !leaf.present[i1+k] {
-				leaf.present[i1+k] = true
-				leaf.used++
-				r.used[addr.PL1]++
-				r.mapped++
-			}
 			leaf.pfns[i1+k] = base + addr.PFN(k)
 		}
 		vpn += addr.VPN(n)
@@ -162,11 +175,11 @@ func (r *Radix) MapHuge(vpn addr.VPN, base addr.PFN) {
 		panic(fmt.Sprintf("pagetable: 2MB map over existing 4K table at vpn %#x", uint64(vpn)))
 	}
 	if n.hugeLeaf == nil {
-		n.hugeLeaf = make([]bool, addr.EntriesPerTable)
+		n.hugeLeaf = make([]uint64, nodeWords)
 		n.hugePFN = make([]addr.PFN, addr.EntriesPerTable)
+		r.hugeNodes++
 	}
-	if !n.hugeLeaf[i2] {
-		n.hugeLeaf[i2] = true
+	if bitset.SetBit(n.hugeLeaf, i2) {
 		n.used++
 		r.used[n.level]++
 		r.mapped += addr.EntriesPerTable
@@ -186,7 +199,7 @@ func (r *Radix) Lookup(vpn addr.VPN) (Entry, bool) {
 		return Entry{}, false
 	}
 	i2 := addr.Index(v, addr.PL2)
-	if n.hugeLeaf != nil && n.hugeLeaf[i2] {
+	if n.isHuge(i2) {
 		return Entry{PFN: n.hugePFN[i2], Huge: true}, true
 	}
 	leaf := n.children[i2]
@@ -194,10 +207,30 @@ func (r *Radix) Lookup(vpn addr.VPN) (Entry, bool) {
 		return Entry{}, false
 	}
 	i1 := addr.Index(v, addr.PL1)
-	if !leaf.present[i1] {
+	if !bitset.TestBit(leaf.present, i1) {
 		return Entry{}, false
 	}
 	return Entry{PFN: leaf.pfns[i1]}, true
+}
+
+// Present implements Table: the demand-paging fast predicate — the same
+// descent as Lookup but reading only present bits, never frame numbers.
+func (r *Radix) Present(vpn addr.VPN) bool {
+	v := vpn.Addr()
+	n := r.root.children[addr.Index(v, addr.PL4)]
+	if n == nil {
+		return false
+	}
+	n = n.children[addr.Index(v, addr.PL3)]
+	if n == nil {
+		return false
+	}
+	i2 := addr.Index(v, addr.PL2)
+	if n.isHuge(i2) {
+		return true
+	}
+	leaf := n.children[i2]
+	return leaf != nil && bitset.TestBit(leaf.present, addr.Index(v, addr.PL1))
 }
 
 // Unmap implements Table.
@@ -212,8 +245,8 @@ func (r *Radix) Unmap(vpn addr.VPN) (Entry, bool) {
 		return Entry{}, false
 	}
 	i2 := addr.Index(v, addr.PL2)
-	if n.hugeLeaf != nil && n.hugeLeaf[i2] {
-		n.hugeLeaf[i2] = false
+	if n.isHuge(i2) {
+		bitset.ClearBit(n.hugeLeaf, i2)
 		n.used--
 		r.used[addr.PL2]--
 		r.mapped -= addr.EntriesPerTable
@@ -224,10 +257,9 @@ func (r *Radix) Unmap(vpn addr.VPN) (Entry, bool) {
 		return Entry{}, false
 	}
 	i1 := addr.Index(v, addr.PL1)
-	if !leaf.present[i1] {
+	if !bitset.ClearBit(leaf.present, i1) {
 		return Entry{}, false
 	}
-	leaf.present[i1] = false
 	leaf.used--
 	r.used[addr.PL1]--
 	r.mapped--
@@ -252,7 +284,7 @@ func (r *Radix) WalkInto(v addr.V, w *Walk) {
 	}
 	i2 := addr.Index(v, addr.PL2)
 	w.Seq = append(w.Seq, Access{addr.PL2, pteAddr(n.basePA, i2)})
-	if n.hugeLeaf != nil && n.hugeLeaf[i2] {
+	if n.isHuge(i2) {
 		w.Found = true
 		w.Entry = Entry{PFN: n.hugePFN[i2], Huge: true}
 		return
@@ -263,7 +295,7 @@ func (r *Radix) WalkInto(v addr.V, w *Walk) {
 	}
 	i1 := addr.Index(v, addr.PL1)
 	w.Seq = append(w.Seq, Access{addr.PL1, pteAddr(leaf.basePA, i1)})
-	if !leaf.present[i1] {
+	if !bitset.TestBit(leaf.present, i1) {
 		return
 	}
 	w.Found = true
@@ -292,3 +324,17 @@ func (r *Radix) Occupancy() []LevelOccupancy {
 
 // MappedPages implements Table.
 func (r *Radix) MappedPages() uint64 { return r.mapped }
+
+// MetadataBytes implements Table: the simulator-side resident metadata,
+// computed from the per-level node counts (interior nodes carry a
+// 512-pointer child directory, PL1 leaves a frame array plus the
+// bit-packed present set).
+func (r *Radix) MetadataBytes() uint64 {
+	const ptr = uint64(unsafe.Sizeof((*radixNode)(nil)))
+	node := uint64(unsafe.Sizeof(radixNode{}))
+	interior := r.nodes[addr.PL4] + r.nodes[addr.PL3] + r.nodes[addr.PL2]
+	total := interior*(node+addr.EntriesPerTable*ptr) +
+		r.nodes[addr.PL1]*(node+addr.EntriesPerTable*8+nodeWords*8)
+	total += r.hugeNodes * (nodeWords*8 + addr.EntriesPerTable*8)
+	return total
+}

@@ -243,8 +243,10 @@ func (p *parTable) WalkInto(v addr.V, w *pagetable.Walk) {
 	w.Entry = pagetable.Entry{PFN: addr.PFN(vpn + 1)}
 	w.FoundIdx = p.foundAt[vpn]
 }
+func (p *parTable) Present(vpn addr.VPN) bool             { return true }
 func (p *parTable) Occupancy() []pagetable.LevelOccupancy { return nil }
 func (p *parTable) MappedPages() uint64                   { return uint64(len(p.foundAt)) }
+func (p *parTable) MetadataBytes() uint64                 { return 0 }
 
 func TestWayPredictionMispredictFallback(t *testing.T) {
 	// Pages 0..7 share one way-prediction region. Page 0 lives in way 1,

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# pgo.sh — regenerate the committed PGO profile (cmd/ndpsim/default.pgo).
+#
+# Profile-guided optimization needs a profile that looks like production.
+# For this simulator "production" is the Table II sweep: a mix of
+# mechanisms (the hot Flattened paths and the ECH/Radix baselines), the
+# graph workloads that dominate the paper, and both blocking and MLP
+# core models. This script runs a representative slice of that matrix
+# under -cpuprofile, merges the profiles with `go tool pprof -proto`,
+# and writes the merge to cmd/ndpsim/default.pgo where `go build`
+# (default -pgo=auto) picks it up for every subsequent build.
+#
+# Usage:
+#   scripts/pgo.sh            # regenerate cmd/ndpsim/default.pgo
+#   PGO_INSTR=N scripts/pgo.sh  # override per-run measured ops
+#
+# The profile is committed: CI and plain `go build ./cmd/ndpsim` consume
+# it without rerunning this script. Regenerate after changing hot-path
+# code shape (see EXPERIMENTS.md).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+INSTR="${PGO_INSTR:-2000000}"
+OUT="cmd/ndpsim/default.pgo"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+# Build WITHOUT a profile: profiling a PGO build would feed back the
+# previous profile's inlining decisions.
+go build -pgo=off -o "$TMP/ndpsim" ./cmd/ndpsim
+
+i=0
+profile() { # profile <args...>
+    i=$((i + 1))
+    echo "pgo: run $i: $*" >&2
+    "$TMP/ndpsim" -cpuprofile "$TMP/prof$i.pb.gz" \
+        -instructions "$INSTR" "$@" >/dev/null
+}
+
+# Representative Table II slice: NDPage (Flattened hot paths) on the
+# three workload shapes that stress translation differently, the two
+# strongest baselines, and a multi-core MLP run for the engine/walker
+# contention paths.
+profile -mech NDPage  -workload bfs
+profile -mech NDPage  -workload rnd
+profile -mech NDPage  -workload dlrm -cores 4 -mlp 4
+profile -mech ECH     -workload bfs
+profile -mech Radix   -workload pr
+profile -mech NDPage  -workload xs -cores 8 -shared-walker -walker-width 4
+
+go tool pprof -proto "$TMP"/prof*.pb.gz > "$OUT"
+echo "pgo: wrote $OUT ($(wc -c < "$OUT") bytes from $i runs)" >&2

@@ -10,11 +10,18 @@
 //	ndpexp -figs mlp-sensitivity   # the core-MLP sweep (non-blocking cores)
 //	ndpexp -workloads rnd,pr,gen   # a workload subset
 //	ndpexp -cache results/.cache   # persist runs; re-runs simulate nothing new
+//	ndpexp -cache http://host:8947 # share runs through an ndpserve instance
 //
-// With -cache, every simulation's result lands in the directory keyed
-// by its configuration's content hash, so an interrupted regeneration
+// With -cache, every simulation's result lands in the cache keyed by
+// its configuration's content hash, so an interrupted regeneration
 // (Ctrl-C cancels cleanly) resumes where it stopped and repeated
-// regenerations at the same budgets perform zero simulations.
+// regenerations at the same budgets perform zero simulations. A
+// directory keeps the cache private to this machine; an http(s):// URL
+// points at a shared ndpserve instance instead — warm keys are fetched
+// from the server, cold runs execute server-side with singleflight
+// dedupe (identical configurations from any number of clients cost one
+// simulation), and progress lines report server runs as "done" and
+// served keys as "cached" exactly like the local cache.
 package main
 
 import (
@@ -37,7 +44,7 @@ func main() {
 		figsArg   = flag.String("figs", "all", "comma-separated: fig4,fig5,fig6,fig7,fig8,motivation,pwc,fig12,fig13,fig14,ablation (plus extras: pwc-sensitivity,hbm-sensitivity,walker-sensitivity,mlp-sensitivity,population-sensitivity,oversubscription)")
 		wlArg     = flag.String("workloads", "", "comma-separated workload subset: builtin names or trace:<file> replays (default: all 11)")
 		outDir    = flag.String("out", "results", "directory for CSV output (empty = no files)")
-		cacheDir  = flag.String("cache", "", "directory for the persistent run cache (empty = in-memory only)")
+		cacheDir  = flag.String("cache", "", "persistent run cache: a directory, or the http(s):// URL of a shared ndpserve instance (empty = in-memory only)")
 		parallel  = flag.Int("parallel", 0, "max concurrent simulations (0 = auto)")
 		shards    = flag.Int("shards", 0, "pin runs to N shard goroutines by content key for a reproducible schedule (-1 = one per CPU, 0 = off: completion-ordered pool)")
 		instr     = flag.Uint64("instructions", 0, "measured ops per core (0 = default)")
@@ -60,7 +67,7 @@ func main() {
 		Context:      ctx,
 	}
 	if *cacheDir != "" {
-		store, err := ndpage.NewDirStore(*cacheDir)
+		store, err := openCache(ctx, *cacheDir)
 		if err != nil {
 			fatal(err)
 		}
@@ -132,6 +139,21 @@ func main() {
 		}
 	}
 	fmt.Printf("total %v\n", time.Since(start).Round(time.Second))
+}
+
+// openCache resolves the -cache argument: an http(s):// URL selects a
+// shared ndpserve instance (cold runs execute server-side, deduplicated
+// across every client), anything else a local cache directory.
+func openCache(ctx context.Context, arg string) (ndpage.Store, error) {
+	if strings.HasPrefix(arg, "http://") || strings.HasPrefix(arg, "https://") {
+		store, err := ndpage.NewRemoteStore(arg)
+		if err != nil {
+			return nil, err
+		}
+		store.Context = ctx // Ctrl-C aborts in-flight requests and 429 retry waits
+		return store, nil
+	}
+	return ndpage.NewDirStore(arg)
 }
 
 func fatal(err error) {

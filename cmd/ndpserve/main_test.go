@@ -1,0 +1,180 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// logBuffer is a goroutine-safe log sink (the server goroutine writes
+// while the test reads).
+type logBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (l *logBuffer) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *logBuffer) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
+// startServer runs one ndpserve instance on a free port against a temp
+// store and returns its base URL, log, and a shutdown func that blocks
+// until the server drains.
+func startServer(t *testing.T, extra ...string) (string, *logBuffer, func()) {
+	t.Helper()
+	log := &logBuffer{}
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	args := append([]string{
+		"-addr", "127.0.0.1:0",
+		"-store", filepath.Join(t.TempDir(), "cache"),
+	}, extra...)
+	errc := make(chan error, 1)
+	go func() { errc <- run(ctx, args, log, ready) }()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-errc:
+		t.Fatalf("server exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	shutdown := func() {
+		cancel()
+		select {
+		case err := <-errc:
+			if err != nil {
+				t.Errorf("server exited with error: %v", err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Error("server did not shut down")
+		}
+	}
+	return "http://" + addr, log, shutdown
+}
+
+// TestServeEndToEnd boots the real binary path: health probe, a tiny
+// simulation over HTTP, warm re-request, stats, graceful shutdown.
+func TestServeEndToEnd(t *testing.T) {
+	base, log, shutdown := startServer(t)
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	cfg := `{"Mechanism": 3, "Workload": "rnd", "Cores": 1,
+		"FootprintBytes": 33554432, "MemoryBytes": 268435456,
+		"Warmup": 200, "Instructions": 1000}`
+	var bodies [2][]byte
+	for i := range bodies {
+		resp, err := http.Post(base+"/v1/sim", "application/json", strings.NewReader(cfg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bodies[i], err = io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("sim %d: status %d err %v", i, resp.StatusCode, err)
+		}
+	}
+	if !bytes.Equal(bodies[0], bodies[1]) {
+		t.Error("warm re-request returned a different body")
+	}
+
+	resp, err = http.Get(base + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Simulations uint64 `json:"simulations"`
+		Hits        uint64 `json:"hits"`
+		Stored      int64  `json:"stored"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Simulations != 1 || stats.Hits != 1 || stats.Stored != 1 {
+		t.Errorf("stats = %+v, want 1 simulation, 1 hit, 1 stored", stats)
+	}
+
+	shutdown()
+	out := log.String()
+	for _, want := range []string{"listening on http://", "shutting down", "done (1 simulations served)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("log missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestServeReopensStore: a restart over the same store directory serves
+// the previous run warm.
+func TestServeReopensStore(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	cfg := `{"Mechanism": 0, "Workload": "rnd", "Cores": 1,
+		"FootprintBytes": 33554432, "MemoryBytes": 268435456,
+		"Warmup": 200, "Instructions": 1000}`
+
+	post := func(base string) (string, error) {
+		resp, err := http.Post(base+"/v1/sim", "application/json", strings.NewReader(cfg))
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			return "", fmt.Errorf("status %d", resp.StatusCode)
+		}
+		return resp.Header.Get("X-Cache"), nil
+	}
+
+	base, _, shutdown := startServer(t, "-store", dir)
+	if xc, err := post(base); err != nil || xc != "sim" {
+		t.Fatalf("first run: X-Cache %q err %v, want sim", xc, err)
+	}
+	shutdown()
+
+	base, log, shutdown := startServer(t, "-store", dir)
+	defer shutdown()
+	if !strings.Contains(log.String(), "1 results") {
+		t.Errorf("reopened store not announced in log:\n%s", log.String())
+	}
+	if xc, err := post(base); err != nil || xc != "hit" {
+		t.Errorf("after restart: X-Cache %q err %v, want hit", xc, err)
+	}
+}
+
+func TestServeHelpAndBadFlags(t *testing.T) {
+	log := &logBuffer{}
+	if err := run(context.Background(), []string{"-h"}, log, nil); err != nil {
+		t.Errorf("-h returned error: %v", err)
+	}
+	err := run(context.Background(), []string{"-no-such-flag"}, log, nil)
+	if err == nil || !strings.Contains(err.Error(), "flag parsing failed") {
+		t.Errorf("bad flag error = %v", err)
+	}
+	if err := run(context.Background(), []string{"-addr", "127.0.0.1:0", "-store", "/dev/null/nope"}, log, nil); err == nil {
+		t.Error("unusable store directory accepted")
+	}
+}

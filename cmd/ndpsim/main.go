@@ -7,10 +7,17 @@
 //	ndpsim -mech Radix -cores 4 -mlp 4 -shared-walker -walker-width 2
 //	ndpsim -mech NDPage -workload gups -json > run.json
 //	ndpsim -mech NDPage -cpuprofile cpu.pprof -memprofile mem.pprof
+//	ndpsim -mech NDPage -cores 4 -cache http://host:8947
 //
 // -json emits the full result — every counter, histogram, and the
 // normalized configuration — as the same JSON document the sweep
 // cache stores, instead of the human-readable summary.
+//
+// -cache runs through the content-addressed run cache: a directory
+// serves repeat invocations from disk without simulating; an http(s)://
+// URL points at a shared ndpserve instance, which serves warm keys
+// from its store and runs cold configurations server-side (identical
+// requests from any number of clients collapse into one simulation).
 //
 // -cpuprofile and -memprofile write pprof profiles of the simulation
 // (construction + run; the CPU profile excludes flag parsing, the heap
@@ -18,6 +25,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -26,6 +34,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"ndpage"
 	"ndpage/internal/addr"
@@ -61,6 +70,7 @@ func run(args []string, out io.Writer) error {
 		width      = fs.Int("walker-width", 0, "concurrent walk slots per walker (0 = 1, blocking)")
 		shared     = fs.Bool("shared-walker", false, "serve all cores' misses from one cluster-level walker")
 		mlp        = fs.Int("mlp", 0, "per-core in-flight memory-op window (0 = 1, blocking core)")
+		cache      = fs.String("cache", "", "run cache: a directory, or the http(s):// URL of a shared ndpserve instance (empty = always simulate locally)")
 		jsonOut    = fs.Bool("json", false, "emit the full result as JSON instead of the text summary")
 		list       = fs.Bool("list", false, "list workloads and exit")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the simulation to FILE")
@@ -103,7 +113,7 @@ func run(args []string, out io.Writer) error {
 		defer pprof.StopCPUProfile()
 	}
 
-	res, err := ndpage.Run(ndpage.Config{
+	cfg := ndpage.Config{
 		System:         sys,
 		Cores:          *cores,
 		Mechanism:      mech,
@@ -116,7 +126,13 @@ func run(args []string, out io.Writer) error {
 		WalkerWidth:    *width,
 		SharedWalker:   *shared,
 		MLP:            *mlp,
-	})
+	}
+	var res *ndpage.Result
+	if *cache != "" {
+		res, err = runCached(*cache, cfg)
+	} else {
+		res, err = ndpage.Run(cfg)
+	}
 	if err != nil {
 		return err
 	}
@@ -141,6 +157,33 @@ func run(args []string, out io.Writer) error {
 
 	printSummary(out, *system, mech, *cores, *wl, *shared, *width, *mlp, res)
 	return nil
+}
+
+// runCached runs cfg through the content-addressed run cache named by
+// arg: a directory (DirStore) serves repeats from disk; an http(s)://
+// URL (RemoteStore over ndpserve) serves warm keys from the shared
+// store and runs cold configurations server-side.
+func runCached(arg string, cfg ndpage.Config) (*ndpage.Result, error) {
+	var store ndpage.Store
+	if strings.HasPrefix(arg, "http://") || strings.HasPrefix(arg, "https://") {
+		remote, err := ndpage.NewRemoteStore(arg)
+		if err != nil {
+			return nil, err
+		}
+		store = remote
+	} else {
+		dir, err := ndpage.NewDirStore(arg)
+		if err != nil {
+			return nil, err
+		}
+		store = dir
+	}
+	// The Sweep runner supplies the cache discipline ndpexp uses: key
+	// the normalized config, serve warm keys without simulating, store
+	// fresh results — and delegate cold runs to a store that can
+	// compute (the remote case).
+	runner := &ndpage.Sweep{Store: store, Parallel: 1}
+	return runner.RunOne(context.Background(), cfg)
 }
 
 // printSummary renders the human-readable metric summary.

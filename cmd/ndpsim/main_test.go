@@ -2,10 +2,14 @@ package main
 
 import (
 	"bytes"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"ndpage/internal/serve"
+	"ndpage/internal/sweep"
 )
 
 // tiny returns arguments for a fast simulation.
@@ -58,6 +62,61 @@ func TestProfileFlagsWriteFiles(t *testing.T) {
 		if st.Size() == 0 {
 			t.Errorf("profile %s is empty", p)
 		}
+	}
+}
+
+// TestCacheDir: -cache <dir> persists the run; the repeat invocation
+// serves the identical result from disk.
+func TestCacheDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	var first, second bytes.Buffer
+	if err := run(tiny("-json", "-cache", dir), &first); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("cache entries = %v, %v; want exactly 1", entries, err)
+	}
+	if err := run(tiny("-json", "-cache", dir), &second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Error("cached re-run produced different output")
+	}
+}
+
+// TestCacheRemote: -cache http://... delegates the run to an ndpserve
+// instance; the repeat invocation is a warm hit costing no second
+// simulation.
+func TestCacheRemote(t *testing.T) {
+	srv, err := serve.New(serve.Options{Store: sweep.NewMemStore(), Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var first, second bytes.Buffer
+	if err := run(tiny("-json", "-cache", ts.URL), &first); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(tiny("-json", "-cache", ts.URL), &second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Error("remote-cached re-run produced different output")
+	}
+	if snap := srv.Snapshot(); snap.Simulations != 1 {
+		t.Errorf("server simulations = %d, want 1 (second run warm)", snap.Simulations)
+	}
+}
+
+// TestCacheBadURL: a malformed remote cache URL fails loudly.
+func TestCacheBadURL(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(tiny("-cache", "http://"), &out); err == nil {
+		t.Error("bad cache URL accepted")
 	}
 }
 

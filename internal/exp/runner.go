@@ -65,7 +65,9 @@ type Runner struct {
 // runner lazily builds the shared sweep runner. A persistent Store is
 // wrapped in a read-through memo so the per-cell gets that follow each
 // figure's prefetch hit process memory instead of re-reading and
-// re-parsing the on-disk JSON for every table cell.
+// re-parsing the on-disk JSON for every table cell. A Store that can
+// also compute (sweep.Simulator — a RemoteStore offloading cold runs
+// to an ndpserve instance) keeps that role through the wrapper.
 func (r *Runner) runner() *sweep.Runner {
 	r.once.Do(func() {
 		store := r.Store
@@ -76,6 +78,9 @@ func (r *Runner) runner() *sweep.Runner {
 			Store:    store,
 			Parallel: r.Parallel,
 			Progress: r.progress,
+		}
+		if s, ok := r.Store.(sweep.Simulator); ok {
+			r.sweep.Simulate = s.Simulate
 		}
 	})
 	return r.sweep

@@ -1,0 +1,275 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+
+	"ndpage/internal/core"
+	"ndpage/internal/memsys"
+	"ndpage/internal/sim"
+	"ndpage/internal/sweep"
+)
+
+// maxPlans bounds how many plans the server remembers for event
+// replay; beyond it, the oldest finished plans are forgotten.
+const maxPlans = 128
+
+// PlanRequest is the wire form of a sweep.Plan: the serializable axes
+// (the Variants axis carries Go closures and stays client-side — a
+// client expands variants itself and posts the resulting configs via
+// /v1/sim). Expansion, validation, and cross-product semantics are
+// exactly sweep.Plan's.
+type PlanRequest struct {
+	Base       sim.Config       `json:"base"`
+	Systems    []memsys.Kind    `json:"systems,omitempty"`
+	Mechanisms []core.Mechanism `json:"mechanisms,omitempty"`
+	Cores      []int            `json:"cores,omitempty"`
+	Workloads  []string         `json:"workloads,omitempty"`
+	Seeds      []uint64         `json:"seeds,omitempty"`
+}
+
+// PlanResponse answers POST /v1/plan: the plan's identity, its unique-
+// key census, and where to stream its progress.
+type PlanResponse struct {
+	ID string `json:"id"`
+	// Total is the number of unique configurations the plan expanded
+	// to; Warm of those were already stored, Scheduled went to the
+	// worker pool, Collapsed attached to runs already in flight, and
+	// Rejected did not fit the admission queue (their events carry the
+	// error; resubmit the plan after Retry-After to fill the holes).
+	Total     int    `json:"total"`
+	Warm      int    `json:"warm"`
+	Scheduled int    `json:"scheduled"`
+	Collapsed int    `json:"collapsed"`
+	Rejected  int    `json:"rejected"`
+	Events    string `json:"events"`
+}
+
+// planEvent is the wire form of a sweep.Event: one run's fate within a
+// plan.
+type planEvent struct {
+	Key       string `json:"key"`
+	Desc      string `json:"desc"`
+	Cached    bool   `json:"cached,omitempty"`
+	Err       string `json:"err,omitempty"`
+	Cycles    uint64 `json:"cycles,omitempty"`
+	ElapsedNS int64  `json:"elapsed_ns,omitempty"`
+}
+
+// plan tracks one submitted plan's progress: an append-only event log
+// plus a broadcast channel recreated on every append, so any number of
+// streams can replay the log and then wait for the next event.
+type plan struct {
+	id    string
+	seq   int
+	total int
+
+	mu     sync.Mutex
+	events []planEvent
+	wake   chan struct{}
+}
+
+func newPlan(id string, seq, total int) *plan {
+	return &plan{id: id, seq: seq, total: total, wake: make(chan struct{})}
+}
+
+// record appends one event and wakes every waiting stream.
+func (p *plan) record(e planEvent) {
+	p.mu.Lock()
+	p.events = append(p.events, e)
+	close(p.wake)
+	p.wake = make(chan struct{})
+	p.mu.Unlock()
+}
+
+// snapshot returns the events from index i on, the current wake
+// channel, and whether the plan is complete.
+func (p *plan) snapshot(i int) ([]planEvent, chan struct{}, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.events[i:], p.wake, len(p.events) == p.total
+}
+
+// addPlan registers a new plan, evicting the oldest finished plans
+// past the retention cap.
+func (s *Server) addPlan(total int) *plan {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.planSeq++
+	p := newPlan("p"+strconv.Itoa(s.planSeq), s.planSeq, total)
+	s.plans[p.id] = p
+	if len(s.plans) > maxPlans {
+		var finished []*plan
+		for _, q := range s.plans {
+			if evs, _, done := q.snapshot(0); done && len(evs) == q.total {
+				finished = append(finished, q)
+			}
+		}
+		sort.Slice(finished, func(a, b int) bool { return finished[a].seq < finished[b].seq })
+		for _, q := range finished {
+			if len(s.plans) <= maxPlans {
+				break
+			}
+			delete(s.plans, q.id)
+		}
+	}
+	return p
+}
+
+// watch records a flight's outcome into a plan when it completes.
+func (s *Server) watch(p *plan, f *flight) {
+	<-f.done
+	e := planEvent{Key: f.key, Desc: f.cfg.Desc(), ElapsedNS: int64(f.elapsed)}
+	switch {
+	case f.err != nil:
+		e.Err = f.err.Error()
+	default:
+		e.Cycles = f.res.Cycles
+		e.Cached = f.cached
+	}
+	p.record(e)
+}
+
+// handlePlan expands a PlanRequest and schedules every cold unique key,
+// answering 202 with the plan's census and its event-stream URL. Warm
+// keys are recorded as cached events immediately; keys the admission
+// queue cannot take are recorded as failed events (and counted in
+// Rejected) so the stream still terminates — the client resubmits after
+// Retry-After to fill the holes, finding the completed keys warm.
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	var preq PlanRequest
+	if err := dec.Decode(&preq); err != nil {
+		http.Error(w, fmt.Sprintf("decode plan: %v", err), http.StatusBadRequest)
+		return
+	}
+	cfgs, err := sweep.Plan{
+		Base:       preq.Base,
+		Systems:    preq.Systems,
+		Mechanisms: preq.Mechanisms,
+		Cores:      preq.Cores,
+		Workloads:  preq.Workloads,
+		Seeds:      preq.Seeds,
+	}.Configs()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	// Unique keys in plan order.
+	type cell struct {
+		cfg sim.Config
+		key string
+	}
+	var cells []cell
+	seen := make(map[string]bool)
+	for _, cfg := range cfgs {
+		n := cfg.Normalize()
+		k := n.Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		cells = append(cells, cell{n, k})
+	}
+
+	p := s.addPlan(len(cells))
+	resp := PlanResponse{ID: p.id, Total: len(cells), Events: "/v1/events/" + p.id}
+	for _, c := range cells {
+		res, ok, err := s.store.Get(c.key)
+		if err != nil {
+			p.record(planEvent{Key: c.key, Desc: c.cfg.Desc(), Err: fmt.Sprintf("store: %v", err)})
+			continue
+		}
+		if ok {
+			s.hits.Add(1)
+			resp.Warm++
+			p.record(planEvent{Key: c.key, Desc: c.cfg.Desc(), Cached: true, Cycles: res.Cycles})
+			continue
+		}
+		s.misses.Add(1)
+		f, created, err := s.submit(c.cfg, c.key)
+		if err != nil {
+			resp.Rejected++
+			p.record(planEvent{Key: c.key, Desc: c.cfg.Desc(), Err: "not scheduled: " + err.Error()})
+			continue
+		}
+		if created {
+			resp.Scheduled++
+		} else {
+			resp.Collapsed++
+		}
+		go s.watch(p, f)
+	}
+	if resp.Rejected > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(resp)
+}
+
+// handleEvents streams a plan's progress: every event recorded so far
+// is replayed, then events arrive live until the plan completes. The
+// default framing is SSE (`data: {json}` records, a final `event: done`
+// frame); ?format=ndjson switches to bare JSON lines over a chunked
+// response, with a final {"done":true} line.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	p := s.plans[id]
+	s.mu.Unlock()
+	if p == nil {
+		http.Error(w, "unknown plan", http.StatusNotFound)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	ndjson := r.URL.Query().Get("format") == "ndjson"
+	if ndjson {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	} else {
+		w.Header().Set("Content-Type", "text/event-stream")
+	}
+	w.Header().Set("Cache-Control", "no-store")
+
+	i := 0
+	for {
+		events, wake, done := p.snapshot(i)
+		for _, e := range events {
+			b, _ := json.Marshal(e)
+			if ndjson {
+				fmt.Fprintf(w, "%s\n", b)
+			} else {
+				fmt.Fprintf(w, "data: %s\n\n", b)
+			}
+			i++
+		}
+		if len(events) > 0 {
+			flusher.Flush()
+		}
+		if done {
+			if ndjson {
+				fmt.Fprintf(w, "{\"done\":true,\"total\":%d}\n", p.total)
+			} else {
+				fmt.Fprintf(w, "event: done\ndata: {\"total\":%d}\n\n", p.total)
+			}
+			flusher.Flush()
+			return
+		}
+		select {
+		case <-wake:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"errors"
+	"time"
+
+	"ndpage/internal/sim"
+)
+
+// errBusy reports a full admission queue (→ 429 + Retry-After);
+// errClosed a server past Close (→ 503).
+var (
+	errBusy   = errors.New("serve: queue full")
+	errClosed = errors.New("serve: closed")
+)
+
+// flight is one in-flight (or queued) simulation. All requests for the
+// same key share a single flight while it is live — the singleflight
+// invariant — and read its outcome after done closes. The fields above
+// done are set once, before the close, and immutable afterwards.
+type flight struct {
+	cfg     sim.Config // normalized
+	key     string
+	res     *sim.Result
+	err     error
+	cached  bool // resolved from the store (raced with an upload), not simulated
+	elapsed time.Duration
+	done    chan struct{}
+}
+
+// submit schedules a cold key, collapsing onto an existing flight if
+// one is live. It returns the flight and whether this call created it;
+// errBusy when the admission queue is full, errClosed after Close.
+func (s *Server) submit(cfg sim.Config, key string) (*flight, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f := s.flights[key]; f != nil {
+		s.collapses.Add(1)
+		return f, false, nil
+	}
+	if s.closed {
+		return nil, false, errClosed
+	}
+	f := &flight{cfg: cfg, key: key, done: make(chan struct{})}
+	select {
+	case s.queue <- f:
+		s.flights[key] = f
+		return f, true, nil
+	default:
+		s.rejected.Add(1)
+		return nil, false, errBusy
+	}
+}
+
+// worker drains the admission queue until Close. Each flight runs to
+// completion whatever happens to the requests waiting on it.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for f := range s.queue {
+		s.busy.Add(1)
+		s.runFlight(f)
+		s.busy.Add(-1)
+	}
+}
+
+// runFlight resolves one flight: re-check the store (an upload or a
+// sibling's run may have landed the key while this flight queued),
+// simulate on a miss, store the result, then release every waiter.
+func (s *Server) runFlight(f *flight) {
+	start := time.Now()
+	if res, ok, err := s.store.Get(f.key); err == nil && ok {
+		f.res = res
+		f.cached = true
+	} else {
+		res, err := s.simulate(f.cfg)
+		if err != nil {
+			f.err = err
+			s.failures.Add(1)
+		} else {
+			f.res = res
+			s.sims.Add(1)
+			if perr := s.store.Put(f.key, res); perr != nil {
+				// The result is still served to waiters; only its
+				// persistence failed. Count it — /statsz is how an
+				// operator notices a sick disk.
+				s.storeErrs.Add(1)
+			}
+		}
+	}
+	f.elapsed = time.Since(start)
+	s.mu.Lock()
+	delete(s.flights, f.key)
+	s.mu.Unlock()
+	close(f.done)
+}

@@ -1,0 +1,394 @@
+// Package serve implements ndpserve: the shared sweep-result service
+// that turns the content-addressed run cache (internal/sweep) into
+// multi-user infrastructure. The server answers warm keys straight from
+// a backing sweep.Store and schedules cold keys on a bounded worker
+// pool with singleflight dedupe, so a thundering herd of identical
+// configurations — any number of clients, any interleaving — costs
+// exactly one simulation. See DESIGN.md section 8.
+//
+// HTTP surface (all JSON):
+//
+//	GET  /healthz            liveness probe
+//	GET  /statsz             counter snapshot (hits, misses, collapses,
+//	                         queue depth, worker utilization, inventory)
+//	GET  /v1/result/{key}    warm-key fetch; ETag/If-None-Match → 304;
+//	                         404 on a cold key (never schedules work)
+//	PUT  /v1/result/{key}    client upload of a locally computed result
+//	POST /v1/sim             body sim.Config: warm → result; cold →
+//	                         singleflight-scheduled run (blocks); full
+//	                         queue → 429 + Retry-After
+//	POST /v1/plan            body PlanRequest: expand, schedule every
+//	                         cold key, return a plan id
+//	GET  /v1/events/{id}     progress stream for a plan: replays events
+//	                         so far, then live (SSE; ?format=ndjson for
+//	                         chunked JSON lines)
+//
+// The package is transport and scheduling only: simulation semantics,
+// config validation (sim.Config.Normalize/Validate/Key), and storage
+// all come from the packages the CLI already uses.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ndpage/internal/sim"
+	"ndpage/internal/sweep"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Store backs the service: warm keys are served from it, completed
+	// runs are written to it. Required. A store implementing
+	// sweep.Inventory (MemStore, DirStore) lets /statsz report the
+	// stored-result count.
+	Store sweep.Store
+	// Workers bounds concurrent simulations (0 = GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds runs admitted but not yet started (0 = 64).
+	// When the queue is full, new work is rejected with 429 and a
+	// Retry-After hint instead of queuing without bound.
+	QueueDepth int
+	// RetryAfter is the pacing hint sent with 429 responses, in seconds
+	// (0 = 2).
+	RetryAfter int
+	// Simulate overrides the simulation function (tests). Nil selects
+	// sim.RunConfig.
+	Simulate func(sim.Config) (*sim.Result, error)
+}
+
+// Server is the sweep-result service: an http.Handler plus the worker
+// pool behind it. Create with New, serve with any http.Server, and
+// Close on shutdown to drain in-flight work.
+type Server struct {
+	store      sweep.Store
+	simulate   func(sim.Config) (*sim.Result, error)
+	workers    int
+	retryAfter int
+	queue      chan *flight
+	mux        *http.ServeMux
+	start      time.Time
+	wg         sync.WaitGroup
+
+	mu      sync.Mutex
+	flights map[string]*flight // in-flight runs by key (singleflight)
+	plans   map[string]*plan
+	planSeq int
+	closed  bool
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	collapses atomic.Uint64
+	sims      atomic.Uint64
+	failures  atomic.Uint64
+	uploads   atomic.Uint64
+	rejected  atomic.Uint64
+	storeErrs atomic.Uint64
+	busy      atomic.Int64
+}
+
+// New builds a Server over opts and starts its worker pool.
+func New(opts Options) (*Server, error) {
+	if opts.Store == nil {
+		return nil, errors.New("serve: Options.Store is required")
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	depth := opts.QueueDepth
+	if depth <= 0 {
+		depth = 64
+	}
+	retry := opts.RetryAfter
+	if retry <= 0 {
+		retry = 2
+	}
+	simulate := opts.Simulate
+	if simulate == nil {
+		simulate = sim.RunConfig
+	}
+	s := &Server{
+		store:      opts.Store,
+		simulate:   simulate,
+		workers:    workers,
+		retryAfter: retry,
+		queue:      make(chan *flight, depth),
+		flights:    make(map[string]*flight),
+		plans:      make(map[string]*plan),
+		start:      time.Now(),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	s.mux.HandleFunc("GET /v1/result/{key}", s.handleResultGet)
+	s.mux.HandleFunc("PUT /v1/result/{key}", s.handleResultPut)
+	s.mux.HandleFunc("POST /v1/sim", s.handleSim)
+	s.mux.HandleFunc("POST /v1/plan", s.handlePlan)
+	s.mux.HandleFunc("GET /v1/events/{id}", s.handleEvents)
+	for i := 0; i < workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close drains the service: no new work is admitted, queued and
+// in-flight runs complete and are stored, then the workers exit. Safe
+// to call more than once.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.queue)
+	s.wg.Wait()
+}
+
+// Stats is the /statsz snapshot: the service's traffic and scheduling
+// counters since start.
+type Stats struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Hits counts requests answered from the store without scheduling
+	// any work (warm GETs, 304 revalidations, warm POST /v1/sim and
+	// warm plan keys).
+	Hits uint64 `json:"hits"`
+	// Misses counts requests whose key was not in the store.
+	Misses uint64 `json:"misses"`
+	// Collapses counts cold requests that attached to an already
+	// in-flight run instead of scheduling their own — the singleflight
+	// savings.
+	Collapses uint64 `json:"collapses"`
+	// Simulations counts completed simulation runs; Failures the runs
+	// that errored.
+	Simulations uint64 `json:"simulations"`
+	Failures    uint64 `json:"failures"`
+	// Uploads counts results written by clients via PUT.
+	Uploads uint64 `json:"uploads"`
+	// Rejected counts runs refused with 429 because the queue was full.
+	Rejected uint64 `json:"rejected"`
+	// StoreErrors counts failed writes of completed results.
+	StoreErrors uint64 `json:"store_errors"`
+
+	QueueDepth    int `json:"queue_depth"`
+	QueueCapacity int `json:"queue_capacity"`
+	Workers       int `json:"workers"`
+	BusyWorkers   int `json:"busy_workers"`
+	// Stored is the store's result inventory (-1 when the store does
+	// not implement sweep.Inventory).
+	Stored int `json:"stored"`
+	Plans  int `json:"plans"`
+}
+
+// Snapshot returns the current Stats.
+func (s *Server) Snapshot() Stats {
+	stored := -1
+	if inv, ok := s.store.(sweep.Inventory); ok {
+		stored = inv.Len()
+	}
+	s.mu.Lock()
+	plans := len(s.plans)
+	s.mu.Unlock()
+	return Stats{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Hits:          s.hits.Load(),
+		Misses:        s.misses.Load(),
+		Collapses:     s.collapses.Load(),
+		Simulations:   s.sims.Load(),
+		Failures:      s.failures.Load(),
+		Uploads:       s.uploads.Load(),
+		Rejected:      s.rejected.Load(),
+		StoreErrors:   s.storeErrs.Load(),
+		QueueDepth:    len(s.queue),
+		QueueCapacity: cap(s.queue),
+		Workers:       s.workers,
+		BusyWorkers:   int(s.busy.Load()),
+		Stored:        stored,
+		Plans:         plans,
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.Snapshot())
+}
+
+// etagFor returns the strong validator for a key. Results are
+// content-addressed, so the key IS the entity tag: a key's bytes can
+// only ever be one result.
+func etagFor(key string) string { return `"` + key + `"` }
+
+// etagMatch reports whether an If-None-Match header matches etag.
+func etagMatch(header, etag string) bool {
+	for _, part := range strings.Split(header, ",") {
+		part = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(part), "W/"))
+		if part == "*" || part == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// writeResult sends a stored result with its validator.
+func writeResult(w http.ResponseWriter, key string, res *sim.Result, xcache string) {
+	w.Header().Set("ETag", etagFor(key))
+	w.Header().Set("Content-Type", "application/json")
+	if xcache != "" {
+		w.Header().Set("X-Cache", xcache)
+	}
+	json.NewEncoder(w).Encode(res)
+}
+
+// handleResultGet is the warm-key read path: it never schedules work.
+// A cold key is a plain 404 — clients that want the server to compute
+// it POST /v1/sim instead.
+func (s *Server) handleResultGet(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	res, ok, err := s.store.Get(key)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("store: %v", err), http.StatusInternalServerError)
+		return
+	}
+	if !ok {
+		s.misses.Add(1)
+		http.Error(w, "unknown key", http.StatusNotFound)
+		return
+	}
+	s.hits.Add(1)
+	etag := etagFor(key)
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatch(inm, etag) {
+		w.Header().Set("ETag", etag)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	writeResult(w, key, res, "hit")
+}
+
+// handleResultPut accepts a client-computed result. The body must be a
+// full sim.Result whose embedded configuration is valid and hashes to
+// the key in the URL — the server re-derives the content address, so a
+// client cannot poison another configuration's cache slot.
+func (s *Server) handleResultPut(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	var res sim.Result
+	if err := json.NewDecoder(io.LimitReader(r.Body, 64<<20)).Decode(&res); err != nil {
+		http.Error(w, fmt.Sprintf("decode result: %v", err), http.StatusBadRequest)
+		return
+	}
+	if err := res.Config.Validate(); err != nil {
+		http.Error(w, fmt.Sprintf("result config: %v", err), http.StatusBadRequest)
+		return
+	}
+	if got := res.Config.Key(); got != key {
+		http.Error(w, fmt.Sprintf("content address mismatch: config hashes to %s, not %s", got, key), http.StatusBadRequest)
+		return
+	}
+	if err := s.store.Put(key, &res); err != nil {
+		s.storeErrs.Add(1)
+		http.Error(w, fmt.Sprintf("store: %v", err), http.StatusInternalServerError)
+		return
+	}
+	s.uploads.Add(1)
+	w.Header().Set("ETag", etagFor(key))
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// decodeConfig parses and validates a request-body configuration,
+// returning its normalized form and content key. Unknown fields are
+// rejected: a client built against a newer Config schema would
+// otherwise silently hash to a different key than it thinks.
+func decodeConfig(body io.Reader) (sim.Config, string, error) {
+	dec := json.NewDecoder(io.LimitReader(body, 1<<20))
+	dec.DisallowUnknownFields()
+	var cfg sim.Config
+	if err := dec.Decode(&cfg); err != nil {
+		return cfg, "", fmt.Errorf("decode config: %w", err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return cfg, "", err
+	}
+	n := cfg.Normalize()
+	return n, n.Key(), nil
+}
+
+// handleSim is the cold-run path: warm keys return immediately, cold
+// keys are scheduled with singleflight dedupe and the handler blocks
+// until the (possibly shared) run completes. A full queue is a 429
+// with a Retry-After pacing hint. A client that disconnects mid-run
+// detaches; the run itself completes and is stored — the next request
+// for the key is warm.
+func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
+	cfg, key, err := decodeConfig(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	res, ok, err := s.store.Get(key)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("store: %v", err), http.StatusInternalServerError)
+		return
+	}
+	if ok {
+		s.hits.Add(1)
+		writeResult(w, key, res, "hit")
+		return
+	}
+	s.misses.Add(1)
+	f, _, err := s.submit(cfg, key)
+	if err != nil {
+		s.reject(w, err)
+		return
+	}
+	select {
+	case <-f.done:
+	case <-r.Context().Done():
+		// Client gone. The flight is not cancelled: the simulation is
+		// already paid for (or shared with other waiters), so it runs
+		// to completion and lands in the store.
+		return
+	}
+	if f.err != nil {
+		http.Error(w, fmt.Sprintf("simulation: %v", f.err), http.StatusInternalServerError)
+		return
+	}
+	xcache := "sim"
+	if f.cached {
+		xcache = "hit"
+	}
+	writeResult(w, key, f.res, xcache)
+}
+
+// reject writes the backpressure (or shutdown) response for a submit
+// failure.
+func (s *Server) reject(w http.ResponseWriter, err error) {
+	if errors.Is(err, errClosed) {
+		http.Error(w, "server shutting down", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter))
+	http.Error(w, "queue full, retry later", http.StatusTooManyRequests)
+}

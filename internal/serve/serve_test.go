@@ -1,0 +1,691 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ndpage/internal/core"
+	"ndpage/internal/memsys"
+	"ndpage/internal/sim"
+	"ndpage/internal/sweep"
+)
+
+// testBase is a small valid configuration; distinct seeds give
+// distinct content keys.
+func testBase(seed uint64) sim.Config {
+	return sim.Config{
+		System:         memsys.NDP,
+		Cores:          1,
+		Mechanism:      core.Radix,
+		Workload:       "rnd",
+		FootprintBytes: 64 << 20,
+		MemoryBytes:    1 << 30,
+		Warmup:         500,
+		Instructions:   2_000,
+		Seed:           seed,
+	}
+}
+
+// fakeResult fabricates a result whose content address matches cfg.
+func fakeResult(cfg sim.Config) *sim.Result {
+	n := cfg.Normalize()
+	return &sim.Result{Config: n, Cycles: 1000 + n.Seed}
+}
+
+// gate is a Simulate stub that counts calls and blocks each run until
+// released.
+type gate struct {
+	calls   atomic.Int64
+	release chan struct{}
+}
+
+func newGate() *gate { return &gate{release: make(chan struct{})} }
+
+func (g *gate) simulate(cfg sim.Config) (*sim.Result, error) {
+	g.calls.Add(1)
+	<-g.release
+	return fakeResult(cfg), nil
+}
+
+// instantSim counts calls and returns immediately.
+func instantSim(calls *atomic.Int64) func(sim.Config) (*sim.Result, error) {
+	return func(cfg sim.Config) (*sim.Result, error) {
+		calls.Add(1)
+		return fakeResult(cfg), nil
+	}
+}
+
+// newTestServer builds a Server plus an httptest front end; both are
+// torn down with the test.
+func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	if opts.Store == nil {
+		opts.Store = sweep.NewMemStore()
+	}
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// postSim posts cfg to /v1/sim and returns the response.
+func postSim(t *testing.T, base string, cfg sim.Config) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/sim", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// decodeBody decodes a result response body.
+func decodeBody(t *testing.T, resp *http.Response) *sim.Result {
+	t.Helper()
+	defer resp.Body.Close()
+	var res sim.Result
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	return &res
+}
+
+// TestSingleflightCollapse is the dedupe contract: N concurrent
+// identical cold requests cost exactly one simulation, and every
+// request receives the one result.
+func TestSingleflightCollapse(t *testing.T) {
+	g := newGate()
+	s, ts := newTestServer(t, Options{Simulate: g.simulate, Workers: 2})
+
+	const n = 8
+	cfg := testBase(7)
+	var wg sync.WaitGroup
+	results := make([]*sim.Result, n)
+	codes := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp := postSim(t, ts.URL, cfg)
+			codes[i] = resp.StatusCode
+			if resp.StatusCode == http.StatusOK {
+				results[i] = decodeBody(t, resp)
+			} else {
+				resp.Body.Close()
+			}
+		}(i)
+	}
+
+	// All n requests miss and attach to one flight: 1 scheduled, n-1
+	// collapsed. Only then release the simulation.
+	waitFor(t, "all requests attached", func() bool {
+		return s.Snapshot().Collapses == n-1
+	})
+	if got := g.calls.Load(); got != 1 {
+		t.Fatalf("simulations started before release: %d, want 1", got)
+	}
+	close(g.release)
+	wg.Wait()
+
+	want := fakeResult(cfg)
+	for i := 0; i < n; i++ {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, codes[i])
+		}
+		if results[i].Cycles != want.Cycles {
+			t.Fatalf("request %d: cycles %d, want %d", i, results[i].Cycles, want.Cycles)
+		}
+	}
+	snap := s.Snapshot()
+	if g.calls.Load() != 1 || snap.Simulations != 1 {
+		t.Errorf("simulations = %d (stub %d), want 1", snap.Simulations, g.calls.Load())
+	}
+	if snap.Misses != n || snap.Collapses != n-1 {
+		t.Errorf("misses/collapses = %d/%d, want %d/%d", snap.Misses, snap.Collapses, n, n-1)
+	}
+	// The result landed in the store: the next request is a pure hit.
+	resp := postSim(t, ts.URL, cfg)
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Cache") != "hit" {
+		t.Errorf("post-flight request: status %d, X-Cache %q, want warm hit", resp.StatusCode, resp.Header.Get("X-Cache"))
+	}
+	resp.Body.Close()
+}
+
+// TestWarmKeyNoScheduling: GETs and warm sims never touch the worker
+// pool, and If-None-Match revalidation answers 304 with no body.
+func TestWarmKeyNoScheduling(t *testing.T) {
+	var calls atomic.Int64
+	store := sweep.NewMemStore()
+	cfg := testBase(1)
+	key := cfg.Key()
+	if err := store.Put(key, fakeResult(cfg)); err != nil {
+		t.Fatal(err)
+	}
+	s, ts := newTestServer(t, Options{Store: store, Simulate: instantSim(&calls)})
+
+	resp, err := http.Get(ts.URL + "/v1/result/" + key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm GET: status %d", resp.StatusCode)
+	}
+	etag := resp.Header.Get("ETag")
+	if etag != `"`+key+`"` {
+		t.Fatalf("ETag %q, want quoted key", etag)
+	}
+	if got := decodeBody(t, resp).Cycles; got != 1001 {
+		t.Fatalf("warm GET cycles %d, want 1001", got)
+	}
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/result/"+key, nil)
+	req.Header.Set("If-None-Match", etag)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("revalidation: status %d, want 304", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	resp = postSim(t, ts.URL, cfg)
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Cache") != "hit" {
+		t.Fatalf("warm sim: status %d X-Cache %q", resp.StatusCode, resp.Header.Get("X-Cache"))
+	}
+	resp.Body.Close()
+
+	snap := s.Snapshot()
+	if calls.Load() != 0 || snap.Simulations != 0 || snap.QueueDepth != 0 {
+		t.Errorf("warm path scheduled work: calls %d, sims %d, queue %d", calls.Load(), snap.Simulations, snap.QueueDepth)
+	}
+	if snap.Hits != 3 {
+		t.Errorf("hits = %d, want 3", snap.Hits)
+	}
+
+	// A cold GET is a 404, never a scheduled run.
+	resp, err = http.Get(ts.URL + "/v1/result/deadbeef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("cold GET: status %d, want 404", resp.StatusCode)
+	}
+	resp.Body.Close()
+	if calls.Load() != 0 || s.Snapshot().QueueDepth != 0 {
+		t.Error("cold GET scheduled work")
+	}
+}
+
+// TestMalformedRequests: broken JSON, unknown fields, and invalid
+// configurations are all 400s, on both /v1/sim and /v1/plan.
+func TestMalformedRequests(t *testing.T) {
+	var calls atomic.Int64
+	_, ts := newTestServer(t, Options{Simulate: instantSim(&calls)})
+
+	post := func(path, body string) int {
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	badCfg, _ := json.Marshal(func() sim.Config { c := testBase(1); c.Cores = 999; return c }())
+	cases := []struct {
+		name, path, body string
+	}{
+		{"broken json", "/v1/sim", `{"Cores": `},
+		{"unknown field", "/v1/sim", `{"Cores": 1, "Bogus": true}`},
+		{"invalid config", "/v1/sim", string(badCfg)},
+		{"unknown workload", "/v1/sim", `{"Workload": "no-such-kernel"}`},
+		{"plan broken json", "/v1/plan", `{"base": [}`},
+		{"plan invalid axis", "/v1/plan", `{"base": ` + string(badCfg) + `}`},
+	}
+	for _, c := range cases {
+		if got := post(c.path, c.body); got != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", c.name, got)
+		}
+	}
+	if calls.Load() != 0 {
+		t.Errorf("malformed requests reached the simulator: %d calls", calls.Load())
+	}
+}
+
+// TestCancelMidRequest: a client that disconnects mid-run detaches;
+// the flight completes, lands in the store, and the server stays
+// healthy.
+func TestCancelMidRequest(t *testing.T) {
+	g := newGate()
+	store := sweep.NewMemStore()
+	s, ts := newTestServer(t, Options{Store: store, Simulate: g.simulate})
+
+	cfg := testBase(3)
+	key := cfg.Key()
+	b, _ := json.Marshal(cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/sim", bytes.NewReader(b))
+	req.Header.Set("Content-Type", "application/json")
+	errc := make(chan error, 1)
+	go func() {
+		_, err := http.DefaultClient.Do(req)
+		errc <- err
+	}()
+
+	waitFor(t, "simulation to start", func() bool { return g.calls.Load() == 1 })
+	cancel()
+	if err := <-errc; err == nil {
+		t.Fatal("cancelled request returned no error")
+	}
+
+	// The run was NOT cancelled with the client: it completes and is
+	// stored, so the next request for the key is warm.
+	close(g.release)
+	waitFor(t, "result to land in the store", func() bool {
+		_, ok, _ := store.Get(key)
+		return ok
+	})
+	if snap := s.Snapshot(); snap.Simulations != 1 {
+		t.Errorf("simulations = %d, want 1", snap.Simulations)
+	}
+	resp := postSim(t, ts.URL, cfg)
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Cache") != "hit" {
+		t.Errorf("post-cancel request: status %d X-Cache %q", resp.StatusCode, resp.Header.Get("X-Cache"))
+	}
+	resp.Body.Close()
+}
+
+// TestBackpressure: a full admission queue answers 429 with the
+// configured Retry-After, and the rejected key succeeds on retry once
+// the queue drains.
+func TestBackpressure(t *testing.T) {
+	g := newGate()
+	s, ts := newTestServer(t, Options{Simulate: g.simulate, Workers: 1, QueueDepth: 1, RetryAfter: 7})
+
+	resps := make(chan int, 2)
+	post := func(seed uint64) {
+		resp := postSim(t, ts.URL, testBase(seed))
+		resp.Body.Close()
+		resps <- resp.StatusCode
+	}
+	go post(1)
+	waitFor(t, "worker busy", func() bool { return g.calls.Load() == 1 })
+	go post(2)
+	waitFor(t, "queue full", func() bool { return s.Snapshot().QueueDepth == 1 })
+
+	resp := postSim(t, ts.URL, testBase(3))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-capacity request: status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "7" {
+		t.Errorf("Retry-After %q, want \"7\"", ra)
+	}
+	resp.Body.Close()
+
+	close(g.release)
+	for i := 0; i < 2; i++ {
+		if code := <-resps; code != http.StatusOK {
+			t.Errorf("in-queue request finished with %d", code)
+		}
+	}
+	// The rejected key was never admitted; retried now, it runs.
+	resp = postSim(t, ts.URL, testBase(3))
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("retry after drain: status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	if snap := s.Snapshot(); snap.Rejected != 1 {
+		t.Errorf("rejected = %d, want 1", snap.Rejected)
+	}
+}
+
+// TestUploadIntegrity: PUT stores a valid result, and the server
+// re-derives the content address so a mangled upload cannot poison a
+// different key.
+func TestUploadIntegrity(t *testing.T) {
+	store := sweep.NewMemStore()
+	s, ts := newTestServer(t, Options{Store: store})
+
+	cfg := testBase(5)
+	key := cfg.Key()
+	res := fakeResult(cfg)
+	b, _ := json.Marshal(res)
+	put := func(k string, body []byte) int {
+		req, _ := http.NewRequest(http.MethodPut, ts.URL+"/v1/result/"+k, bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if code := put(key, b); code != http.StatusNoContent {
+		t.Fatalf("upload: status %d, want 204", code)
+	}
+	if got, ok, _ := store.Get(key); !ok || got.Cycles != res.Cycles {
+		t.Fatal("upload did not land in the store")
+	}
+	if code := put(testBase(6).Key(), b); code != http.StatusBadRequest {
+		t.Errorf("mismatched-key upload: status %d, want 400", code)
+	}
+	if code := put(key, []byte(`{"Cycles": `)); code != http.StatusBadRequest {
+		t.Errorf("broken upload: status %d, want 400", code)
+	}
+	if snap := s.Snapshot(); snap.Uploads != 1 {
+		t.Errorf("uploads = %d, want 1", snap.Uploads)
+	}
+}
+
+// readEvents consumes a plan's ndjson stream until its done marker.
+func readEvents(t *testing.T, url string) []planEvent {
+	t.Helper()
+	resp, err := http.Get(url + "?format=ndjson")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events: status %d", resp.StatusCode)
+	}
+	var events []planEvent
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.Contains(line, `"done":true`) {
+			return events
+		}
+		var e planEvent
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("bad event line %q: %v", line, err)
+		}
+		events = append(events, e)
+	}
+	t.Fatalf("stream ended without done marker: %v", sc.Err())
+	return nil
+}
+
+// TestPlanAndEventStream: a posted plan expands, warm keys are
+// replayed as cached events, cold keys stream as they complete, and
+// both framings (SSE and ndjson) terminate with a done marker.
+func TestPlanAndEventStream(t *testing.T) {
+	var calls atomic.Int64
+	store := sweep.NewMemStore()
+	warm := testBase(1)
+	if err := store.Put(warm.Key(), fakeResult(warm)); err != nil {
+		t.Fatal(err)
+	}
+	s, ts := newTestServer(t, Options{Store: store, Simulate: instantSim(&calls)})
+
+	preq := PlanRequest{Base: testBase(0), Seeds: []uint64{1, 2, 3}}
+	b, _ := json.Marshal(preq)
+	resp, err := http.Post(ts.URL+"/v1/plan", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("plan: status %d, want 202", resp.StatusCode)
+	}
+	var pr PlanResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if pr.Total != 3 || pr.Warm != 1 || pr.Scheduled != 2 || pr.Rejected != 0 {
+		t.Fatalf("plan census = %+v, want total 3, warm 1, scheduled 2", pr)
+	}
+
+	events := readEvents(t, ts.URL+pr.Events)
+	if len(events) != 3 {
+		t.Fatalf("got %d events, want 3: %+v", len(events), events)
+	}
+	cached := 0
+	for _, e := range events {
+		if e.Err != "" {
+			t.Errorf("event %s failed: %s", e.Key, e.Err)
+		}
+		if e.Cached {
+			cached++
+		}
+	}
+	if cached != 1 {
+		t.Errorf("cached events = %d, want 1 (the warm key)", cached)
+	}
+	if calls.Load() != 2 {
+		t.Errorf("simulations = %d, want 2", calls.Load())
+	}
+
+	// Replay after completion: a late subscriber sees the full log.
+	if replay := readEvents(t, ts.URL+pr.Events); len(replay) != 3 {
+		t.Errorf("replay got %d events, want 3", len(replay))
+	}
+
+	// SSE framing of the same stream.
+	resp, err = http.Get(ts.URL + pr.Events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("SSE Content-Type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bytes.Count(body, []byte("data: ")); got != 4 { // 3 events + done
+		t.Errorf("SSE data frames = %d, want 4\n%s", got, body)
+	}
+	if !bytes.Contains(body, []byte("event: done")) {
+		t.Errorf("SSE stream missing done frame:\n%s", body)
+	}
+
+	// Resubmitting the plan finds everything warm.
+	resp, err = http.Post(ts.URL+"/v1/plan", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pr2 PlanResponse
+	json.NewDecoder(resp.Body).Decode(&pr2)
+	resp.Body.Close()
+	if pr2.Warm != 3 || pr2.Scheduled != 0 {
+		t.Errorf("resubmitted plan: %+v, want all warm", pr2)
+	}
+	if calls.Load() != 2 {
+		t.Errorf("resubmission re-simulated: %d calls", calls.Load())
+	}
+	if s.Snapshot().Plans != 2 {
+		t.Errorf("plans = %d, want 2", s.Snapshot().Plans)
+	}
+
+	if resp, err := http.Get(ts.URL + "/v1/events/nope"); err != nil {
+		t.Fatal(err)
+	} else {
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("unknown plan: status %d, want 404", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+}
+
+// TestCloseDrains: Close admits nothing new but queued and in-flight
+// runs complete and land in the store.
+func TestCloseDrains(t *testing.T) {
+	g := newGate()
+	store := sweep.NewMemStore()
+	s, err := New(Options{Store: store, Simulate: g.simulate, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, _, err := s.submit(testBase(1).Normalize(), testBase(1).Key())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, _, err := s.submit(testBase(2).Normalize(), testBase(2).Key())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "worker busy", func() bool { return g.calls.Load() == 1 })
+	close(g.release)
+	s.Close()
+	<-f1.done
+	<-f2.done
+	for _, cfg := range []sim.Config{testBase(1), testBase(2)} {
+		if _, ok, _ := store.Get(cfg.Key()); !ok {
+			t.Errorf("queued run %s not drained into the store", cfg.Key())
+		}
+	}
+	if _, _, err := s.submit(testBase(3).Normalize(), testBase(3).Key()); err == nil {
+		t.Error("submit after Close succeeded")
+	}
+}
+
+// TestHealthAndStats: the probes answer, and /statsz reports the
+// store inventory through sweep.Inventory.
+func TestHealthAndStats(t *testing.T) {
+	store := sweep.NewMemStore()
+	cfg := testBase(1)
+	store.Put(cfg.Key(), fakeResult(cfg))
+	_, ts := newTestServer(t, Options{Store: store, Workers: 3, QueueDepth: 5})
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(body) != "ok\n" {
+		t.Fatalf("healthz: %d %q", resp.StatusCode, body)
+	}
+
+	resp, err = http.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Stats
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if snap.Stored != 1 {
+		t.Errorf("stored = %d, want 1 (inventory)", snap.Stored)
+	}
+	if snap.Workers != 3 || snap.QueueCapacity != 5 {
+		t.Errorf("workers/queue = %d/%d, want 3/5", snap.Workers, snap.QueueCapacity)
+	}
+}
+
+// TestEndToEndRemoteDedupe is the acceptance proof at library level:
+// two independent sweep clients (each a Runner over its own
+// RemoteStore) run the same plan concurrently against one server, and
+// the server performs exactly one simulation per unique key. A third
+// client then finds every key warm.
+func TestEndToEndRemoteDedupe(t *testing.T) {
+	var calls atomic.Int64
+	slowSim := func(cfg sim.Config) (*sim.Result, error) {
+		calls.Add(1)
+		time.Sleep(20 * time.Millisecond) // hold flights open so clients overlap
+		return fakeResult(cfg), nil
+	}
+	s, ts := newTestServer(t, Options{Simulate: slowSim, Workers: 4})
+
+	plan := sweep.Plan{Base: testBase(0), Seeds: []uint64{1, 2, 3, 4}}
+	runClient := func() ([]*sim.Result, error) {
+		remote, err := sweep.NewRemoteStore(ts.URL)
+		if err != nil {
+			return nil, err
+		}
+		r := &sweep.Runner{Store: remote, Parallel: 4}
+		return r.RunPlan(context.Background(), plan)
+	}
+
+	var wg sync.WaitGroup
+	outs := make([][]*sim.Result, 2)
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i], errs[i] = runClient()
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < 2; i++ {
+		if errs[i] != nil {
+			t.Fatalf("client %d: %v", i, errs[i])
+		}
+		for j, res := range outs[i] {
+			if res == nil || res.Cycles != 1000+plan.Seeds[j] {
+				t.Fatalf("client %d result %d wrong: %+v", i, j, res)
+			}
+		}
+	}
+	if got := calls.Load(); got != 4 {
+		t.Fatalf("two concurrent clients cost %d simulations, want 4 (one per unique key)", got)
+	}
+	if snap := s.Snapshot(); snap.Simulations != 4 {
+		t.Errorf("server simulations = %d, want 4", snap.Simulations)
+	}
+
+	// Third client: all warm, nothing scheduled, no extra simulation.
+	out, err := runClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 4 || calls.Load() != 4 {
+		t.Fatalf("warm client re-simulated: %d calls", calls.Load())
+	}
+}
+
+// TestStatszJSONShape guards the field names the CI smoke job greps.
+func TestStatszJSONShape(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	resp, err := http.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, field := range []string{
+		`"hits"`, `"misses"`, `"collapses"`, `"simulations"`, `"failures"`,
+		`"uploads"`, `"rejected"`, `"queue_depth"`, `"workers"`, `"busy_workers"`, `"stored"`,
+	} {
+		if !bytes.Contains(body, []byte(field)) {
+			t.Errorf("statsz missing %s:\n%s", field, body)
+		}
+	}
+}

@@ -1,0 +1,340 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ndpage/internal/sim"
+)
+
+// RemoteStore is a Store backed by an ndpserve instance: the shared
+// sweep-result service (internal/serve). It implements three layers of
+// the protocol:
+//
+//   - Get fetches warm results over HTTP, revalidating entries it
+//     already holds with per-key ETag / If-None-Match (a match costs a
+//     304 with no body). Fetched results land in a local write-through
+//     cache, so a key is transferred at most once per process.
+//   - Put writes through: the result is cached locally and uploaded to
+//     the server, except for results the server itself produced or
+//     served (it already has them).
+//   - Simulate (the Simulator extension) delegates cold runs to the
+//     server's singleflight scheduler via POST /v1/sim: identical
+//     requests from any number of clients collapse into one simulation
+//     server-side. A 429 (queue full) is retried after the server's
+//     Retry-After delay until Context cancels.
+//
+// Because results are content-addressed by sim.Config.Key(), a locally
+// cached entry can never be stale; revalidation exists to detect a
+// server that re-served a key with a different entity (a corrupted or
+// repopulated store), and a server miss on a locally held key degrades
+// to the local copy. A RemoteStore is safe for concurrent use.
+type RemoteStore struct {
+	// Context, when non-nil, cancels in-flight HTTP requests and
+	// 429 retry waits (Ctrl-C on the CLI). Set before first use.
+	Context context.Context
+	// Client overrides the HTTP client (nil = http.DefaultClient; note
+	// Simulate blocks for a whole server-side simulation, so a client
+	// with an aggressive Timeout will cut long runs short).
+	Client *http.Client
+
+	base string
+
+	mu       sync.Mutex
+	local    map[string]*sim.Result
+	etags    map[string]string
+	onServer map[string]bool
+
+	hits        atomic.Uint64 // results fetched from the server
+	revalidated atomic.Uint64 // local copies confirmed by a 304
+	misses      atomic.Uint64 // keys the server does not hold
+	remoteSims  atomic.Uint64 // cold runs delegated via POST /v1/sim
+	uploads     atomic.Uint64 // results uploaded via PUT
+}
+
+// RemoteStats is a snapshot of a RemoteStore's traffic counters.
+type RemoteStats struct {
+	Hits        uint64 // results fetched from the server
+	Revalidated uint64 // local copies confirmed by a 304
+	Misses      uint64 // keys the server does not hold
+	RemoteSims  uint64 // cold runs delegated to the server
+	Uploads     uint64 // locally computed results uploaded
+}
+
+// NewRemoteStore returns a RemoteStore talking to the ndpserve instance
+// at baseURL (e.g. "http://localhost:8947"). The URL must be absolute
+// with an http or https scheme; a trailing slash is tolerated.
+func NewRemoteStore(baseURL string) (*RemoteStore, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: remote store URL: %w", err)
+	}
+	if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return nil, fmt.Errorf("sweep: remote store URL %q: want http(s)://host[:port]", baseURL)
+	}
+	return &RemoteStore{
+		base:     strings.TrimRight(baseURL, "/"),
+		local:    make(map[string]*sim.Result),
+		etags:    make(map[string]string),
+		onServer: make(map[string]bool),
+	}, nil
+}
+
+// BaseURL returns the server address the store talks to.
+func (s *RemoteStore) BaseURL() string { return s.base }
+
+// Stats returns a snapshot of the traffic counters.
+func (s *RemoteStore) Stats() RemoteStats {
+	return RemoteStats{
+		Hits:        s.hits.Load(),
+		Revalidated: s.revalidated.Load(),
+		Misses:      s.misses.Load(),
+		RemoteSims:  s.remoteSims.Load(),
+		Uploads:     s.uploads.Load(),
+	}
+}
+
+func (s *RemoteStore) ctx() context.Context {
+	if s.Context != nil {
+		return s.Context
+	}
+	return context.Background()
+}
+
+func (s *RemoteStore) httpc() *http.Client {
+	if s.Client != nil {
+		return s.Client
+	}
+	return http.DefaultClient
+}
+
+// cache records a server-held result in the local write-through cache.
+func (s *RemoteStore) cache(key string, res *sim.Result, etag string) {
+	s.mu.Lock()
+	s.local[key] = res
+	if etag != "" {
+		s.etags[key] = etag
+	}
+	s.onServer[key] = true
+	s.mu.Unlock()
+}
+
+// Len returns the number of locally cached results (Inventory; the
+// server-side inventory is on /statsz).
+func (s *RemoteStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.local)
+}
+
+// Keys returns the locally cached keys in sorted order (Inventory).
+func (s *RemoteStore) Keys() []string {
+	s.mu.Lock()
+	keys := make([]string, 0, len(s.local))
+	for k := range s.local {
+		keys = append(keys, k)
+	}
+	s.mu.Unlock()
+	sort.Strings(keys)
+	return keys
+}
+
+// errBody formats an error response, folding in the server's message.
+func errBody(op string, resp *http.Response) error {
+	b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	msg := strings.TrimSpace(string(b))
+	if msg == "" {
+		msg = resp.Status
+	}
+	return fmt.Errorf("sweep: remote %s: %s", op, msg)
+}
+
+// decodeResult decodes a result body and verifies its content address:
+// an entry whose embedded configuration does not hash to key is a
+// server-side integrity failure, not a usable result.
+func decodeResult(key string, body io.Reader) (*sim.Result, error) {
+	var res sim.Result
+	if err := json.NewDecoder(body).Decode(&res); err != nil {
+		return nil, fmt.Errorf("sweep: remote result %s: %w", key, err)
+	}
+	if got := res.Config.Key(); got != key {
+		return nil, fmt.Errorf("sweep: remote result %s: content address mismatch (config hashes to %s)", key, got)
+	}
+	return &res, nil
+}
+
+// Get implements Store: a warm-key fetch from the server. Keys already
+// held locally are revalidated with If-None-Match; a 304 serves the
+// local copy with no body transferred. A server the client cannot
+// reach fails a cold Get but degrades to the local copy for keys
+// already held (content-addressed entries cannot be stale).
+func (s *RemoteStore) Get(key string) (*sim.Result, bool, error) {
+	s.mu.Lock()
+	localRes := s.local[key]
+	etag := s.etags[key]
+	s.mu.Unlock()
+
+	req, err := http.NewRequestWithContext(s.ctx(), http.MethodGet, s.base+"/v1/result/"+key, nil)
+	if err != nil {
+		return nil, false, fmt.Errorf("sweep: remote get %s: %w", key, err)
+	}
+	if localRes != nil && etag != "" {
+		req.Header.Set("If-None-Match", etag)
+	}
+	resp, err := s.httpc().Do(req)
+	if err != nil {
+		if localRes != nil {
+			return localRes, true, nil
+		}
+		return nil, false, fmt.Errorf("sweep: remote get %s: %w", key, err)
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+
+	switch resp.StatusCode {
+	case http.StatusNotModified:
+		s.revalidated.Add(1)
+		return localRes, true, nil
+	case http.StatusOK:
+		res, err := decodeResult(key, resp.Body)
+		if err != nil {
+			return nil, false, err
+		}
+		s.cache(key, res, resp.Header.Get("ETag"))
+		s.hits.Add(1)
+		return res, true, nil
+	case http.StatusNotFound:
+		if localRes != nil {
+			// The server lost (or never had) an entry we hold; the
+			// local copy is still exactly the result for this key.
+			return localRes, true, nil
+		}
+		s.misses.Add(1)
+		return nil, false, nil
+	default:
+		return nil, false, errBody("get "+key, resp)
+	}
+}
+
+// Put implements Store: write-through. The result lands in the local
+// cache and is uploaded to the server, unless the server is already
+// known to hold the key (it produced or served the result itself).
+func (s *RemoteStore) Put(key string, res *sim.Result) error {
+	s.mu.Lock()
+	s.local[key] = res
+	known := s.onServer[key]
+	s.mu.Unlock()
+	if known {
+		return nil
+	}
+	b, err := json.Marshal(res)
+	if err != nil {
+		return fmt.Errorf("sweep: remote put %s: %w", key, err)
+	}
+	req, err := http.NewRequestWithContext(s.ctx(), http.MethodPut, s.base+"/v1/result/"+key, bytes.NewReader(b))
+	if err != nil {
+		return fmt.Errorf("sweep: remote put %s: %w", key, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := s.httpc().Do(req)
+	if err != nil {
+		return fmt.Errorf("sweep: remote put %s: %w", key, err)
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		return errBody("put "+key, resp)
+	}
+	s.mu.Lock()
+	s.onServer[key] = true
+	if etag := resp.Header.Get("ETag"); etag != "" {
+		s.etags[key] = etag
+	}
+	s.mu.Unlock()
+	s.uploads.Add(1)
+	return nil
+}
+
+// retryAfter parses a 429's Retry-After delay, clamped to [1s, 30s].
+func retryAfter(resp *http.Response) time.Duration {
+	d := time.Second
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		if secs, err := strconv.Atoi(v); err == nil && secs > 0 {
+			d = time.Duration(secs) * time.Second
+		}
+	}
+	if d > 30*time.Second {
+		d = 30 * time.Second
+	}
+	return d
+}
+
+// Simulate implements Simulator: the cold-run path. The configuration
+// is posted to the server, which either answers warm from its store or
+// schedules the run on its worker pool — collapsing concurrent
+// identical requests (from this client and every other) into a single
+// simulation. Backpressure (429) is retried after the server's
+// Retry-After delay until the run is accepted or Context cancels.
+func (s *RemoteStore) Simulate(cfg sim.Config) (*sim.Result, error) {
+	cfg = cfg.Normalize()
+	key := cfg.Key()
+	body, err := json.Marshal(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: remote sim %s: %w", cfg.Desc(), err)
+	}
+	for {
+		req, err := http.NewRequestWithContext(s.ctx(), http.MethodPost, s.base+"/v1/sim", bytes.NewReader(body))
+		if err != nil {
+			return nil, fmt.Errorf("sweep: remote sim %s: %w", cfg.Desc(), err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := s.httpc().Do(req)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: remote sim %s: %w", cfg.Desc(), err)
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			res, err := decodeResult(key, resp.Body)
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				return nil, err
+			}
+			s.cache(key, res, resp.Header.Get("ETag"))
+			s.remoteSims.Add(1)
+			return res, nil
+		case http.StatusTooManyRequests:
+			// The server's queue is full: honor its pacing and retry.
+			delay := retryAfter(resp)
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			t := time.NewTimer(delay)
+			select {
+			case <-s.ctx().Done():
+				t.Stop()
+				return nil, s.ctx().Err()
+			case <-t.C:
+			}
+		default:
+			err := errBody("sim "+cfg.Desc(), resp)
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			return nil, err
+		}
+	}
+}

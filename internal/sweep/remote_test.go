@@ -1,0 +1,300 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// remoteFixture is a scripted ndpserve stand-in: per-method hit
+// counters plus a handler the test controls.
+type remoteFixture struct {
+	gets atomic.Int64
+	puts atomic.Int64
+	sims atomic.Int64
+}
+
+// newRemote builds a RemoteStore against an httptest server whose
+// behavior the given handler scripts; the fixture counts requests.
+func newRemote(t *testing.T, handler func(fx *remoteFixture, w http.ResponseWriter, r *http.Request)) (*RemoteStore, *remoteFixture, *httptest.Server) {
+	t.Helper()
+	fx := &remoteFixture{}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodGet:
+			fx.gets.Add(1)
+		case http.MethodPut:
+			fx.puts.Add(1)
+		case http.MethodPost:
+			fx.sims.Add(1)
+		}
+		handler(fx, w, r)
+	}))
+	t.Cleanup(ts.Close)
+	store, err := NewRemoteStore(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store, fx, ts
+}
+
+func TestNewRemoteStoreRejectsBadURLs(t *testing.T) {
+	for _, bad := range []string{"", "host:8947", "ftp://host", "http://", "/just/a/path", "http://host\x7f"} {
+		if _, err := NewRemoteStore(bad); err == nil {
+			t.Errorf("NewRemoteStore(%q) accepted", bad)
+		}
+	}
+	s, err := NewRemoteStore("http://host:8947/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.BaseURL() != "http://host:8947" {
+		t.Errorf("trailing slash not trimmed: %q", s.BaseURL())
+	}
+}
+
+// TestRemoteGetFetchRevalidateMiss walks Get's three outcomes: a cold
+// key misses, a warm key transfers once, and re-reads revalidate with
+// If-None-Match and cost a 304 with no body.
+func TestRemoteGetFetchRevalidateMiss(t *testing.T) {
+	cfg := testBaseWithSeed(9)
+	key := cfg.Key()
+	res := fakeResult(cfg)
+	held := false
+	var sawINM atomic.Int64
+	store, fx, _ := newRemote(t, func(fx *remoteFixture, w http.ResponseWriter, r *http.Request) {
+		if !held {
+			http.NotFound(w, r)
+			return
+		}
+		if r.Header.Get("If-None-Match") == `"`+key+`"` {
+			sawINM.Add(1)
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		w.Header().Set("ETag", `"`+key+`"`)
+		json.NewEncoder(w).Encode(res)
+	})
+
+	if _, ok, err := store.Get(key); ok || err != nil {
+		t.Fatalf("cold Get = %v, %v; want miss", ok, err)
+	}
+	held = true
+	got, ok, err := store.Get(key)
+	if err != nil || !ok || got.Cycles != res.Cycles {
+		t.Fatalf("warm Get = %+v, %v, %v", got, ok, err)
+	}
+	got, ok, err = store.Get(key)
+	if err != nil || !ok || got.Cycles != res.Cycles {
+		t.Fatalf("revalidated Get = %+v, %v, %v", got, ok, err)
+	}
+	if sawINM.Load() != 1 {
+		t.Errorf("If-None-Match requests = %d, want 1", sawINM.Load())
+	}
+	stats := store.Stats()
+	if stats.Misses != 1 || stats.Hits != 1 || stats.Revalidated != 1 {
+		t.Errorf("stats = %+v, want 1 miss, 1 hit, 1 revalidation", stats)
+	}
+	if fx.gets.Load() != 3 {
+		t.Errorf("server GETs = %d, want 3", fx.gets.Load())
+	}
+	if store.Len() != 1 {
+		t.Errorf("local inventory = %d, want 1", store.Len())
+	}
+	if keys := store.Keys(); len(keys) != 1 || keys[0] != key {
+		t.Errorf("local keys = %v", keys)
+	}
+}
+
+// TestRemoteGetIntegrityMismatch: a body whose embedded config hashes
+// to a different key is rejected, not cached.
+func TestRemoteGetIntegrityMismatch(t *testing.T) {
+	wrong := fakeResult(testBaseWithSeed(2))
+	store, _, _ := newRemote(t, func(fx *remoteFixture, w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(wrong)
+	})
+	key := testBaseWithSeed(1).Key()
+	if _, _, err := store.Get(key); err == nil {
+		t.Fatal("mismatched body accepted")
+	}
+	if store.Len() != 0 {
+		t.Error("mismatched body was cached")
+	}
+}
+
+// TestRemotePut: an upload round-trips, re-uploading the same key is
+// free, and a key first seen via Get is never uploaded at all.
+func TestRemotePut(t *testing.T) {
+	served := fakeResult(testBaseWithSeed(5))
+	servedKey := served.Config.Key()
+	store, fx, _ := newRemote(t, func(fx *remoteFixture, w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodPut:
+			var res struct{ Cycles uint64 }
+			if err := json.NewDecoder(r.Body).Decode(&res); err != nil {
+				t.Errorf("upload body: %v", err)
+			}
+			w.WriteHeader(http.StatusNoContent)
+		case http.MethodGet:
+			w.Header().Set("ETag", `"`+servedKey+`"`)
+			json.NewEncoder(w).Encode(served)
+		}
+	})
+
+	mine := fakeResult(testBaseWithSeed(6))
+	mineKey := mine.Config.Key()
+	if err := store.Put(mineKey, mine); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Put(mineKey, mine); err != nil {
+		t.Fatal(err)
+	}
+	if fx.puts.Load() != 1 {
+		t.Errorf("uploads for a local result = %d, want 1 (second Put skips)", fx.puts.Load())
+	}
+
+	if _, ok, err := store.Get(servedKey); !ok || err != nil {
+		t.Fatalf("Get served key: %v, %v", ok, err)
+	}
+	if err := store.Put(servedKey, served); err != nil {
+		t.Fatal(err)
+	}
+	if fx.puts.Load() != 1 {
+		t.Errorf("server-resident key was uploaded (%d PUTs)", fx.puts.Load())
+	}
+	if got := store.Stats().Uploads; got != 1 {
+		t.Errorf("stats.Uploads = %d, want 1", got)
+	}
+}
+
+// TestRemoteGetDegradesToLocalCopy: once a key is held locally, a
+// server 404 (lost store) and a dead server both serve the local copy
+// — content-addressed entries cannot be stale.
+func TestRemoteGetDegradesToLocalCopy(t *testing.T) {
+	cfg := testBaseWithSeed(3)
+	key := cfg.Key()
+	res := fakeResult(cfg)
+	lost := false
+	store, _, ts := newRemote(t, func(fx *remoteFixture, w http.ResponseWriter, r *http.Request) {
+		if lost {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("ETag", `"`+key+`"`)
+		json.NewEncoder(w).Encode(res)
+	})
+	if _, ok, err := store.Get(key); !ok || err != nil {
+		t.Fatalf("initial Get: %v, %v", ok, err)
+	}
+
+	lost = true
+	got, ok, err := store.Get(key)
+	if err != nil || !ok || got.Cycles != res.Cycles {
+		t.Fatalf("Get after server lost the key = %v, %v; want local copy", ok, err)
+	}
+
+	ts.Close()
+	got, ok, err = store.Get(key)
+	if err != nil || !ok || got.Cycles != res.Cycles {
+		t.Fatalf("Get with server down = %v, %v; want local copy", ok, err)
+	}
+	// A key never held fails loudly when the server is unreachable.
+	if _, ok, err := store.Get(testBaseWithSeed(4).Key()); ok || err == nil {
+		t.Fatalf("cold Get with server down = %v, %v; want error", ok, err)
+	}
+}
+
+// TestRemoteSimulate: a cold run posts to /v1/sim, backpressure (429)
+// is retried after Retry-After, and the result is cached so the
+// follow-up Get costs no request body (304).
+func TestRemoteSimulate(t *testing.T) {
+	cfg := testBaseWithSeed(8).Normalize()
+	key := cfg.Key()
+	res := fakeResult(cfg)
+	var rejected atomic.Int64
+	store, fx, _ := newRemote(t, func(fx *remoteFixture, w http.ResponseWriter, r *http.Request) {
+		if fx.sims.Load() == 1 { // first attempt: queue full
+			rejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "queue full, retry later", http.StatusTooManyRequests)
+			return
+		}
+		var got struct{ Seed uint64 }
+		if err := json.NewDecoder(r.Body).Decode(&got); err != nil || got.Seed != cfg.Seed {
+			t.Errorf("sim request body: seed %d err %v", got.Seed, err)
+		}
+		w.Header().Set("ETag", `"`+key+`"`)
+		json.NewEncoder(w).Encode(res)
+	})
+
+	start := time.Now()
+	got, err := store.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cycles != res.Cycles {
+		t.Fatalf("Simulate cycles = %d, want %d", got.Cycles, res.Cycles)
+	}
+	if rejected.Load() != 1 || fx.sims.Load() != 2 {
+		t.Fatalf("attempts = %d (rejected %d), want 2 with 1 rejection", fx.sims.Load(), rejected.Load())
+	}
+	if elapsed := time.Since(start); elapsed < time.Second {
+		t.Errorf("retry did not honor Retry-After: elapsed %v", elapsed)
+	}
+	// The simulated result is locally cached and server-resident: Put
+	// skips the upload, Get revalidates.
+	if err := store.Put(key, got); err != nil {
+		t.Fatal(err)
+	}
+	if fx.puts.Load() != 0 {
+		t.Errorf("server-produced result was uploaded (%d PUTs)", fx.puts.Load())
+	}
+	if got := store.Stats().RemoteSims; got != 1 {
+		t.Errorf("stats.RemoteSims = %d, want 1", got)
+	}
+}
+
+// TestRemoteSimulateCancelDuringBackpressure: Context cancels the 429
+// retry wait.
+func TestRemoteSimulateCancelDuringBackpressure(t *testing.T) {
+	store, _, _ := newRemote(t, func(fx *remoteFixture, w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "30")
+		http.Error(w, "queue full", http.StatusTooManyRequests)
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	store.Context = ctx
+	done := make(chan error, 1)
+	go func() {
+		_, err := store.Simulate(testBaseWithSeed(1))
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("cancelled Simulate returned nil error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Simulate did not return after cancel")
+	}
+}
+
+// TestRemoteSimulateServerError: a 4xx/5xx surfaces the server's
+// message instead of retrying.
+func TestRemoteSimulateServerError(t *testing.T) {
+	store, fx, _ := newRemote(t, func(fx *remoteFixture, w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "config invalid: cores out of range", http.StatusBadRequest)
+	})
+	_, err := store.Simulate(testBaseWithSeed(1))
+	if err == nil {
+		t.Fatal("400 response returned nil error")
+	}
+	if fx.sims.Load() != 1 {
+		t.Errorf("400 was retried: %d attempts", fx.sims.Load())
+	}
+}

@@ -36,34 +36,51 @@ type Event struct {
 // Desc formats the event's run for a progress line.
 func (e Event) Desc() string { return e.Config.Desc() }
 
+// defaultNegativeCap bounds the failed-run memo when NegativeCap is 0:
+// generous for any real sweep (the full evaluation is a few hundred
+// configurations), small enough that a long-lived server process
+// absorbing an endless stream of distinct bad configurations stays
+// bounded.
+const defaultNegativeCap = 512
+
 // Runner executes simulation configurations through a bounded worker
 // pool, deduplicating by content hash against a pluggable Store. The
 // zero value is ready to use: it simulates with sim.RunConfig, stores
 // results in a private in-memory store, and bounds parallelism at
-// min(4, GOMAXPROCS). Failed runs are negatively cached for the
-// Runner's lifetime, so a sweep that shares cells across figures
-// reports one error per bad configuration instead of re-simulating it.
-// A Runner is safe for concurrent use; note that concurrent Run calls
-// whose plans overlap may simulate a shared configuration twice (the
-// store is consulted when each call starts) — results stay correct,
-// only the duplicated work is wasted.
+// min(4, GOMAXPROCS). Failed runs are negatively cached (up to
+// NegativeCap entries, oldest evicted first), so a sweep that shares
+// cells across figures reports one error per bad configuration instead
+// of re-simulating it. A Runner is safe for concurrent use; note that
+// concurrent Run calls whose plans overlap may simulate a shared
+// configuration twice (the store is consulted when each call starts) —
+// results stay correct, only the duplicated work is wasted.
 type Runner struct {
 	// Store caches results across Run calls — and, for DirStore, across
-	// processes. Nil selects a fresh in-memory store.
+	// processes. Nil selects a fresh in-memory store. A Store that also
+	// implements Simulator (RemoteStore) additionally takes over cold
+	// runs unless Simulate overrides it.
 	Store Store
 	// Parallel bounds concurrent simulations (0 = min(4, GOMAXPROCS)).
 	Parallel int
 	// Progress, when non-nil, receives one Event per run: simulated,
 	// cached (first service only), or failed. Called serially.
 	Progress func(Event)
-	// Simulate overrides the simulation function (tests). Nil selects
-	// sim.RunConfig.
+	// Simulate overrides the simulation function (tests, remote
+	// offload). Nil selects the Store's Simulate when it implements
+	// Simulator, else sim.RunConfig.
 	Simulate func(sim.Config) (*sim.Result, error)
+	// NegativeCap bounds the failed-run memo (0 = 512). When full, the
+	// oldest failure is forgotten — a re-request of that configuration
+	// simulates again instead of replaying the memoized error, which is
+	// the right trade for a long-lived server process: memory stays
+	// bounded and transient failures eventually retry.
+	NegativeCap int
 
-	mu     sync.Mutex
-	store  Store
-	errs   map[string]error // simulation failures, by key
-	served map[string]bool  // keys already announced to Progress
+	mu       sync.Mutex
+	store    Store
+	errs     map[string]error // simulation failures, by key
+	errOrder []string         // errs insertion order, for capped eviction
+	served   map[string]bool  // keys already announced to Progress
 
 	// progressMu serializes Progress callbacks separately from the
 	// state mutex, so a slow or re-entrant callback cannot stall the
@@ -102,7 +119,29 @@ func (r *Runner) sim(cfg sim.Config) (*sim.Result, error) {
 	if r.Simulate != nil {
 		return r.Simulate(cfg)
 	}
+	if s, ok := r.store.(Simulator); ok {
+		return s.Simulate(cfg)
+	}
 	return sim.RunConfig(cfg)
+}
+
+// recordFailure memoizes a simulation failure under r.mu, evicting the
+// oldest entry when the negative cache is at capacity.
+func (r *Runner) recordFailure(key string, err error) {
+	cap := r.NegativeCap
+	if cap <= 0 {
+		cap = defaultNegativeCap
+	}
+	r.mu.Lock()
+	if _, ok := r.errs[key]; !ok {
+		for len(r.errOrder) >= cap {
+			delete(r.errs, r.errOrder[0])
+			r.errOrder = r.errOrder[1:]
+		}
+		r.errOrder = append(r.errOrder, key)
+	}
+	r.errs[key] = err
+	r.mu.Unlock()
 }
 
 // emit serializes Progress callbacks.
@@ -179,7 +218,12 @@ func (r *Runner) Run(ctx context.Context, cfgs []sim.Config) ([]*sim.Result, err
 		}
 		queued[k] = true
 		r.mu.Lock()
-		_, failed := r.errs[k]
+		memoErr, failed := r.errs[k]
+		if failed {
+			// Pin the memoized failure for this Run's assembly: the
+			// capped memo may evict it before we read it back.
+			runErrs[k] = memoErr
+		}
 		r.mu.Unlock()
 		if failed {
 			continue
@@ -262,8 +306,12 @@ func (r *Runner) runOne(cfg sim.Config, key string, results map[string]*sim.Resu
 	res, err := r.sim(cfg)
 	if err != nil {
 		err = fmt.Errorf("sweep: %s: %w", cfg.Desc(), err)
+		// The lifetime memo (r.errs) may evict under NegativeCap;
+		// runErrs is scoped to this Run call, so the call that observed
+		// the failure always reports it whatever the memo does.
+		r.recordFailure(key, err)
 		r.mu.Lock()
-		r.errs[key] = err
+		runErrs[key] = err
 		r.mu.Unlock()
 		r.emit(Event{Config: cfg, Key: key, Err: err, Elapsed: time.Since(start)})
 		return

@@ -125,6 +125,55 @@ func TestRunnerNegativeCachesFailures(t *testing.T) {
 	}
 }
 
+// TestRunnerNegativeCacheBounded: the failure memo is capped at
+// NegativeCap entries, evicting oldest-first. An evicted key
+// re-simulates on its next Run; keys still memoized do not — and every
+// Run reports the failure it observed regardless of later eviction.
+func TestRunnerNegativeCacheBounded(t *testing.T) {
+	var calls atomic.Int64
+	boom := errors.New("boom")
+	r := &Runner{
+		NegativeCap: 2,
+		Simulate: func(cfg sim.Config) (*sim.Result, error) {
+			calls.Add(1)
+			return nil, boom
+		},
+	}
+	ctx := context.Background()
+	// Three failing seeds, one Run each: recording seed 3 evicts seed 1.
+	for _, seed := range []uint64{1, 2, 3} {
+		if _, err := r.Run(ctx, seedPlan(seed)); !errors.Is(err, boom) {
+			t.Fatalf("seed %d: err = %v, want boom", seed, err)
+		}
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("initial failures simulated %d times, want 3", calls.Load())
+	}
+	// Seeds 2 and 3 are still memoized: failures report with no new
+	// simulation.
+	for _, seed := range []uint64{2, 3} {
+		if _, err := r.Run(ctx, seedPlan(seed)); !errors.Is(err, boom) {
+			t.Fatalf("memoized seed %d: err = %v, want boom", seed, err)
+		}
+	}
+	if calls.Load() != 3 {
+		t.Errorf("memoized failures re-simulated: %d calls, want 3", calls.Load())
+	}
+	// Seed 1 was evicted: its next Run re-simulates (and still fails).
+	if _, err := r.Run(ctx, seedPlan(1)); !errors.Is(err, boom) {
+		t.Fatalf("evicted seed 1: err = %v, want boom", err)
+	}
+	if calls.Load() != 4 {
+		t.Errorf("evicted failure served from memo: %d calls, want 4", calls.Load())
+	}
+	// One Run observing a failure that is evicted mid-flight by other
+	// failures still reports it: the per-Run pin, not the shared memo,
+	// carries the error to assembly.
+	if _, err := r.Run(ctx, seedPlan(10, 11, 12, 13)); !errors.Is(err, boom) {
+		t.Fatalf("multi-failure Run with eviction churn: err = %v, want boom", err)
+	}
+}
+
 func TestRunnerCachedEventsOnlyForForeignResults(t *testing.T) {
 	var calls atomic.Int64
 	store := NewMemStore()

@@ -66,7 +66,12 @@ func (r *Runner) RunSharded(ctx context.Context, cfgs []sim.Config, shards int) 
 		}
 		queued[k] = true
 		r.mu.Lock()
-		_, failed := r.errs[k]
+		memoErr, failed := r.errs[k]
+		if failed {
+			// Pin the memoized failure for this Run's assembly: the
+			// capped memo may evict it before we read it back.
+			runErrs[k] = memoErr
+		}
 		r.mu.Unlock()
 		if failed {
 			continue

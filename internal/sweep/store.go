@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 
@@ -22,6 +23,29 @@ type Store interface {
 	Get(key string) (*sim.Result, bool, error)
 	// Put stores res under key, overwriting any previous entry.
 	Put(key string, res *sim.Result) error
+}
+
+// Inventory is the optional Store extension for stores that can report
+// their contents cheaply — without a directory walk or network round
+// trip per call. The result server's /statsz endpoint uses it to report
+// stored-result counts on every scrape. MemStore and DirStore both
+// implement it.
+type Inventory interface {
+	// Len returns the number of stored results.
+	Len() int
+	// Keys returns every stored key in sorted order.
+	Keys() []string
+}
+
+// Simulator is the optional Store extension for stores that can compute
+// a missing result themselves — a RemoteStore backed by an ndpserve
+// instance runs the simulation server-side, where a singleflight
+// scheduler collapses identical requests from every client into one
+// run. When a Runner's store implements Simulator (and no explicit
+// Simulate override is set), cold keys are delegated to it instead of
+// simulated in-process.
+type Simulator interface {
+	Simulate(cfg sim.Config) (*sim.Result, error)
 }
 
 // MemStore is an in-process Store: a map under a mutex. The zero value
@@ -59,17 +83,39 @@ func (s *MemStore) Len() int {
 	return len(s.m)
 }
 
+// Keys returns the stored keys in sorted order.
+func (s *MemStore) Keys() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	keys := make([]string, 0, len(s.m))
+	for k := range s.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
 // DirStore is an on-disk Store: one JSON file per result, named by the
 // config key. Writes go through a temp file + rename, so an interrupted
 // sweep never leaves a half-written entry — whatever completed before
 // the kill is picked up unchanged by the next run, and the sweep resumes
 // from where it stopped.
+//
+// DirStore also keeps an in-memory key inventory: the directory is
+// scanned once at open, then maintained on every Put (and on Get hits
+// for entries another process wrote), so Len and Keys never walk the
+// directory. A long-lived server scraping /statsz pays map reads, not
+// readdir syscalls, per snapshot.
 type DirStore struct {
 	dir string
+
+	mu   sync.Mutex
+	keys map[string]struct{}
 }
 
 // NewDirStore opens (creating if needed) the cache directory. Temp
-// files orphaned by a killed writer are swept out on open.
+// files orphaned by a killed writer are swept out on open, and the
+// existing entries are indexed for Len/Keys.
 func NewDirStore(dir string) (*DirStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("sweep: cache dir: %w", err)
@@ -79,7 +125,43 @@ func NewDirStore(dir string) (*DirStore, error) {
 			os.Remove(p)
 		}
 	}
-	return &DirStore{dir: dir}, nil
+	s := &DirStore{dir: dir, keys: make(map[string]struct{})}
+	entries, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, fmt.Errorf("sweep: cache dir scan: %w", err)
+	}
+	for _, p := range entries {
+		s.keys[strings.TrimSuffix(filepath.Base(p), ".json")] = struct{}{}
+	}
+	return s, nil
+}
+
+// Len returns the number of stored results (from the in-memory
+// inventory; no directory walk).
+func (s *DirStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.keys)
+}
+
+// Keys returns the stored keys in sorted order (from the in-memory
+// inventory; no directory walk).
+func (s *DirStore) Keys() []string {
+	s.mu.Lock()
+	keys := make([]string, 0, len(s.keys))
+	for k := range s.keys {
+		keys = append(keys, k)
+	}
+	s.mu.Unlock()
+	sort.Strings(keys)
+	return keys
+}
+
+// index records key in the inventory.
+func (s *DirStore) index(key string) {
+	s.mu.Lock()
+	s.keys[key] = struct{}{}
+	s.mu.Unlock()
 }
 
 // Dir returns the cache directory.
@@ -115,6 +197,9 @@ func (s *DirStore) Get(key string) (*sim.Result, bool, error) {
 	if res.Config.Key() != key {
 		return nil, false, nil
 	}
+	// Another process may have written this entry after our open scan;
+	// keep the inventory honest.
+	s.index(key)
 	return &res, true, nil
 }
 
@@ -145,5 +230,6 @@ func (s *DirStore) Put(key string, res *sim.Result) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("sweep: write cache %s: %w", key, err)
 	}
+	s.index(key)
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"sort"
 	"sync/atomic"
 	"testing"
 
@@ -75,6 +76,58 @@ func TestDirStoreRoundTrip(t *testing.T) {
 	}
 	if _, ok, err := s.Get(testBaseWithSeed(9).Key()); ok || err != nil {
 		t.Fatalf("miss = %v, %v", ok, err)
+	}
+}
+
+// TestDirStoreInventory: Len/Keys come from the in-memory index — no
+// directory walk per request — and the index tracks entries written by
+// this process, found at open, and discovered from other processes via
+// Get.
+func TestDirStoreInventory(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	s, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 || len(s.Keys()) != 0 {
+		t.Fatalf("fresh store inventory: %d, %v", s.Len(), s.Keys())
+	}
+	var want []string
+	for _, seed := range []uint64{1, 2, 3} {
+		cfg := testBaseWithSeed(seed)
+		want = append(want, cfg.Key())
+		if err := s.Put(cfg.Key(), fakeResult(cfg)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sort.Strings(want)
+	if got := s.Keys(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Keys after Puts = %v, want %v", got, want)
+	}
+
+	// A second store over the same directory scans the inventory at open.
+	s2, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 3 || !reflect.DeepEqual(s2.Keys(), want) {
+		t.Fatalf("reopened inventory = %d %v, want 3 %v", s2.Len(), s2.Keys(), want)
+	}
+
+	// An entry written by another process after open is indexed when a
+	// Get discovers it.
+	late := testBaseWithSeed(4)
+	if err := s2.Put(late.Key(), fakeResult(late)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("foreign write counted before Get: %d", s.Len())
+	}
+	if _, ok, err := s.Get(late.Key()); !ok || err != nil {
+		t.Fatalf("Get foreign entry: %v, %v", ok, err)
+	}
+	if s.Len() != 4 {
+		t.Errorf("foreign entry not indexed after Get: %d", s.Len())
 	}
 }
 

@@ -38,6 +38,10 @@ type SweepEvent = sweep.Event
 // Store persists sweep results content-addressed by Config.Key().
 type Store = sweep.Store
 
+// StoreInventory is the optional Store extension for stores that can
+// report their contents cheaply (all built-in stores implement it).
+type StoreInventory = sweep.Inventory
+
 // NewMemStore returns an in-process result store.
 func NewMemStore() *sweep.MemStore { return sweep.NewMemStore() }
 
@@ -45,3 +49,16 @@ func NewMemStore() *sweep.MemStore { return sweep.NewMemStore() }
 // JSON file per run, named by the config's content hash, written
 // atomically.
 func NewDirStore(dir string) (*sweep.DirStore, error) { return sweep.NewDirStore(dir) }
+
+// RemoteStore is a Store backed by a shared ndpserve instance: warm
+// keys are fetched over HTTP (with per-key ETag revalidation and a
+// local write-through cache), locally computed results are uploaded,
+// and cold sweep runs are delegated to the server's singleflight
+// scheduler, which collapses identical requests from every client into
+// a single simulation. Point Sweep.Store (or Experiments.Cache) at one
+// to share the run cache across users and machines.
+type RemoteStore = sweep.RemoteStore
+
+// NewRemoteStore returns a RemoteStore talking to the ndpserve instance
+// at baseURL (e.g. "http://localhost:8947").
+func NewRemoteStore(baseURL string) (*sweep.RemoteStore, error) { return sweep.NewRemoteStore(baseURL) }

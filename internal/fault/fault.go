@@ -1,0 +1,190 @@
+// Package fault is the deterministic fault-injection layer for the
+// sweep/serve stack: seeded, scheduled chaos that makes resilience
+// testable. Three injectors cover the pipeline's failure surface:
+//
+//   - Store wraps any sweep.Store with scheduled Get/Put errors,
+//     latency, and — for directory-backed stores — torn writes that
+//     bypass the atomic rename, planting exactly the corrupt entries
+//     DirStore's quarantine exists to heal.
+//   - Transport wraps an http.RoundTripper with connection resets,
+//     injected 5xx responses, timeouts, latency, and mid-body
+//     truncation, exercising RemoteStore's retry/backoff/breaker path.
+//   - Plan.WrapSim wraps a simulation function with scheduled panics,
+//     exercising the panic guards in sweep.Runner and the ndpserve
+//     worker pool.
+//
+// Every injector draws its schedule from a Plan: an explicit rule list
+// ("fail every 3rd Put, twice") driven by per-operation counters, plus
+// a seeded RNG for the parameters of each fault (latency amounts,
+// truncation points). The schedule itself is counter-based, not
+// random — so a test can assert exact injection counts — while the
+// seed makes the fault *shapes* reproducible: same seed, same chaos,
+// byte-identical reruns.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Kind is a fault flavor.
+type Kind string
+
+const (
+	// KindErr makes the operation return an injected error.
+	KindErr Kind = "error"
+	// KindLatency delays the operation, then lets it proceed.
+	KindLatency Kind = "latency"
+	// KindTorn corrupts a store write: a truncated entry lands on disk
+	// as if the process died mid-write with the rename already done.
+	KindTorn Kind = "torn"
+	// KindReset fails a transport request with a connection reset.
+	KindReset Kind = "reset"
+	// KindTimeout fails a transport request with a timeout error.
+	KindTimeout Kind = "timeout"
+	// KindServerErr answers a transport request with a synthesized 503
+	// without reaching the server.
+	KindServerErr Kind = "5xx"
+	// KindTruncate cuts a transport response body off mid-stream.
+	KindTruncate Kind = "truncate"
+	// KindPanic panics the simulation with an InjectedPanic value.
+	KindPanic Kind = "panic"
+)
+
+// Operation classes. Each Rule targets one class; each class keeps its
+// own 1-based operation counter.
+const (
+	// OpGet is a Store.Get call.
+	OpGet = "store.get"
+	// OpPut is a Store.Put call.
+	OpPut = "store.put"
+	// OpRequest is an outgoing HTTP request (Transport).
+	OpRequest = "transport.request"
+	// OpBody is an HTTP response body delivery (Transport).
+	OpBody = "transport.body"
+	// OpSim is a simulation run (Plan.WrapSim).
+	OpSim = "sim"
+)
+
+// Rule schedules one fault kind against one operation class: it fires
+// on every Every'th operation of the class (1-based, so Every=3 fires
+// on ops 3, 6, 9, …), at most Count times (0 = unlimited).
+type Rule struct {
+	Op    string
+	Kind  Kind
+	Every int
+	Count int
+}
+
+// Plan is a deterministic fault schedule: rules driven by per-class
+// operation counters, parameterized by a seeded RNG. A Plan is safe for
+// concurrent use and is meant to be shared by every injector in one
+// chaos scenario, so the injected-fault ledger (Counts, Total) covers
+// the whole run.
+type Plan struct {
+	seed  int64
+	rules []Rule
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	ops      map[string]int // per-class operation counter
+	fired    []int          // per-rule fire counter
+	injected map[string]int // "class/kind" → fires
+}
+
+// NewPlan builds a schedule over rules, parameterized by seed.
+func NewPlan(seed int64, rules ...Rule) *Plan {
+	return &Plan{
+		seed:     seed,
+		rules:    rules,
+		rng:      rand.New(rand.NewSource(seed)),
+		ops:      make(map[string]int),
+		fired:    make([]int, len(rules)),
+		injected: make(map[string]int),
+	}
+}
+
+// Seed returns the plan's seed.
+func (p *Plan) Seed() int64 { return p.seed }
+
+// next advances the class's operation counter and returns the fault to
+// inject into this operation, if any. At most one rule fires per
+// operation (first match wins, in rule order).
+func (p *Plan) next(op string) (Kind, bool) {
+	if p == nil {
+		return "", false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.ops[op]++
+	n := p.ops[op]
+	for i, r := range p.rules {
+		if r.Op != op || r.Every <= 0 || n%r.Every != 0 {
+			continue
+		}
+		if r.Count > 0 && p.fired[i] >= r.Count {
+			continue
+		}
+		p.fired[i]++
+		p.injected[op+"/"+string(r.Kind)]++
+		return r.Kind, true
+	}
+	return "", false
+}
+
+// intn draws from the plan's seeded RNG (fault parameters only — the
+// schedule never consults it).
+func (p *Plan) intn(n int) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rng.Intn(n)
+}
+
+// Total returns the number of faults injected so far.
+func (p *Plan) Total() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	t := 0
+	for _, n := range p.injected {
+		t += n
+	}
+	return t
+}
+
+// Counts returns the injected-fault ledger as sorted "class/kind=n"
+// terms — one line for a log or an assertion message.
+func (p *Plan) Counts() string {
+	if p == nil {
+		return ""
+	}
+	p.mu.Lock()
+	terms := make([]string, 0, len(p.injected))
+	for k, n := range p.injected {
+		terms = append(terms, fmt.Sprintf("%s=%d", k, n))
+	}
+	p.mu.Unlock()
+	sort.Strings(terms)
+	return strings.Join(terms, " ")
+}
+
+// InjectedPanic is the value a scheduled KindPanic throws. It satisfies
+// the sweep package's transient-panic contract: a guard recovering one
+// of these classifies the failure transient (the injector caused it,
+// not the configuration), so a retry runs the configuration for real.
+type InjectedPanic struct {
+	// Op is the operation class the fault was scheduled against.
+	Op string
+}
+
+// InjectedFault marks the panic as deliberately injected.
+func (InjectedPanic) InjectedFault() bool { return true }
+
+func (p InjectedPanic) String() string {
+	return fmt.Sprintf("fault: injected panic (%s)", p.Op)
+}

@@ -1,0 +1,273 @@
+package fault
+
+import (
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ndpage/internal/core"
+	"ndpage/internal/memsys"
+	"ndpage/internal/sim"
+	"ndpage/internal/sweep"
+)
+
+func testCfg(seed uint64) sim.Config {
+	return sim.Config{
+		System:         memsys.NDP,
+		Cores:          1,
+		Mechanism:      core.Radix,
+		Workload:       "rnd",
+		FootprintBytes: 64 << 20,
+		MemoryBytes:    1 << 30,
+		Warmup:         500,
+		Instructions:   2000,
+		Seed:           seed,
+	}.Normalize()
+}
+
+// TestPlanSchedule: rules fire on exact operation counts, honor Count
+// caps, and the ledger reports what fired.
+func TestPlanSchedule(t *testing.T) {
+	p := NewPlan(1,
+		Rule{Op: OpGet, Kind: KindErr, Every: 3, Count: 2},
+		Rule{Op: OpPut, Kind: KindTorn, Every: 1, Count: 1},
+	)
+	var fires []int
+	for i := 1; i <= 12; i++ {
+		if kind, ok := p.next(OpGet); ok {
+			if kind != KindErr {
+				t.Fatalf("op %d injected %q", i, kind)
+			}
+			fires = append(fires, i)
+		}
+	}
+	if len(fires) != 2 || fires[0] != 3 || fires[1] != 6 {
+		t.Errorf("KindErr fired on ops %v, want [3 6]", fires)
+	}
+	if kind, ok := p.next(OpPut); !ok || kind != KindTorn {
+		t.Errorf("first put = %q, %v; want torn", kind, ok)
+	}
+	if _, ok := p.next(OpPut); ok {
+		t.Error("torn rule fired past its Count")
+	}
+	if p.Total() != 3 {
+		t.Errorf("Total = %d, want 3", p.Total())
+	}
+	if got := p.Counts(); got != "store.get/error=2 store.put/torn=1" {
+		t.Errorf("Counts = %q", got)
+	}
+}
+
+// TestPlanDeterministic: two plans with the same seed and rules inject
+// identical schedules and identical fault parameters.
+func TestPlanDeterministic(t *testing.T) {
+	a := NewPlan(42, Rule{Op: OpGet, Kind: KindErr, Every: 2})
+	b := NewPlan(42, Rule{Op: OpGet, Kind: KindErr, Every: 2})
+	for i := 0; i < 20; i++ {
+		ka, oka := a.next(OpGet)
+		kb, okb := b.next(OpGet)
+		if ka != kb || oka != okb {
+			t.Fatalf("op %d diverged: (%q,%v) vs (%q,%v)", i, ka, oka, kb, okb)
+		}
+		if a.intn(1000) != b.intn(1000) {
+			t.Fatal("seeded parameter streams diverged")
+		}
+	}
+}
+
+// TestStoreInjectsErrors: a scheduled KindErr surfaces as ErrInjected;
+// unfaulted operations pass through.
+func TestStoreInjectsErrors(t *testing.T) {
+	inner := sweep.NewMemStore()
+	fs := &Store{Inner: inner, Plan: NewPlan(1, Rule{Op: OpGet, Kind: KindErr, Every: 2, Count: 1})}
+	cfg := testCfg(1)
+	key := cfg.Key()
+	if err := fs.Put(key, &sim.Result{Config: cfg, Cycles: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := fs.Get(key); !ok || err != nil {
+		t.Fatalf("op 1 (unfaulted) = %v, %v", ok, err)
+	}
+	if _, _, err := fs.Get(key); !errors.Is(err, ErrInjected) {
+		t.Fatalf("op 2 err = %v, want ErrInjected", err)
+	}
+	if _, ok, err := fs.Get(key); !ok || err != nil {
+		t.Fatalf("op 3 (count exhausted) = %v, %v", ok, err)
+	}
+}
+
+// TestStoreTornWriteQuarantined is the end-to-end self-healing loop:
+// a torn write plants a corrupt entry in a real DirStore, the next read
+// quarantines it and reports a miss, and a clean re-simulation restores
+// the key — the sweep-level guarantee the chaos CI job leans on.
+func TestStoreTornWriteQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	inner, err := sweep.NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := &Store{
+		Inner: inner,
+		Plan:  NewPlan(7, Rule{Op: OpPut, Kind: KindTorn, Every: 1, Count: 1}),
+		Dir:   inner.Dir(),
+	}
+	cfg := testCfg(3)
+	key := cfg.Key()
+	res := &sim.Result{Config: cfg, Cycles: 99}
+	if err := fs.Put(key, res); err != nil {
+		t.Fatal(err) // the tear reports success
+	}
+	if _, ok, err := fs.Get(key); ok || err != nil {
+		t.Fatalf("read of torn entry = hit %v, err %v; want quarantined miss", ok, err)
+	}
+	if inner.Quarantined() != 1 {
+		t.Errorf("Quarantined = %d, want 1", inner.Quarantined())
+	}
+	if err := fs.Put(key, res); err != nil {
+		t.Fatal(err) // rule count exhausted: this write is clean
+	}
+	got, ok, err := fs.Get(key)
+	if err != nil || !ok || got.Cycles != 99 {
+		t.Fatalf("healed Get = %+v, %v, %v", got, ok, err)
+	}
+}
+
+// TestStoreUnwrap: capability probes see through the wrapper.
+func TestStoreUnwrap(t *testing.T) {
+	inner := sweep.NewMemStore()
+	fs := &Store{Inner: inner, Plan: NewPlan(1)}
+	var unwrapped sweep.Store = fs.Unwrap()
+	if unwrapped != sweep.Store(inner) {
+		t.Error("Unwrap did not return the inner store")
+	}
+}
+
+// TestTransportFaults walks each transport fault kind against a live
+// test server.
+func TestTransportFaults(t *testing.T) {
+	const body = `{"answer": 42}`
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, body)
+	}))
+	defer ts.Close()
+
+	do := func(tr *Transport) (*http.Response, error) {
+		req, _ := http.NewRequest(http.MethodGet, ts.URL, strings.NewReader("ping"))
+		return tr.RoundTrip(req)
+	}
+
+	t.Run("reset", func(t *testing.T) {
+		tr := &Transport{Plan: NewPlan(1, Rule{Op: OpRequest, Kind: KindReset, Every: 1, Count: 1})}
+		if _, err := do(tr); err == nil || !strings.Contains(err.Error(), "reset") {
+			t.Fatalf("err = %v, want injected reset", err)
+		}
+		if resp, err := do(tr); err != nil || resp.StatusCode != 200 {
+			t.Fatalf("second request = %v, %v; want clean 200", resp, err)
+		}
+	})
+	t.Run("timeout", func(t *testing.T) {
+		tr := &Transport{Plan: NewPlan(1, Rule{Op: OpRequest, Kind: KindTimeout, Every: 1})}
+		_, err := do(tr)
+		var ne net.Error
+		if !errors.As(err, &ne) || !ne.Timeout() {
+			t.Fatalf("err = %v, want net.Error timeout", err)
+		}
+	})
+	t.Run("5xx", func(t *testing.T) {
+		tr := &Transport{Plan: NewPlan(1, Rule{Op: OpRequest, Kind: KindServerErr, Every: 1})}
+		resp, err := do(tr)
+		if err != nil || resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("resp = %v, %v; want synthesized 503", resp, err)
+		}
+		resp.Body.Close()
+	})
+	t.Run("truncate", func(t *testing.T) {
+		tr := &Transport{Plan: NewPlan(1, Rule{Op: OpBody, Kind: KindTruncate, Every: 1})}
+		resp, err := do(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("read err = %v, want unexpected EOF", err)
+		}
+		if len(b) != len(body)/2 {
+			t.Errorf("delivered %d bytes, want %d", len(b), len(body)/2)
+		}
+	})
+}
+
+// TestWrapSimPanicIsTransient: an injected panic is recovered by
+// sweep.Guard and classified transient, so chaos never pollutes the
+// negative cache — the retry simulates for real.
+func TestWrapSimPanicIsTransient(t *testing.T) {
+	p := NewPlan(5, Rule{Op: OpSim, Kind: KindPanic, Every: 1, Count: 1})
+	var calls int
+	wrapped := sweep.Guard(p.WrapSim(func(cfg sim.Config) (*sim.Result, error) {
+		calls++
+		return &sim.Result{Config: cfg, Cycles: 1}, nil
+	}))
+	cfg := testCfg(9)
+	_, err := wrapped(cfg)
+	var re *sweep.RunError
+	if !errors.As(err, &re) || !re.Panicked || re.Permanent {
+		t.Fatalf("err = %v, want transient recovered panic", err)
+	}
+	if calls != 0 {
+		t.Fatal("simulator ran despite the injected panic")
+	}
+	res, err := wrapped(cfg)
+	if err != nil || res.Cycles != 1 {
+		t.Fatalf("retry = %+v, %v; want clean run", res, err)
+	}
+}
+
+// TestRunnerSurvivesChaos drives a whole sweep through a faulty store
+// and panicking simulator: every fault is transient, so retried Runs
+// converge to complete, correct results with zero process crashes.
+func TestRunnerSurvivesChaos(t *testing.T) {
+	dir := t.TempDir()
+	inner, err := sweep.NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := NewPlan(11,
+		Rule{Op: OpPut, Kind: KindTorn, Every: 2, Count: 1},
+		Rule{Op: OpSim, Kind: KindPanic, Every: 3, Count: 1},
+	)
+	simFn := plan.WrapSim(func(cfg sim.Config) (*sim.Result, error) {
+		return &sim.Result{Config: cfg, Cycles: 1000 + cfg.Seed}, nil
+	})
+	cfgs := []sim.Config{testCfg(1), testCfg(2), testCfg(3), testCfg(4)}
+	r := &sweep.Runner{
+		Store:    &Store{Inner: inner, Plan: plan, Dir: inner.Dir()},
+		Simulate: simFn,
+	}
+	// Retry until clean: transient faults may fail individual Runs, but
+	// the chaos budget is finite (both rules have Count caps).
+	var out []*sim.Result
+	for attempt := 0; attempt < 5; attempt++ {
+		if out, err = r.Run(t.Context(), cfgs); err == nil {
+			break
+		}
+		if sweep.IsPermanent(err) {
+			t.Fatalf("chaos produced a permanent failure: %v", err)
+		}
+	}
+	if err != nil {
+		t.Fatalf("sweep did not converge under chaos: %v", err)
+	}
+	for i, res := range out {
+		if res == nil || res.Cycles != 1000+uint64(i+1) {
+			t.Fatalf("result %d wrong under chaos: %+v", i, res)
+		}
+	}
+	if plan.Total() == 0 {
+		t.Fatal("no faults were injected — the chaos test tested nothing")
+	}
+}

@@ -1,0 +1,63 @@
+package fault
+
+import (
+	"ndpage/internal/sim"
+)
+
+// WrapSim wraps a simulation function with scheduled panics (class
+// OpSim): a firing KindPanic rule throws an InjectedPanic before the
+// simulator runs. The panic value satisfies the sweep package's
+// transient-panic contract, so the guard that recovers it classifies
+// the failure transient and a retry runs the configuration for real —
+// injected chaos never changes which results a sweep converges to,
+// only how much adversity it survives on the way.
+func (p *Plan) WrapSim(fn func(sim.Config) (*sim.Result, error)) func(sim.Config) (*sim.Result, error) {
+	return func(cfg sim.Config) (*sim.Result, error) {
+		if kind, _ := p.next(OpSim); kind == KindPanic {
+			panic(InjectedPanic{Op: OpSim})
+		}
+		return fn(cfg)
+	}
+}
+
+// ServerPlan is the canned server-side chaos schedule used by ndpserve
+// -chaos-seed and the CI chaos-smoke job: the first simulation panics
+// (recovered by the worker guard, retried by the client), and the first
+// store write is torn (quarantined and re-simulated on the next read).
+// The counts are deliberately exact — one panic, one torn write — so a
+// smoke test can assert the precise /statsz deltas.
+func ServerPlan(seed int64) *Plan {
+	return NewPlan(seed,
+		Rule{Op: OpSim, Kind: KindPanic, Every: 1, Count: 1},
+		Rule{Op: OpPut, Kind: KindTorn, Every: 1, Count: 1},
+	)
+}
+
+// LocalPlan is the canned directory-cache chaos schedule used by ndpexp
+// -chaos-seed against a local cache: every 5th store write is torn
+// (healed by quarantine on the next read) and every 3rd read is
+// delayed. Tables stay byte-identical — the sweep serves results from
+// memory within a pass and re-simulates deterministically across
+// passes.
+func LocalPlan(seed int64) *Plan {
+	return NewPlan(seed,
+		Rule{Op: OpPut, Kind: KindTorn, Every: 5},
+		Rule{Op: OpGet, Kind: KindLatency, Every: 3},
+	)
+}
+
+// ClientPlan is the canned client-side chaos schedule used by ndpexp
+// -chaos-seed: sparse connection resets, synthesized 5xx responses, and
+// mid-body truncation, spread over co-prime periods so they land on
+// different requests. Every fault is transient and fires before (or
+// independent of) server state, so a resilient client converges to
+// byte-identical results; the periods keep at most two consecutive
+// requests faulty, well under RemoteStore's retry budget and breaker
+// threshold.
+func ClientPlan(seed int64) *Plan {
+	return NewPlan(seed,
+		Rule{Op: OpRequest, Kind: KindReset, Every: 5},
+		Rule{Op: OpRequest, Kind: KindServerErr, Every: 7},
+		Rule{Op: OpBody, Kind: KindTruncate, Every: 11},
+	)
+}

@@ -1,0 +1,86 @@
+package fault
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"time"
+
+	"ndpage/internal/sim"
+	"ndpage/internal/sweep"
+)
+
+// ErrInjected is the root cause of every injected store error, so
+// tests (and humans reading logs) can tell scheduled chaos from real
+// failures.
+var ErrInjected = errors.New("fault: injected failure")
+
+// Store wraps a sweep.Store with scheduled faults. Gets and Puts
+// consult the Plan (classes OpGet / OpPut) before delegating:
+//
+//   - KindErr fails the operation with ErrInjected.
+//   - KindLatency sleeps 1–50ms (seeded), then delegates.
+//   - KindTorn (Put only, needs Dir) reports success but writes a
+//     truncated entry straight into the directory — simulating a write
+//     that died after the rename, the exact debris DirStore's
+//     quarantine path exists to heal. Without Dir it degrades to
+//     dropping the write silently.
+//
+// The wrapper forwards the Inventory / Quarantiner / Simulator
+// capabilities of the inner store via Unwrap, which the serve package's
+// capability probes follow.
+type Store struct {
+	// Inner is the wrapped store. Required.
+	Inner sweep.Store
+	// Plan schedules the faults (nil injects nothing).
+	Plan *Plan
+	// Dir, when set, is Inner's backing directory (DirStore.Dir()),
+	// enabling torn-write injection.
+	Dir string
+}
+
+// Unwrap exposes the wrapped store to capability probes.
+func (s *Store) Unwrap() sweep.Store { return s.Inner }
+
+func (s *Store) latency() {
+	time.Sleep(time.Duration(1+s.Plan.intn(50)) * time.Millisecond)
+}
+
+// Get implements sweep.Store.
+func (s *Store) Get(key string) (*sim.Result, bool, error) {
+	switch kind, _ := s.Plan.next(OpGet); kind {
+	case KindErr:
+		return nil, false, ErrInjected
+	case KindLatency:
+		s.latency()
+	}
+	return s.Inner.Get(key)
+}
+
+// Put implements sweep.Store.
+func (s *Store) Put(key string, res *sim.Result) error {
+	switch kind, _ := s.Plan.next(OpPut); kind {
+	case KindErr:
+		return ErrInjected
+	case KindLatency:
+		s.latency()
+	case KindTorn:
+		s.tear(key)
+		return nil
+	}
+	return s.Inner.Put(key, res)
+}
+
+// tear plants a corrupt entry: the real write is skipped and a
+// truncated JSON fragment lands under the entry's final name — as if
+// the writer died with the rename already done. The caller is told the
+// write succeeded; the corruption is only discovered, and quarantined,
+// when the entry is next read. Without a Dir the write is silently
+// dropped instead (the entry simply stays cold).
+func (s *Store) tear(key string) {
+	if s.Dir == "" {
+		return
+	}
+	frag := []byte(`{"Config":{"Sys`) // cut mid-key: unparseable
+	os.WriteFile(filepath.Join(s.Dir, key+".json"), frag, 0o644)
+}

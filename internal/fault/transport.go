@@ -1,0 +1,139 @@
+package fault
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// resetError mimics a connection reset: a transport-level failure the
+// client sees as a failed round trip.
+type resetError struct{}
+
+func (resetError) Error() string { return "fault: injected connection reset" }
+
+// timeoutError mimics an I/O timeout; it satisfies net.Error's Timeout
+// contract so callers that special-case timeouts treat it as one.
+type timeoutError struct{}
+
+func (timeoutError) Error() string   { return "fault: injected timeout" }
+func (timeoutError) Timeout() bool   { return true }
+func (timeoutError) Temporary() bool { return true }
+
+// Transport wraps an http.RoundTripper with scheduled faults. Outgoing
+// requests consult the Plan (class OpRequest):
+//
+//   - KindReset fails the round trip with a connection-reset error
+//     before the request reaches the wire.
+//   - KindTimeout fails it with an error satisfying net.Error.Timeout.
+//   - KindServerErr synthesizes a 503 response (Retry-After free — a
+//     generic overloaded-gateway shape) without reaching the server.
+//   - KindLatency sleeps 1–50ms, then proceeds.
+//
+// Successful responses then consult class OpBody: KindTruncate cuts the
+// body off mid-stream (half its bytes for buffered responses), which a
+// JSON decoder surfaces as an unexpected-EOF — the torn-connection
+// shape RemoteStore must retry through.
+//
+// Faults injected before the wire never perturb server-side state:
+// a reset request was never sent, so the server's counters see nothing.
+// Only KindTruncate touches a real exchange, and it corrupts the copy
+// in flight, not the entry the server holds.
+type Transport struct {
+	// Base is the wrapped transport (nil = http.DefaultTransport).
+	Base http.RoundTripper
+	// Plan schedules the faults (nil injects nothing).
+	Plan *Plan
+}
+
+func (t *Transport) base() http.RoundTripper {
+	if t.Base != nil {
+		return t.Base
+	}
+	return http.DefaultTransport
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	switch kind, _ := t.Plan.next(OpRequest); kind {
+	case KindReset:
+		// The request body (if any) must be consumed per the
+		// RoundTripper contract before failing.
+		drain(req)
+		return nil, resetError{}
+	case KindTimeout:
+		drain(req)
+		return nil, timeoutError{}
+	case KindServerErr:
+		drain(req)
+		return synthesize(req, http.StatusServiceUnavailable, "fault: injected server error"), nil
+	case KindLatency:
+		time.Sleep(time.Duration(1+t.Plan.intn(50)) * time.Millisecond)
+	}
+	resp, err := t.base().RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if kind, _ := t.Plan.next(OpBody); kind == KindTruncate {
+		resp.Body = truncateBody(resp.Body)
+	}
+	return resp, nil
+}
+
+func drain(req *http.Request) {
+	if req.Body != nil {
+		io.Copy(io.Discard, req.Body)
+		req.Body.Close()
+	}
+}
+
+// synthesize fabricates an error response that never touched the wire.
+func synthesize(req *http.Request, code int, msg string) *http.Response {
+	body := msg + "\n"
+	return &http.Response{
+		Status:        fmt.Sprintf("%d %s", code, http.StatusText(code)),
+		StatusCode:    code,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        http.Header{"Content-Type": []string{"text/plain; charset=utf-8"}},
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// truncateBody delivers half the body's bytes, then reports an abrupt
+// connection loss (io.ErrUnexpectedEOF) instead of a clean EOF.
+func truncateBody(body io.ReadCloser) io.ReadCloser {
+	b, err := io.ReadAll(body)
+	body.Close()
+	if err != nil {
+		// The real body already failed; pass that through.
+		return io.NopCloser(&failReader{err: err})
+	}
+	return io.NopCloser(&failReader{r: bytes.NewReader(b[:len(b)/2]), err: io.ErrUnexpectedEOF})
+}
+
+// failReader serves r, then fails with err instead of io.EOF.
+type failReader struct {
+	r   io.Reader
+	err error
+}
+
+func (f *failReader) Read(p []byte) (int, error) {
+	if f.r != nil {
+		n, err := f.r.Read(p)
+		if err == nil || err != io.EOF {
+			return n, err
+		}
+		f.r = nil
+		if n > 0 {
+			return n, nil
+		}
+	}
+	return 0, f.err
+}

@@ -62,8 +62,18 @@ type Options struct {
 	// (0 = 2).
 	RetryAfter int
 	// Simulate overrides the simulation function (tests). Nil selects
-	// sim.RunConfig.
+	// sim.RunConfig. Whatever the function, the server runs it under
+	// sweep.Guard: a panic becomes a structured per-run error, never a
+	// dead process.
 	Simulate func(sim.Config) (*sim.Result, error)
+	// RunTimeout is the per-run watchdog deadline (0 = none). A run that
+	// exceeds it fails with a transient sweep.RunError and its worker
+	// moves on; the runaway goroutine detaches, and if it ever finishes
+	// its result is salvaged into the store.
+	RunTimeout time.Duration
+	// Logf, when non-nil, receives one line per notable failure event
+	// (panic recovered, watchdog kill, salvage). log.Printf fits.
+	Logf func(format string, args ...any)
 }
 
 // Server is the sweep-result service: an http.Handler plus the worker
@@ -74,6 +84,8 @@ type Server struct {
 	simulate   func(sim.Config) (*sim.Result, error)
 	workers    int
 	retryAfter int
+	runTimeout time.Duration
+	logf       func(format string, args ...any)
 	queue      chan *flight
 	mux        *http.ServeMux
 	start      time.Time
@@ -93,6 +105,9 @@ type Server struct {
 	uploads   atomic.Uint64
 	rejected  atomic.Uint64
 	storeErrs atomic.Uint64
+	panics    atomic.Uint64
+	watchdog  atomic.Uint64
+	salvaged  atomic.Uint64
 	busy      atomic.Int64
 }
 
@@ -117,11 +132,17 @@ func New(opts Options) (*Server, error) {
 	if simulate == nil {
 		simulate = sim.RunConfig
 	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
 	s := &Server{
 		store:      opts.Store,
-		simulate:   simulate,
+		simulate:   sweep.Guard(simulate),
 		workers:    workers,
 		retryAfter: retry,
+		runTimeout: opts.RunTimeout,
+		logf:       logf,
 		queue:      make(chan *flight, depth),
 		flights:    make(map[string]*flight),
 		plans:      make(map[string]*plan),
@@ -186,6 +207,15 @@ type Stats struct {
 	Rejected uint64 `json:"rejected"`
 	// StoreErrors counts failed writes of completed results.
 	StoreErrors uint64 `json:"store_errors"`
+	// PanicsRecovered counts simulator panics caught by the worker's
+	// guard — each one a run that failed structurally instead of killing
+	// the process.
+	PanicsRecovered uint64 `json:"panics_recovered"`
+	// WatchdogKills counts runs abandoned past the RunTimeout deadline;
+	// Salvaged the abandoned runs whose detached goroutine finished
+	// anyway and landed its result in the store.
+	WatchdogKills uint64 `json:"watchdog_kills"`
+	Salvaged      uint64 `json:"salvaged"`
 
 	QueueDepth    int `json:"queue_depth"`
 	QueueCapacity int `json:"queue_capacity"`
@@ -194,34 +224,84 @@ type Stats struct {
 	// Stored is the store's result inventory (-1 when the store does
 	// not implement sweep.Inventory).
 	Stored int `json:"stored"`
-	Plans  int `json:"plans"`
+	// Quarantined is the backing store's corrupt-entry count (-1 when
+	// the store does not implement sweep.Quarantiner).
+	Quarantined int `json:"quarantined"`
+	Plans       int `json:"plans"`
+	// Breaker is the backing store's circuit position ("" when the
+	// store has no breaker — the normal case; set when the server is
+	// itself layered over a RemoteStore).
+	Breaker string `json:"breaker,omitempty"`
+}
+
+// storeUnwrapper is implemented by store wrappers (fault injection,
+// instrumentation layers) so capability probes can see through them.
+type storeUnwrapper interface {
+	Unwrap() sweep.Store
+}
+
+// probeStore walks the store's wrapper chain until visit returns true.
+func probeStore(s sweep.Store, visit func(sweep.Store) bool) {
+	for s != nil {
+		if visit(s) {
+			return
+		}
+		w, ok := s.(storeUnwrapper)
+		if !ok {
+			return
+		}
+		s = w.Unwrap()
+	}
 }
 
 // Snapshot returns the current Stats.
 func (s *Server) Snapshot() Stats {
-	stored := -1
-	if inv, ok := s.store.(sweep.Inventory); ok {
-		stored = inv.Len()
-	}
+	stored, quarantined, breaker := -1, -1, ""
+	probeStore(s.store, func(st sweep.Store) bool {
+		inv, ok := st.(sweep.Inventory)
+		if ok {
+			stored = inv.Len()
+		}
+		return ok
+	})
+	probeStore(s.store, func(st sweep.Store) bool {
+		q, ok := st.(sweep.Quarantiner)
+		if ok {
+			quarantined = q.Quarantined()
+		}
+		return ok
+	})
+	probeStore(s.store, func(st sweep.Store) bool {
+		b, ok := st.(interface{ Breaker() sweep.BreakerState })
+		if ok {
+			breaker = b.Breaker().String()
+		}
+		return ok
+	})
 	s.mu.Lock()
 	plans := len(s.plans)
 	s.mu.Unlock()
 	return Stats{
-		UptimeSeconds: time.Since(s.start).Seconds(),
-		Hits:          s.hits.Load(),
-		Misses:        s.misses.Load(),
-		Collapses:     s.collapses.Load(),
-		Simulations:   s.sims.Load(),
-		Failures:      s.failures.Load(),
-		Uploads:       s.uploads.Load(),
-		Rejected:      s.rejected.Load(),
-		StoreErrors:   s.storeErrs.Load(),
-		QueueDepth:    len(s.queue),
-		QueueCapacity: cap(s.queue),
-		Workers:       s.workers,
-		BusyWorkers:   int(s.busy.Load()),
-		Stored:        stored,
-		Plans:         plans,
+		UptimeSeconds:   time.Since(s.start).Seconds(),
+		Hits:            s.hits.Load(),
+		Misses:          s.misses.Load(),
+		Collapses:       s.collapses.Load(),
+		Simulations:     s.sims.Load(),
+		Failures:        s.failures.Load(),
+		Uploads:         s.uploads.Load(),
+		Rejected:        s.rejected.Load(),
+		StoreErrors:     s.storeErrs.Load(),
+		PanicsRecovered: s.panics.Load(),
+		WatchdogKills:   s.watchdog.Load(),
+		Salvaged:        s.salvaged.Load(),
+		QueueDepth:      len(s.queue),
+		QueueCapacity:   cap(s.queue),
+		Workers:         s.workers,
+		BusyWorkers:     int(s.busy.Load()),
+		Stored:          stored,
+		Quarantined:     quarantined,
+		Plans:           plans,
+		Breaker:         breaker,
 	}
 }
 
@@ -372,6 +452,11 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if f.err != nil {
+		// Tell the client whether a retry is worth it: a permanent
+		// failure is a property of the configuration and will reproduce.
+		if sweep.IsPermanent(f.err) {
+			w.Header().Set("X-Sim-Permanent", "true")
+		}
 		http.Error(w, fmt.Sprintf("simulation: %v", f.err), http.StatusInternalServerError)
 		return
 	}

@@ -84,15 +84,22 @@ func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
 	return s, ts
 }
 
-// waitFor polls cond until it holds or the deadline passes.
+// waitFor blocks until cond holds, re-checking on a ticker channel and
+// bailing at the deadline — a select over channels, not a bare sleep
+// loop, so a heavily loaded CI machine delays the check instead of
+// missing the window.
 func waitFor(t *testing.T, what string, cond func() bool) {
 	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	deadline := time.NewTimer(5 * time.Second)
+	defer deadline.Stop()
 	for !cond() {
-		if time.Now().After(deadline) {
+		select {
+		case <-tick.C:
+		case <-deadline.C:
 			t.Fatalf("timed out waiting for %s", what)
 		}
-		time.Sleep(time.Millisecond)
 	}
 }
 
@@ -615,13 +622,12 @@ func TestHealthAndStats(t *testing.T) {
 // the server performs exactly one simulation per unique key. A third
 // client then finds every key warm.
 func TestEndToEndRemoteDedupe(t *testing.T) {
-	var calls atomic.Int64
-	slowSim := func(cfg sim.Config) (*sim.Result, error) {
-		calls.Add(1)
-		time.Sleep(20 * time.Millisecond) // hold flights open so clients overlap
-		return fakeResult(cfg), nil
-	}
-	s, ts := newTestServer(t, Options{Simulate: slowSim, Workers: 4})
+	// Flights hold at a gate until both clients have attached, so the
+	// overlap the test needs is guaranteed by channels, not by hoping a
+	// sleep outlasts the scheduler.
+	g := newGate()
+	calls := &g.calls
+	s, ts := newTestServer(t, Options{Simulate: g.simulate, Workers: 4})
 
 	plan := sweep.Plan{Base: testBase(0), Seeds: []uint64{1, 2, 3, 4}}
 	runClient := func() ([]*sim.Result, error) {
@@ -643,6 +649,12 @@ func TestEndToEndRemoteDedupe(t *testing.T) {
 			outs[i], errs[i] = runClient()
 		}(i)
 	}
+	// 4 collapses = every key requested by both clients; only then do
+	// the gated simulations run.
+	waitFor(t, "both clients attached to all flights", func() bool {
+		return s.Snapshot().Collapses == 4
+	})
+	close(g.release)
 	wg.Wait()
 	for i := 0; i < 2; i++ {
 		if errs[i] != nil {

@@ -3,6 +3,7 @@ package sweep
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"sync/atomic"
@@ -173,7 +174,10 @@ func TestRemotePut(t *testing.T) {
 
 // TestRemoteGetDegradesToLocalCopy: once a key is held locally, a
 // server 404 (lost store) and a dead server both serve the local copy
-// — content-addressed entries cannot be stale.
+// — content-addressed entries cannot be stale. A cold key against a
+// dead server degrades to a miss (routing the run to Simulate, and from
+// there to local fallback) instead of failing the sweep, and the
+// failure streak opens the circuit breaker.
 func TestRemoteGetDegradesToLocalCopy(t *testing.T) {
 	cfg := testBaseWithSeed(3)
 	key := cfg.Key()
@@ -187,6 +191,8 @@ func TestRemoteGetDegradesToLocalCopy(t *testing.T) {
 		w.Header().Set("ETag", `"`+key+`"`)
 		json.NewEncoder(w).Encode(res)
 	})
+	store.BackoffBase = time.Millisecond
+	store.BackoffCap = 2 * time.Millisecond
 	if _, ok, err := store.Get(key); !ok || err != nil {
 		t.Fatalf("initial Get: %v, %v", ok, err)
 	}
@@ -202,9 +208,25 @@ func TestRemoteGetDegradesToLocalCopy(t *testing.T) {
 	if err != nil || !ok || got.Cycles != res.Cycles {
 		t.Fatalf("Get with server down = %v, %v; want local copy", ok, err)
 	}
-	// A key never held fails loudly when the server is unreachable.
-	if _, ok, err := store.Get(testBaseWithSeed(4).Key()); ok || err == nil {
-		t.Fatalf("cold Get with server down = %v, %v; want error", ok, err)
+	// A key never held degrades to a miss, not an error: the sweep
+	// re-simulates instead of dying.
+	if _, ok, err := store.Get(testBaseWithSeed(4).Key()); ok || err != nil {
+		t.Fatalf("cold Get with server down = %v, %v; want degraded miss", ok, err)
+	}
+	stats := store.Stats()
+	if stats.DegradedGets != 2 {
+		t.Errorf("stats.DegradedGets = %d, want 2", stats.DegradedGets)
+	}
+	if stats.Retries == 0 {
+		t.Error("dead server cost no retries")
+	}
+	// Two exhausted Gets = 5 consecutive transport failures: the default
+	// breaker threshold. Further requests degrade without the network.
+	if stats.Breaker != BreakerOpen {
+		t.Errorf("breaker = %v, want open", stats.Breaker)
+	}
+	if _, ok, err := store.Get(testBaseWithSeed(5).Key()); ok || err != nil {
+		t.Fatalf("breaker-open cold Get = %v, %v; want instant miss", ok, err)
 	}
 }
 
@@ -296,5 +318,167 @@ func TestRemoteSimulateServerError(t *testing.T) {
 	}
 	if fx.sims.Load() != 1 {
 		t.Errorf("400 was retried: %d attempts", fx.sims.Load())
+	}
+}
+
+// flakyRemote tunes a RemoteStore for fast failure tests.
+func tuneRemote(s *RemoteStore) {
+	s.BackoffBase = time.Millisecond
+	s.BackoffCap = 2 * time.Millisecond
+	s.RequestTimeout = 2 * time.Second
+}
+
+// TestRemoteRetriesTransientFailures: 5xx responses and torn bodies are
+// retried with backoff until the server behaves; the sweep never sees
+// the blips.
+func TestRemoteRetriesTransientFailures(t *testing.T) {
+	cfg := testBaseWithSeed(11).Normalize()
+	key := cfg.Key()
+	res := fakeResult(cfg)
+	store, fx, _ := newRemote(t, func(fx *remoteFixture, w http.ResponseWriter, r *http.Request) {
+		if fx.sims.Load() <= 2 { // first two attempts blow up
+			http.Error(w, "injected gateway error", http.StatusBadGateway)
+			return
+		}
+		w.Header().Set("ETag", `"`+key+`"`)
+		json.NewEncoder(w).Encode(res)
+	})
+	tuneRemote(store)
+	got, err := store.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cycles != res.Cycles {
+		t.Fatalf("Simulate cycles = %d, want %d", got.Cycles, res.Cycles)
+	}
+	if fx.sims.Load() != 3 {
+		t.Errorf("attempts = %d, want 3", fx.sims.Load())
+	}
+	if stats := store.Stats(); stats.Retries != 2 || stats.Breaker != BreakerClosed {
+		t.Errorf("stats = {Retries:%d Breaker:%v}, want 2 retries, closed breaker", stats.Retries, stats.Breaker)
+	}
+}
+
+// TestRemoteSimulatePermanentFailure: a 500 carrying X-Sim-Permanent
+// surfaces as a permanent RunError with no retry and no local fallback
+// — the configuration itself is bad, and re-running it anywhere
+// reproduces the failure.
+func TestRemoteSimulatePermanentFailure(t *testing.T) {
+	store, fx, _ := newRemote(t, func(fx *remoteFixture, w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Sim-Permanent", "true")
+		http.Error(w, "simulation: recovered panic: poisoned state", http.StatusInternalServerError)
+	})
+	tuneRemote(store)
+	_, err := store.Simulate(testBaseWithSeed(1))
+	if err == nil {
+		t.Fatal("permanent server failure returned nil error")
+	}
+	if !IsPermanent(err) {
+		t.Errorf("error %v not classified permanent", err)
+	}
+	if fx.sims.Load() != 1 {
+		t.Errorf("permanent failure was retried: %d attempts", fx.sims.Load())
+	}
+	if store.Stats().LocalSims != 0 {
+		t.Error("permanent failure fell back to local simulation")
+	}
+}
+
+// TestRemoteSimulateLocalFallback: a persistently unreachable server
+// degrades Simulate to local in-process execution — the sweep completes
+// on client hardware instead of stalling — and once the failure streak
+// hits the breaker threshold, later calls skip the network entirely.
+func TestRemoteSimulateLocalFallback(t *testing.T) {
+	store, _, ts := newRemote(t, func(fx *remoteFixture, w http.ResponseWriter, r *http.Request) {})
+	ts.Close()
+	tuneRemote(store)
+	store.BreakerThreshold = 3
+
+	cfg := testBase()
+	res, err := store.Simulate(cfg)
+	if err != nil {
+		t.Fatalf("degraded Simulate: %v", err)
+	}
+	if res == nil || res.Cycles == 0 {
+		t.Fatalf("degraded Simulate returned empty result: %+v", res)
+	}
+	stats := store.Stats()
+	if stats.LocalSims != 1 {
+		t.Errorf("stats.LocalSims = %d, want 1", stats.LocalSims)
+	}
+	if stats.Breaker != BreakerOpen {
+		t.Errorf("breaker = %v after %d failures, want open", stats.Breaker, stats.Retries+1)
+	}
+	// Breaker open: the next cold run goes straight to local fallback
+	// with zero new retries.
+	before := store.Stats().Retries
+	if _, err := store.Simulate(testBaseWithSeed(2)); err != nil {
+		t.Fatalf("breaker-open Simulate: %v", err)
+	}
+	if got := store.Stats().Retries; got != before {
+		t.Errorf("breaker-open Simulate still hit the network: %d retries, was %d", got, before)
+	}
+	// The result of a local fallback is cached for Get.
+	if _, ok, err := store.Get(cfg.Normalize().Key()); !ok || err != nil {
+		t.Errorf("locally simulated result not cached: %v, %v", ok, err)
+	}
+}
+
+// TestRemoteNoLocalFallback: with NoLocalFallback set, an unreachable
+// server yields a structured transient RunError instead of a local run.
+func TestRemoteNoLocalFallback(t *testing.T) {
+	store, _, ts := newRemote(t, func(fx *remoteFixture, w http.ResponseWriter, r *http.Request) {})
+	ts.Close()
+	tuneRemote(store)
+	store.NoLocalFallback = true
+	_, err := store.Simulate(testBaseWithSeed(1))
+	if err == nil {
+		t.Fatal("unreachable server returned nil error")
+	}
+	var re *RunError
+	if !errors.As(err, &re) || re.Permanent {
+		t.Errorf("error %v, want transient RunError", err)
+	}
+	if store.Stats().LocalSims != 0 {
+		t.Error("NoLocalFallback still simulated locally")
+	}
+}
+
+// TestRemoteBreakerRecovers: an open circuit admits a probe after the
+// cooldown; a healthy response closes it and normal service resumes.
+func TestRemoteBreakerRecovers(t *testing.T) {
+	cfg := testBaseWithSeed(21).Normalize()
+	key := cfg.Key()
+	res := fakeResult(cfg)
+	var healthy atomic.Bool
+	store, _, _ := newRemote(t, func(fx *remoteFixture, w http.ResponseWriter, r *http.Request) {
+		if !healthy.Load() {
+			http.Error(w, "injected outage", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("ETag", `"`+key+`"`)
+		json.NewEncoder(w).Encode(res)
+	})
+	tuneRemote(store)
+	store.BreakerThreshold = 2
+	store.BreakerCooldown = 5 * time.Millisecond
+
+	if _, ok, _ := store.Get(key); ok {
+		t.Fatal("outage Get reported a hit")
+	}
+	if store.Breaker() != BreakerOpen {
+		t.Fatalf("breaker = %v after outage, want open", store.Breaker())
+	}
+	healthy.Store(true)
+	time.Sleep(10 * time.Millisecond) // past the cooldown
+	got, ok, err := store.Get(key)
+	if err != nil || !ok || got.Cycles != res.Cycles {
+		t.Fatalf("probe Get = %v, %v; want recovered hit", ok, err)
+	}
+	if store.Breaker() != BreakerClosed {
+		t.Errorf("breaker = %v after successful probe, want closed", store.Breaker())
+	}
+	if store.Stats().BreakerOpens != 1 {
+		t.Errorf("BreakerOpens = %d, want 1", store.Stats().BreakerOpens)
 	}
 }

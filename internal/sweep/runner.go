@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -47,10 +48,15 @@ const defaultNegativeCap = 512
 // pool, deduplicating by content hash against a pluggable Store. The
 // zero value is ready to use: it simulates with sim.RunConfig, stores
 // results in a private in-memory store, and bounds parallelism at
-// min(4, GOMAXPROCS). Failed runs are negatively cached (up to
-// NegativeCap entries, oldest evicted first), so a sweep that shares
-// cells across figures reports one error per bad configuration instead
-// of re-simulating it. A Runner is safe for concurrent use; note that
+// min(4, GOMAXPROCS). Simulator panics are recovered into structured
+// RunErrors (see Guard), so one poisoned configuration fails its run
+// instead of the process. Permanently failed runs — RunError with
+// Permanent set — are negatively cached (up to NegativeCap entries,
+// oldest evicted first), so a sweep that shares cells across figures
+// reports one error per bad configuration instead of re-simulating it;
+// transient failures (network, backpressure exhaustion, watchdog
+// deadlines) are reported to the Run that observed them and retried by
+// the next. A Runner is safe for concurrent use; note that
 // concurrent Run calls whose plans overlap may simulate a shared
 // configuration twice (the store is consulted when each call starts) —
 // results stay correct, only the duplicated work is wasted.
@@ -117,17 +123,32 @@ func (r *Runner) parallel() int {
 
 func (r *Runner) sim(cfg sim.Config) (*sim.Result, error) {
 	if r.Simulate != nil {
-		return r.Simulate(cfg)
+		return Guard(r.Simulate)(cfg)
 	}
 	if s, ok := r.store.(Simulator); ok {
-		return s.Simulate(cfg)
+		return Guard(s.Simulate)(cfg)
 	}
-	return sim.RunConfig(cfg)
+	res, err := Guard(sim.RunConfig)(cfg)
+	if err != nil && !IsPermanent(err) {
+		var re *RunError
+		if !errors.As(err, &re) {
+			// A local sim.RunConfig error is a build-time property of the
+			// configuration — deterministic, so safe to memoize.
+			err = &RunError{Op: "simulate", Desc: cfg.Desc(), Permanent: true, Err: err}
+		}
+	}
+	return res, err
 }
 
 // recordFailure memoizes a simulation failure under r.mu, evicting the
-// oldest entry when the negative cache is at capacity.
+// oldest entry when the negative cache is at capacity. Only permanent
+// failures are memoized: negatively caching a transient error (an
+// unreachable server, an exhausted 429 budget, a watchdog timeout)
+// would pin a blip as a process-lifetime failure.
 func (r *Runner) recordFailure(key string, err error) {
+	if !IsPermanent(err) {
+		return
+	}
 	cap := r.NegativeCap
 	if cap <= 0 {
 		cap = defaultNegativeCap

@@ -87,7 +87,8 @@ func TestRunnerNegativeCachesFailures(t *testing.T) {
 		Simulate: func(cfg sim.Config) (*sim.Result, error) {
 			calls.Add(1)
 			if cfg.Seed == 2 {
-				return nil, boom
+				// Permanent: only deterministic failures are memoized.
+				return nil, &RunError{Op: "simulate", Permanent: true, Err: boom}
 			}
 			return &sim.Result{Config: cfg, Cycles: cfg.Seed}, nil
 		},
@@ -136,7 +137,7 @@ func TestRunnerNegativeCacheBounded(t *testing.T) {
 		NegativeCap: 2,
 		Simulate: func(cfg sim.Config) (*sim.Result, error) {
 			calls.Add(1)
-			return nil, boom
+			return nil, &RunError{Op: "simulate", Permanent: true, Err: boom}
 		},
 	}
 	ctx := context.Background()
@@ -284,3 +285,86 @@ func TestRunnerRealSimulation(t *testing.T) {
 		t.Errorf("empty result: %+v", a)
 	}
 }
+
+// TestRunnerTransientFailuresNotCached: a transient failure (plain
+// error, or RunError without Permanent) is reported to the Run that
+// observed it but never memoized — the next Run retries, and a
+// recovered transient can then succeed.
+func TestRunnerTransientFailuresNotCached(t *testing.T) {
+	var calls atomic.Int64
+	blip := errors.New("connection reset")
+	r := &Runner{
+		Simulate: func(cfg sim.Config) (*sim.Result, error) {
+			if calls.Add(1) == 1 {
+				return nil, &RunError{Op: "remote-sim", Err: blip} // transient
+			}
+			return &sim.Result{Config: cfg, Cycles: cfg.Seed}, nil
+		},
+	}
+	cfgs := seedPlan(1)
+	if _, err := r.Run(context.Background(), cfgs); !errors.Is(err, blip) {
+		t.Fatalf("first Run error = %v, want blip", err)
+	}
+	out, err := r.Run(context.Background(), cfgs)
+	if err != nil {
+		t.Fatalf("retry after transient failure: %v", err)
+	}
+	if out[0] == nil || out[0].Cycles != 1 {
+		t.Fatalf("retry result = %+v", out[0])
+	}
+	if calls.Load() != 2 {
+		t.Errorf("sim calls = %d, want 2 (transient failure retried)", calls.Load())
+	}
+}
+
+// TestRunnerRecoversSimulatorPanics: a panicking configuration costs
+// one failed run with a structured, permanent, stack-carrying RunError
+// — not the process — and healthy runs in the same sweep complete.
+func TestRunnerRecoversSimulatorPanics(t *testing.T) {
+	r := &Runner{
+		Simulate: func(cfg sim.Config) (*sim.Result, error) {
+			if cfg.Seed == 2 {
+				panic("poisoned page table state")
+			}
+			return &sim.Result{Config: cfg, Cycles: cfg.Seed}, nil
+		},
+	}
+	out, err := r.Run(context.Background(), seedPlan(1, 2, 3))
+	if err == nil {
+		t.Fatal("panicking config reported no error")
+	}
+	var re *RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("error %v is not a RunError", err)
+	}
+	if !re.Panicked || !re.Permanent || re.Stack == "" {
+		t.Errorf("RunError = {Panicked:%v Permanent:%v stack %d bytes}, want panicked+permanent with stack", re.Panicked, re.Permanent, len(re.Stack))
+	}
+	if out[0] == nil || out[2] == nil || out[1] != nil {
+		t.Errorf("healthy runs lost around the panic: %v", out)
+	}
+}
+
+// TestGuardInjectedPanicIsTransient: a panic value satisfying the
+// injected-fault contract classifies transient — chaos testing must not
+// poison the negative cache.
+func TestGuardInjectedPanicIsTransient(t *testing.T) {
+	guarded := Guard(func(sim.Config) (*sim.Result, error) { panic(markedPanic{}) })
+	_, err := guarded(testBase())
+	var re *RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("error %v is not a RunError", err)
+	}
+	if re.Permanent || !re.Panicked {
+		t.Errorf("injected panic classified {Permanent:%v Panicked:%v}, want transient panic", re.Permanent, re.Panicked)
+	}
+	if IsPermanent(err) {
+		t.Error("IsPermanent(injected panic) = true")
+	}
+}
+
+// markedPanic satisfies the transient-panic contract the fault package
+// uses (declared structurally so sweep never imports fault).
+type markedPanic struct{}
+
+func (markedPanic) InjectedFault() bool { return true }

@@ -37,6 +37,16 @@ type Inventory interface {
 	Keys() []string
 }
 
+// Quarantiner is the optional Store extension for stores that isolate
+// corrupt entries instead of failing on them. The result server's
+// /statsz endpoint reports the count so an operator notices a sick disk
+// (or a chaos test asserts its injected corruption was healed).
+type Quarantiner interface {
+	// Quarantined returns the number of corrupt entries isolated since
+	// the store was opened.
+	Quarantined() int
+}
+
 // Simulator is the optional Store extension for stores that can compute
 // a missing result themselves — a RemoteStore backed by an ndpserve
 // instance runs the simulation server-side, where a singleflight
@@ -106,11 +116,19 @@ func (s *MemStore) Keys() []string {
 // for entries another process wrote), so Len and Keys never walk the
 // directory. A long-lived server scraping /statsz pays map reads, not
 // readdir syscalls, per snapshot.
+//
+// Corrupt entries self-heal: an entry that no longer parses — a torn
+// write that bypassed the atomic rename (power loss, a sick filesystem,
+// an injected chaos fault) — is moved into a quarantine/ subdirectory,
+// counted, and reported as a miss, so the sweep re-simulates the run
+// instead of hard-failing on that key forever. The debris is kept, not
+// deleted, so an operator can post-mortem it.
 type DirStore struct {
 	dir string
 
-	mu   sync.Mutex
-	keys map[string]struct{}
+	mu          sync.Mutex
+	keys        map[string]struct{}
+	quarantined int
 }
 
 // NewDirStore opens (creating if needed) the cache directory. Temp
@@ -164,6 +182,31 @@ func (s *DirStore) index(key string) {
 	s.mu.Unlock()
 }
 
+// Quarantined returns the number of corrupt entries isolated since open.
+func (s *DirStore) Quarantined() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.quarantined
+}
+
+// quarantine isolates a corrupt entry: the file moves into quarantine/
+// under a sequence-numbered name (repeated corruption of one key keeps
+// every specimen), the key leaves the inventory, and the caller reports
+// a miss so the run re-simulates. If the rename itself fails the debris
+// is removed instead — a corrupt entry must never be served again.
+func (s *DirStore) quarantine(key, path string) {
+	s.mu.Lock()
+	s.quarantined++
+	n := s.quarantined
+	delete(s.keys, key)
+	s.mu.Unlock()
+	qdir := filepath.Join(s.dir, "quarantine")
+	dst := filepath.Join(qdir, fmt.Sprintf("%s.%d.json", key, n))
+	if err := os.MkdirAll(qdir, 0o755); err != nil || os.Rename(path, dst) != nil {
+		os.Remove(path)
+	}
+}
+
 // Dir returns the cache directory.
 func (s *DirStore) Dir() string { return s.dir }
 
@@ -177,7 +220,10 @@ func (s *DirStore) path(key string) (string, error) {
 
 // Get implements Store. Entries whose decoded configuration no longer
 // hashes to their key — recorded under an older Config schema — are
-// treated as misses rather than served stale.
+// treated as misses rather than served stale. Entries that no longer
+// parse at all are quarantined and reported as misses, so one torn or
+// corrupt file costs one re-simulation instead of failing every sweep
+// that touches the key; errors are reserved for live I/O failures.
 func (s *DirStore) Get(key string) (*sim.Result, bool, error) {
 	p, err := s.path(key)
 	if err != nil {
@@ -192,7 +238,8 @@ func (s *DirStore) Get(key string) (*sim.Result, bool, error) {
 	}
 	var res sim.Result
 	if err := json.Unmarshal(b, &res); err != nil {
-		return nil, false, fmt.Errorf("sweep: corrupt cache entry %s: %w", key, err)
+		s.quarantine(key, p)
+		return nil, false, nil
 	}
 	if res.Config.Key() != key {
 		return nil, false, nil

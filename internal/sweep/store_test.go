@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"os"
@@ -166,6 +167,9 @@ func TestDirStoreSweepsOrphanedTempFiles(t *testing.T) {
 	}
 }
 
+// TestDirStoreCorruptEntry: a corrupt entry is quarantined and reported
+// as a miss — one bad file costs one re-simulation, not a dead sweep —
+// and the debris is preserved under quarantine/ for post-mortem.
 func TestDirStoreCorruptEntry(t *testing.T) {
 	dir := t.TempDir()
 	s, err := NewDirStore(dir)
@@ -176,8 +180,25 @@ func TestDirStoreCorruptEntry(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(dir, key+".json"), []byte("{not json"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := s.Get(key); err == nil {
-		t.Fatal("corrupt entry served without error")
+	if _, ok, err := s.Get(key); ok || err != nil {
+		t.Fatalf("corrupt entry Get = hit %v, err %v; want quarantined miss", ok, err)
+	}
+	if n := s.Quarantined(); n != 1 {
+		t.Errorf("Quarantined() = %d, want 1", n)
+	}
+	if _, err := os.Stat(filepath.Join(dir, key+".json")); !os.IsNotExist(err) {
+		t.Error("corrupt entry still in place after quarantine")
+	}
+	specimens, _ := filepath.Glob(filepath.Join(dir, "quarantine", key+".*.json"))
+	if len(specimens) != 1 {
+		t.Errorf("quarantine specimens = %d, want 1", len(specimens))
+	}
+	// The slot is writable again: a clean Put restores the key.
+	if err := s.Put(key, fakeResult(testBase())); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Get(key); !ok || err != nil {
+		t.Fatalf("healed entry Get = hit %v, err %v; want hit", ok, err)
 	}
 }
 
@@ -259,5 +280,74 @@ func TestSweepResumesFromDisk(t *testing.T) {
 		if res == nil || res.Config.Seed != uint64(i+1) {
 			t.Fatalf("resumed result %d wrong: %+v", i, res)
 		}
+	}
+}
+
+// TestDirStoreCrashRecovery is the kill-mid-write scenario, end to end:
+// a sweep populates an on-disk cache, then the "process dies" leaving
+// both kinds of debris — an orphaned temp file (killed before the
+// rename) and a truncated entry (a torn write that bypassed the
+// rename, as on power loss). The next open self-heals: the temp file
+// is swept, the torn entry is quarantined and re-simulated, and the
+// recovered cache is byte-identical to the pre-crash one.
+func TestDirStoreCrashRecovery(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	cfgs := seedPlan(1, 2)
+	ctx := context.Background()
+
+	store1, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (&Runner{Store: store1}).Run(ctx, cfgs); err != nil {
+		t.Fatal(err)
+	}
+	tornKey := cfgs[0].Normalize().Key()
+	tornPath := filepath.Join(dir, tornKey+".json")
+	clean, err := os.ReadFile(tornPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The crash: one entry torn mid-write, one orphaned temp file.
+	if err := os.WriteFile(tornPath, clean[:len(clean)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	orphan := filepath.Join(dir, tornKey+".tmp-999")
+	if err := os.WriteFile(orphan, []byte("half"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	store2, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Error("orphaned temp file survived reopen")
+	}
+	var resims atomic.Int64
+	r := &Runner{Store: store2, Simulate: func(cfg sim.Config) (*sim.Result, error) {
+		resims.Add(1)
+		return sim.RunConfig(cfg)
+	}}
+	if _, err := r.Run(ctx, cfgs); err != nil {
+		t.Fatal(err)
+	}
+	if got := resims.Load(); got != 1 {
+		t.Errorf("re-simulations after crash = %d, want 1 (only the torn entry)", got)
+	}
+	if got := store2.Quarantined(); got != 1 {
+		t.Errorf("Quarantined() = %d, want 1", got)
+	}
+	healed, err := os.ReadFile(tornPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(healed, clean) {
+		t.Error("re-simulated entry is not byte-identical to the pre-crash one")
+	}
+	specimens, _ := filepath.Glob(filepath.Join(dir, "quarantine", "*.json"))
+	if len(specimens) != 1 {
+		t.Errorf("quarantine specimens = %d, want 1", len(specimens))
 	}
 }

@@ -33,8 +33,8 @@ done
 # flag.X("name", ...) / fs.XVar(&v, "name", ...) call in its main.go.
 defined_flags() {
   {
-    sed -nE 's/.*(String|Bool|Int|Uint64)\("([a-z][a-z-]*)".*/\2/p' "cmd/$1/main.go"
-    sed -nE 's/.*(String|Bool|Int|Uint64)Var\([^,]+, *"([a-z][a-z-]*)".*/\2/p' "cmd/$1/main.go"
+    sed -nE 's/.*(String|Bool|Int64|Int|Uint64|Duration)\("([a-z][a-z-]*)".*/\2/p' "cmd/$1/main.go"
+    sed -nE 's/.*(String|Bool|Int64|Int|Uint64|Duration)Var\([^,]+, *"([a-z][a-z-]*)".*/\2/p' "cmd/$1/main.go"
   } | sort -u
 }
 

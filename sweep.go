@@ -62,3 +62,26 @@ type RemoteStore = sweep.RemoteStore
 // NewRemoteStore returns a RemoteStore talking to the ndpserve instance
 // at baseURL (e.g. "http://localhost:8947").
 func NewRemoteStore(baseURL string) (*sweep.RemoteStore, error) { return sweep.NewRemoteStore(baseURL) }
+
+// RunError is the structured failure of one simulation run, carrying a
+// transient/permanent classification: permanent failures are a property
+// of the configuration (retrying reproduces them; the Sweep negatively
+// caches them), transient failures a property of the moment (network
+// blips, watchdog deadlines, injected chaos — the next Run retries).
+type RunError = sweep.RunError
+
+// IsPermanent reports whether err is (or wraps) a RunError marked
+// Permanent.
+func IsPermanent(err error) bool { return sweep.IsPermanent(err) }
+
+// BreakerState is a RemoteStore circuit breaker's position: closed
+// (normal service), open (degraded local operation), or half-open (a
+// recovery probe in flight).
+type BreakerState = sweep.BreakerState
+
+// The breaker positions.
+const (
+	BreakerClosed   = sweep.BreakerClosed
+	BreakerOpen     = sweep.BreakerOpen
+	BreakerHalfOpen = sweep.BreakerHalfOpen
+)

@@ -43,7 +43,7 @@ import (
 func main() {
 	var (
 		quick     = flag.Bool("quick", false, "reduced scale (faster, noisier)")
-		figsArg   = flag.String("figs", "all", "comma-separated: fig4,fig5,fig6,fig7,fig8,motivation,pwc,fig12,fig13,fig14,ablation (plus extras: pwc-sensitivity,hbm-sensitivity,walker-sensitivity,mlp-sensitivity,population-sensitivity,oversubscription)")
+		figsArg   = flag.String("figs", "all", "comma-separated: fig4,fig5,fig6,fig7,fig8,motivation,pwc,fig12,fig13,fig14,ablation (plus extras: mechanism-comparison,pwc-sensitivity,hbm-sensitivity,walker-sensitivity,mlp-sensitivity,population-sensitivity,oversubscription)")
 		wlArg     = flag.String("workloads", "", "comma-separated workload subset: builtin names or trace:<file> replays (default: all 11)")
 		outDir    = flag.String("out", "results", "directory for CSV output (empty = no files)")
 		cacheDir  = flag.String("cache", "", "persistent run cache: a directory, or the http(s):// URL of a shared ndpserve instance (empty = in-memory only)")
@@ -102,6 +102,7 @@ func main() {
 		{"ablation", e.Ablation},
 	}
 	extras := []figure{
+		{"mechanism-comparison", e.MechanismComparison},
 		{"pwc-sensitivity", e.PWCSensitivity},
 		{"hbm-sensitivity", e.HBMChannelSensitivity},
 		{"walker-sensitivity", e.WalkerWidthSensitivity},

@@ -59,7 +59,7 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ndpsim", flag.ContinueOnError)
 	var (
 		system     = fs.String("system", "ndp", "system kind: ndp or cpu (Table I)")
-		mechName   = fs.String("mech", "NDPage", "translation mechanism: Radix, ECH, HugePage, NDPage, Ideal, FlattenOnly, BypassOnly")
+		mechName   = fs.String("mech", "NDPage", "translation mechanism: Radix, ECH, HugePage, NDPage, Ideal, FlattenOnly, BypassOnly, Victima, NMT, PCAX")
 		cores      = fs.Int("cores", 1, "number of cores (1-64)")
 		wl         = fs.String("workload", "bfs", "workload name (see -list), or trace:<file> to replay a capture")
 		footprint  = fs.Uint64("footprint", 0, "dataset bytes (0 = scaled default)")
@@ -70,6 +70,9 @@ func run(args []string, out io.Writer) error {
 		width      = fs.Int("walker-width", 0, "concurrent walk slots per walker (0 = 1, blocking)")
 		shared     = fs.Bool("shared-walker", false, "serve all cores' misses from one cluster-level walker")
 		mlp        = fs.Int("mlp", 0, "per-core in-flight memory-op window (0 = 1, blocking core)")
+		vGate      = fs.Int("victima-gate", 0, "Victima only: walks before a translation block is admitted (0 = 2)")
+		promote    = fs.Bool("identity-promote", false, "NMT only: identity-map demand-faulted chunks too")
+		pcxEntries = fs.Int("pcx-entries", 0, "PCAX only: PC-indexed table entries (0 = 512)")
 		cache      = fs.String("cache", "", "run cache: a directory, or the http(s):// URL of a shared ndpserve instance (empty = always simulate locally)")
 		jsonOut    = fs.Bool("json", false, "emit the full result as JSON instead of the text summary")
 		list       = fs.Bool("list", false, "list workloads and exit")
@@ -114,18 +117,21 @@ func run(args []string, out io.Writer) error {
 	}
 
 	cfg := ndpage.Config{
-		System:         sys,
-		Cores:          *cores,
-		Mechanism:      mech,
-		Workload:       *wl,
-		FootprintBytes: *footprint,
-		MemoryBytes:    *memory,
-		Instructions:   *instr,
-		Warmup:         *warmup,
-		Seed:           *seed,
-		WalkerWidth:    *width,
-		SharedWalker:   *shared,
-		MLP:            *mlp,
+		System:          sys,
+		Cores:           *cores,
+		Mechanism:       mech,
+		Workload:        *wl,
+		FootprintBytes:  *footprint,
+		MemoryBytes:     *memory,
+		Instructions:    *instr,
+		Warmup:          *warmup,
+		Seed:            *seed,
+		WalkerWidth:     *width,
+		SharedWalker:    *shared,
+		MLP:             *mlp,
+		VictimaGate:     *vGate,
+		IdentityPromote: *promote,
+		PCXEntries:      *pcxEntries,
 	}
 	var res *ndpage.Result
 	if *cache != "" {
@@ -204,6 +210,17 @@ func printSummary(out io.Writer, system string, mech ndpage.Mechanism, cores int
 	if mlp > 1 {
 		fmt.Fprintf(out, "  core window         mean %.2f ops in flight (MLP %d)%s\n",
 			res.MeanInFlight(), res.Config.MLP, hist(res.InFlightHist))
+	}
+	switch mech {
+	case ndpage.Victima:
+		fmt.Fprintf(out, "  victima             %d probes, %.1f%% hit, %d fills (%d deferred), %d data lines displaced\n",
+			res.VictimaProbes, 100*res.VictimaHitRate(), res.VictimaFills, res.VictimaDeferred, res.DataEvictedByXlat)
+	case ndpage.NMT:
+		fmt.Fprintf(out, "  identity            %.1f%% of translations identity-mapped (%d of %d)\n",
+			100*res.IdentityHitRate(), res.IdentityHits, res.IdentityHits+res.IdentityMisses)
+	case ndpage.PCAX:
+		fmt.Fprintf(out, "  pcx                 %.1f%% hit on L1-TLB miss (%d of %d probes)\n",
+			100*res.PCXHitRate(), res.PCX.Hits, res.PCX.Total())
 	}
 	fmt.Fprintf(out, "  PTE share           %.1f%% of memory accesses (%d PTE accesses)\n",
 		100*res.PTEAccessShare(), res.PTEAccesses)

@@ -12,6 +12,7 @@
 //	ndptrace -workload gen -stats            # op-mix summary instead of the trace
 //	ndptrace -workload bfs -ops 200000 -o bfs.ndpt           # binary capture
 //	ndptrace -workload bfs -threads 4 -all-threads -o bfs4.ndpt
+//	ndptrace -workload bfs -ops 200000 -pc -o bfs.ndpt       # v2: with instruction PCs
 //	ndptrace -verify bfs4.ndpt               # replay + check against the header
 package main
 
@@ -65,6 +66,7 @@ type options struct {
 	stats      bool
 	out        string // -o: binary capture file
 	allThreads bool   // capture every thread's stream (-o only)
+	pcs        bool   // -pc: capture instruction PCs (format v2)
 	verify     string // -verify: replay a capture and check its header
 }
 
@@ -124,16 +126,27 @@ func emit(opts options, w io.Writer) (err error) {
 		return nil
 	}
 
-	fmt.Fprintln(out, trace.CSVHeader)
+	header := trace.CSVHeader
+	if opts.pcs {
+		header = trace.CSVHeaderPC
+	}
+	fmt.Fprintln(out, header)
 	for i := uint64(0); i < opts.ops; i++ {
 		gen.Next(&op)
+		kind := ""
 		switch op.Kind {
 		case workload.Load:
-			fmt.Fprintf(out, "L,%#x\n", uint64(op.Addr))
+			kind = "L"
 		case workload.Store:
-			fmt.Fprintf(out, "S,%#x\n", uint64(op.Addr))
+			kind = "S"
 		case workload.Compute:
 			fmt.Fprintf(out, "C,%d\n", op.Cycles)
+			continue
+		}
+		if opts.pcs {
+			fmt.Fprintf(out, "%s,%#x,%#x\n", kind, uint64(op.Addr), op.PC)
+		} else {
+			fmt.Fprintf(out, "%s,%#x\n", kind, uint64(op.Addr))
 		}
 	}
 	return nil
@@ -151,12 +164,15 @@ func capture(opts options) error {
 		first, streams = 0, opts.threads
 	}
 	w := trace.NewWriter(opts.workload, opts.seed, streams)
+	if opts.pcs {
+		w = trace.NewWriterPC(opts.workload, opts.seed, streams)
+	}
 	var op workload.Op
 	for s := 0; s < streams; s++ {
 		gen := wl.Thread(first+s, threadSeed(opts.seed, first+s))
 		for i := uint64(0); i < opts.ops; i++ {
 			gen.Next(&op)
-			w.Append(s, trace.Op{Kind: trace.Kind(op.Kind), Addr: uint64(op.Addr), Cycles: op.Cycles})
+			w.Append(s, trace.Op{Kind: trace.Kind(op.Kind), Addr: uint64(op.Addr), PC: op.PC, Cycles: op.Cycles})
 		}
 	}
 	f, err := os.Create(opts.out)
@@ -256,6 +272,7 @@ func main() {
 	flag.BoolVar(&opts.stats, "stats", false, "print an op-mix summary instead of the trace")
 	flag.StringVar(&opts.out, "o", "", "write a binary .ndpt capture to FILE instead of CSV on stdout")
 	flag.BoolVar(&opts.allThreads, "all-threads", false, "capture every thread's stream (requires -o)")
+	flag.BoolVar(&opts.pcs, "pc", false, "record instruction PCs in the capture (format v2, requires -o; v1 without)")
 	flag.StringVar(&opts.verify, "verify", "", "replay capture FILE and check it against its header")
 	flag.Parse()
 

@@ -91,50 +91,69 @@ func sourceOps(t *testing.T, opts options, thread int, n uint64) []workload.Op {
 
 // TestRoundTripAllWorkloads pins the platform's core property: for
 // every built-in workload, capture -> binary file -> "trace:" replay
-// reproduces the identical per-core op stream (kind, address, cycles),
-// including multi-stream demux.
+// reproduces the identical per-core op stream, including multi-stream
+// demux. A v1 capture carries kind, address, and cycles (PCs are
+// discarded on the wire and replay as zero); a v2 capture (-pc) must
+// reproduce the instruction PCs too.
 func TestRoundTripAllWorkloads(t *testing.T) {
 	for _, name := range workload.Names() {
-		t.Run(name, func(t *testing.T) {
-			opts := baseOpts()
-			opts.workload = name
-			opts.ops = 400
-			opts.threads = 2
-			opts.allThreads = true
-			opts.out = filepath.Join(t.TempDir(), name+".ndpt")
-			if err := run(opts, &strings.Builder{}); err != nil {
-				t.Fatal(err)
+		for _, pcs := range []bool{false, true} {
+			ver := "v1"
+			if pcs {
+				ver = "v2"
 			}
+			t.Run(name+"/"+ver, func(t *testing.T) {
+				opts := baseOpts()
+				opts.workload = name
+				opts.ops = 400
+				opts.threads = 2
+				opts.allThreads = true
+				opts.pcs = pcs
+				opts.out = filepath.Join(t.TempDir(), name+".ndpt")
+				if err := run(opts, &strings.Builder{}); err != nil {
+					t.Fatal(err)
+				}
 
-			hdr, err := trace.Sniff(opts.out)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if hdr.Streams() != 2 || hdr.TotalOps() != 800 {
-				t.Fatalf("header = %d streams / %d ops, want 2 / 800", hdr.Streams(), hdr.TotalOps())
-			}
+				hdr, err := trace.Sniff(opts.out)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if hdr.Streams() != 2 || hdr.TotalOps() != 800 {
+					t.Fatalf("header = %d streams / %d ops, want 2 / 800", hdr.Streams(), hdr.TotalOps())
+				}
+				wantVer := uint64(trace.Version)
+				if pcs {
+					wantVer = trace.VersionPC
+				}
+				if hdr.Version != wantVer {
+					t.Fatalf("capture version = %d, want %d", hdr.Version, wantVer)
+				}
 
-			// Replay onto a bump allocator at the capture base: the
-			// replay's region lands where the capture's lowest address
-			// was, so streams must match byte for byte.
-			spec, err := workload.Lookup(workload.TracePrefix + opts.out)
-			if err != nil {
-				t.Fatal(err)
-			}
-			wl := spec.New()
-			wl.Init(&traceMem{brk: addr.V(hdr.Base)}, xrand.New(1), 0, 2)
-			var got workload.Op
-			for thread := 0; thread < 2; thread++ {
-				want := sourceOps(t, opts, thread, opts.ops)
-				gen := wl.Thread(thread, 7) // replay ignores the seed
-				for i, w := range want {
-					gen.Next(&got)
-					if got != w {
-						t.Fatalf("thread %d op %d: replay %+v, capture %+v", thread, i, got, w)
+				// Replay onto a bump allocator at the capture base: the
+				// replay's region lands where the capture's lowest address
+				// was, so streams must match byte for byte.
+				spec, err := workload.Lookup(workload.TracePrefix + opts.out)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wl := spec.New()
+				wl.Init(&traceMem{brk: addr.V(hdr.Base)}, xrand.New(1), 0, 2)
+				var got workload.Op
+				for thread := 0; thread < 2; thread++ {
+					want := sourceOps(t, opts, thread, opts.ops)
+					gen := wl.Thread(thread, 7) // replay ignores the seed
+					for i, w := range want {
+						gen.Next(&got)
+						if !pcs {
+							w.PC = 0 // v1 discards PCs on the wire
+						}
+						if got != w {
+							t.Fatalf("thread %d op %d: replay %+v, capture %+v", thread, i, got, w)
+						}
 					}
 				}
-			}
-		})
+			})
+		}
 	}
 }
 

@@ -97,6 +97,10 @@ func (e *Experiments) Fig14() (*Table, error) { return e.r().Fig14() }
 // Ablation decomposes NDPage into bypass-only and flatten-only variants.
 func (e *Experiments) Ablation() (*Table, error) { return e.r().Ablation() }
 
+// MechanismComparison sweeps the paper's baselines plus the related-work
+// mechanisms (Victima, NMT, PCAX) on the 4-core NDP system.
+func (e *Experiments) MechanismComparison() (*Table, error) { return e.r().MechanismComparison() }
+
 // PWCSensitivity measures walks with and without page-walk caches
 // (DESIGN.md ablation 2).
 func (e *Experiments) PWCSensitivity() (*Table, error) { return e.r().PWCSensitivity() }

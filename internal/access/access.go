@@ -27,14 +27,16 @@ func (o Op) String() string {
 type Class uint8
 
 // Request classes. Data is normal program data; PTE is page-table metadata
-// (the paper's "metadata"); Code is instruction fetch.
+// (the paper's "metadata"); Code is instruction fetch; Xlat is a cached
+// translation block (Victima-style PTE blocks living in a data cache).
 const (
 	Data Class = iota
 	PTE
 	Code
+	Xlat
 
 	// NumClasses is the number of distinct classes, for array sizing.
-	NumClasses = 3
+	NumClasses = 4
 )
 
 // String returns the class name used in reports.
@@ -46,6 +48,8 @@ func (c Class) String() string {
 		return "pte"
 	case Code:
 		return "code"
+	case Xlat:
+		return "xlat"
 	default:
 		return "unknown"
 	}

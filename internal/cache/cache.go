@@ -48,6 +48,10 @@ type Stats struct {
 	// DataEvictedByPTE counts normal-data victim lines displaced by a
 	// PTE fill — the paper's cache-pollution effect.
 	DataEvictedByPTE stats.Counter
+	// DataEvictedByXlat counts normal-data victim lines displaced by a
+	// Victima translation-block fill — the same pollution effect for
+	// blocks the TLB-miss predictor admitted.
+	DataEvictedByXlat stats.Counter
 	// Bypassed counts requests routed around this cache entirely (the
 	// memory system records them here so the L1 ledger stays complete).
 	Bypassed stats.Counter
@@ -122,7 +126,39 @@ func (c *Cache) Fill(line uint64, op access.Op, class access.Class) (Eviction, b
 	if class == access.PTE && vSt.class == access.Data {
 		c.stats.DataEvictedByPTE.Inc()
 	}
+	if class == access.Xlat && vSt.class == access.Data {
+		c.stats.DataEvictedByXlat.Inc()
+	}
 	return Eviction{Line: vKey, Dirty: vSt.dirty, Class: vSt.class}, true
+}
+
+// Translation blocks (the Victima mechanism) live in the same
+// set-associative storage as data lines — competing for the same ways,
+// which is the mechanism's whole point — but are keyed by virtual page
+// block, not physical line. A tag bit keeps the two key spaces apart
+// (physical line numbers occupy the low bits; bit 63 is never a line).
+
+// XlatBlockPages is the number of 4K translations one cached
+// translation block covers: a 64 B line holds eight 8 B PTEs.
+const XlatBlockPages = 8
+
+// xlatTag marks a translation-block key apart from physical line keys.
+const xlatTag = uint64(1) << 63
+
+func xlatKey(vpn addr.VPN) uint64 { return xlatTag | uint64(vpn)/XlatBlockPages }
+
+// LookupXlat probes for the translation block covering vpn, recording
+// the hit or miss under the Xlat class.
+func (c *Cache) LookupXlat(vpn addr.VPN) bool {
+	return c.Lookup(xlatKey(vpn), access.Read, access.Xlat)
+}
+
+// FillXlat inserts the translation block covering vpn. Translation
+// blocks are never dirty (the walker rereads the table on eviction), so
+// the returned eviction needs handling only when it displaced a dirty
+// data line.
+func (c *Cache) FillXlat(vpn addr.VPN) (Eviction, bool) {
+	return c.Fill(xlatKey(vpn), access.Read, access.Xlat)
 }
 
 // Access is the common probe-then-fill sequence: Lookup, and on a miss,

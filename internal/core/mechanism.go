@@ -46,6 +46,24 @@ const (
 	// BypassOnly is the conventional radix table with NDPage's L1
 	// metadata bypass.
 	BypassOnly
+
+	// Related-work mechanisms (DESIGN.md "Mechanism zoo"): strong
+	// baselines from the surrounding NDP-translation literature.
+
+	// Victima caches translation blocks in the shared last-level data
+	// cache, gated by a TLB-miss predictor; a hit short-circuits the
+	// radix walk (Kanellopoulos et al., MICRO 2023).
+	Victima
+	// NMT is near-memory translation via identity-mapped segments:
+	// eagerly populated regions translate with a range check, bypassing
+	// the walker; holes fall back to the radix walk (Picorel et al.,
+	// MEMSYS 2017).
+	NMT
+	// PCAX indexes translations by the instruction PC of the access: a
+	// PC-indexed table consulted on L1-TLB miss exploits the stability
+	// of the page each static instruction touches (PC-indexed
+	// translation caching).
+	PCAX
 )
 
 // Mechanisms lists the paper's evaluated mechanisms in presentation order.
@@ -53,6 +71,10 @@ var Mechanisms = []Mechanism{Radix, ECH, HugePage, NDPage, Ideal}
 
 // AblationMechanisms lists the NDPage decomposition variants.
 var AblationMechanisms = []Mechanism{Radix, BypassOnly, FlattenOnly, NDPage}
+
+// ComparisonMechanisms lists the cross-literature comparison set: the
+// paper's mechanisms plus the related-work baselines, Ideal last.
+var ComparisonMechanisms = []Mechanism{Radix, ECH, HugePage, NDPage, Victima, NMT, PCAX, Ideal}
 
 // String names the mechanism as in the paper's figures.
 func (m Mechanism) String() string {
@@ -71,20 +93,26 @@ func (m Mechanism) String() string {
 		return "FlattenOnly"
 	case BypassOnly:
 		return "BypassOnly"
+	case Victima:
+		return "Victima"
+	case NMT:
+		return "NMT"
+	case PCAX:
+		return "PCAX"
 	default:
 		return fmt.Sprintf("Mechanism(%d)", int(m))
 	}
 }
 
 // ParseMechanism resolves a case-sensitive mechanism name, including the
-// ablation variants.
+// ablation variants and the related-work baselines.
 func ParseMechanism(s string) (Mechanism, error) {
-	for _, m := range []Mechanism{Radix, ECH, HugePage, NDPage, Ideal, FlattenOnly, BypassOnly} {
+	for _, m := range []Mechanism{Radix, ECH, HugePage, NDPage, Ideal, FlattenOnly, BypassOnly, Victima, NMT, PCAX} {
 		if m.String() == s {
 			return m, nil
 		}
 	}
-	return 0, fmt.Errorf("unknown mechanism %q (want Radix, ECH, HugePage, NDPage, Ideal, FlattenOnly or BypassOnly)", s)
+	return 0, fmt.Errorf("unknown mechanism %q (want Radix, ECH, HugePage, NDPage, Ideal, FlattenOnly, BypassOnly, Victima, NMT or PCAX)", s)
 }
 
 // Policy returns the OS page-size policy the mechanism requires.
@@ -111,10 +139,11 @@ func (m Mechanism) NewTable(alloc *phys.Allocator) pagetable.Table {
 
 // PWCConfig returns the page-walk-cache configuration, or ok=false for
 // mechanisms without PWCs (ECH uses parallel hashing; Ideal walks never
-// happen).
+// happen). The related-work baselines walk the conventional radix table,
+// so they keep the conventional PWCs.
 func (m Mechanism) PWCConfig() (pwc.Config, bool) {
 	switch m {
-	case Radix, HugePage, BypassOnly:
+	case Radix, HugePage, BypassOnly, Victima, NMT, PCAX:
 		return pwc.Default(), true
 	case NDPage, FlattenOnly:
 		return pwc.NDPage(), true

@@ -23,6 +23,12 @@ type Stats struct {
 	WalkCycles        stats.Counter
 	MaxWalkCycles     uint64
 	PTEAccesses       stats.Counter // PTE memory requests actually issued
+	// IdentityHits and IdentityMisses count the NMT identity-segment
+	// range check: hits resolve at identityCheckLat with no TLB or walk
+	// activity; misses fall through to the conventional path. Zero
+	// unless Options.Identity was set.
+	IdentityHits   stats.Counter
+	IdentityMisses stats.Counter
 }
 
 // MeanWalkLatency returns the average page-table-walk latency in cycles
@@ -30,6 +36,18 @@ type Stats struct {
 func (s *Stats) MeanWalkLatency() float64 {
 	return stats.Ratio(s.WalkCycles.Value(), s.Walks.Value())
 }
+
+// IdentityMapper is the OS-side contract for the NMT mechanism (Picorel
+// et al., MEMSYS 2017): IdentityCovered reports whether v lies in an
+// identity-mapped segment, where physical = virtual and the MMU may
+// skip TLBs and walker entirely. osmm.AddressSpace satisfies it.
+type IdentityMapper interface {
+	IdentityCovered(v addr.V) bool
+}
+
+// identityCheckLat is the NMT range check's cost in cycles: a pair of
+// bound registers compared in parallel with decode.
+const identityCheckLat = 1
 
 // WalkUnit bundles a hardware page-table walker with the page-walk
 // caches it probes. One unit normally serves one MMU; a shared unit
@@ -52,6 +70,14 @@ func NewWalkUnit(mech Mechanism, table pagetable.Table, mem *memsys.Hierarchy, o
 		u.PWCs = pwc.New(cfg)
 		wcfg.Cache = u.PWCs
 	}
+	if mech == Victima && mem != nil {
+		// The hierarchy owns the translation-block store (built when its
+		// VictimaGate is set); the guard keeps the interface nil — not
+		// typed-nil — when the store is absent.
+		if v := mem.Victima(); v != nil {
+			wcfg.Xlat = v
+		}
+	}
 	u.Walker = walker.New(table, mem, wcfg)
 	return u
 }
@@ -69,11 +95,18 @@ type MMU struct {
 	unit   *WalkUnit
 	table  pagetable.Table
 
+	// identity is the NMT identity-segment range check (nil unless
+	// Options.Identity was set); pcx is the PCAX PC-indexed table (nil
+	// unless Options.PCXEntries was set).
+	identity IdentityMapper
+	pcx      *tlb.PCX
+
 	// dtlbLat/stlbLat cache the constant probe latencies: Translate runs
 	// per simulated load/store and the TLB hit path should read MMU-local
 	// fields, not chase each TLB's config.
 	dtlbLat uint64
 	stlbLat uint64
+	pcxLat  uint64
 
 	// xlatFree heads the free list of pooled async-translation records,
 	// so a TLB miss in the event-scheduled path allocates nothing in
@@ -100,6 +133,7 @@ type xlatReq struct {
 	vpn    addr.VPN
 	v      addr.V
 	now    uint64
+	pc     uint64
 	client TranslationClient
 	next   *xlatReq
 }
@@ -117,6 +151,9 @@ func (r *xlatReq) OnWalkDone(resp walker.Response) {
 	te := tlb.Entry{PFN: resp.Entry.PFN, Huge: resp.Entry.Huge}
 	m.dtlb.Insert(r.vpn, te)
 	m.stlb.Insert(r.vpn, te)
+	if m.pcx != nil && r.pc != 0 {
+		m.pcx.Insert(r.pc, r.vpn, te)
+	}
 	m.stats.TranslationCycles.Add(resp.Done - r.now)
 	client, pa := r.client, physical(resp.Entry, r.v)
 	m.putXlat(r)
@@ -124,14 +161,14 @@ func (r *xlatReq) OnWalkDone(resp walker.Response) {
 }
 
 // getXlat takes a pooled translation record (or grows the pool).
-func (m *MMU) getXlat(vpn addr.VPN, v addr.V, now uint64, client TranslationClient) *xlatReq {
+func (m *MMU) getXlat(vpn addr.VPN, v addr.V, now uint64, pc uint64, client TranslationClient) *xlatReq {
 	r := m.xlatFree
 	if r == nil {
 		r = &xlatReq{m: m}
 	} else {
 		m.xlatFree = r.next
 	}
-	r.vpn, r.v, r.now, r.client, r.next = vpn, v, now, client, nil
+	r.vpn, r.v, r.now, r.pc, r.client, r.next = vpn, v, now, pc, client, nil
 	return r
 }
 
@@ -160,6 +197,13 @@ type Options struct {
 	// one; DisablePWC, ECHWayPrediction, and WalkerWidth are then
 	// properties of that unit.
 	SharedUnit *WalkUnit
+	// Identity, when non-nil, enables the NMT identity-segment fast
+	// path: covered addresses translate in identityCheckLat cycles with
+	// no TLB or walker activity.
+	Identity IdentityMapper
+	// PCXEntries, when > 0, builds a PC-indexed translation table of
+	// that many entries (the PCAX mechanism), probed on L1-TLB miss.
+	PCXEntries int
 }
 
 // NewMMU assembles the MMU for mech on core coreID. The TLB geometry is
@@ -180,6 +224,13 @@ func NewMMUWithOptions(mech Mechanism, coreID int, table pagetable.Table, mem *m
 	}
 	m.dtlbLat = m.dtlb.Latency()
 	m.stlbLat = m.stlb.Latency()
+	m.identity = opts.Identity
+	if opts.PCXEntries > 0 {
+		pcfg := tlb.DefaultPCX()
+		pcfg.Entries = opts.PCXEntries
+		m.pcx = tlb.NewPCX(pcfg)
+		m.pcxLat = m.pcx.Latency()
+	}
 	if opts.SharedUnit != nil {
 		m.unit = opts.SharedUnit
 	} else {
@@ -218,6 +269,10 @@ func (m *MMU) STLB() *tlb.TLB { return m.stlb }
 // PWC returns the page-walk caches, or nil.
 func (m *MMU) PWC() *pwc.PWC { return m.unit.PWCs }
 
+// PCXTable returns the PC-indexed translation table, or nil when
+// Options.PCXEntries was zero.
+func (m *MMU) PCXTable() *tlb.PCX { return m.pcx }
+
 // ResetStats zeroes all translation counters (TLB/PWC/MSHR contents
 // persist).
 func (m *MMU) ResetStats() {
@@ -229,13 +284,25 @@ func (m *MMU) ResetStats() {
 	if m.unit.PWCs != nil {
 		m.unit.PWCs.ResetStats()
 	}
+	if m.pcx != nil {
+		m.pcx.ResetStats()
+	}
 }
 
 // Translate resolves the data-side virtual address v at absolute time now
 // and returns the physical address plus the absolute completion time. The
 // page must already be mapped (the OS model faults before translation, as
-// a real OS resolves the fault and restarts the access).
+// a real OS resolves the fault and restarts the access). Equivalent to
+// TranslatePC with no instruction PC (mechanisms that key on the PC see
+// a degenerate zero key and fall through to the conventional path).
 func (m *MMU) Translate(now uint64, v addr.V, op access.Op) (addr.P, uint64) {
+	return m.TranslatePC(now, v, op, 0)
+}
+
+// TranslatePC is Translate with the PC of the issuing instruction (zero
+// when unknown). The PC feeds the PCAX table; every other mechanism
+// ignores it.
+func (m *MMU) TranslatePC(now uint64, v addr.V, op access.Op, pc uint64) (addr.P, uint64) {
 	m.stats.Translations.Inc()
 	if m.mech == Ideal {
 		// Every request hits an L1 TLB of zero latency (Section VI).
@@ -245,11 +312,25 @@ func (m *MMU) Translate(now uint64, v addr.V, op access.Op) (addr.P, uint64) {
 		}
 		return physical(e, v), now
 	}
+	if m.identity != nil {
+		if pa, ok := m.identityTranslate(v); ok {
+			m.stats.TranslationCycles.Add(identityCheckLat)
+			return pa, now + identityCheckLat
+		}
+	}
 	vpn := v.Page()
 	t := now + m.dtlbLat
 	if e, ok := m.dtlb.Lookup(vpn); ok {
 		m.stats.TranslationCycles.Add(t - now)
 		return physical(pagetable.Entry(e), v), t
+	}
+	if m.pcx != nil && pc != 0 {
+		t += m.pcxLat
+		if e, ok := m.pcx.Lookup(pc, vpn); ok {
+			m.dtlb.Insert(vpn, e)
+			m.stats.TranslationCycles.Add(t - now)
+			return physical(pagetable.Entry(e), v), t
+		}
 	}
 	t += m.stlbLat
 	if e, ok := m.stlb.Lookup(vpn); ok {
@@ -264,8 +345,27 @@ func (m *MMU) Translate(now uint64, v addr.V, op access.Op) (addr.P, uint64) {
 	te := tlb.Entry{PFN: resp.Entry.PFN, Huge: resp.Entry.Huge}
 	m.dtlb.Insert(vpn, te)
 	m.stlb.Insert(vpn, te)
+	if m.pcx != nil && pc != 0 {
+		m.pcx.Insert(pc, vpn, te)
+	}
 	m.stats.TranslationCycles.Add(resp.Done - now)
 	return physical(resp.Entry, v), resp.Done
+}
+
+// identityTranslate runs the NMT range check: a covered address still
+// consults the page table for the leaf entry (the model keeps one
+// authoritative mapping), but charges only the check's latency — the
+// lookup stands in for wiring physical = virtual through the datapath.
+// An uncovered or unmapped address falls back to the conventional path.
+func (m *MMU) identityTranslate(v addr.V) (addr.P, bool) {
+	if m.identity.IdentityCovered(v) {
+		if e, ok := m.table.Lookup(v.Page()); ok {
+			m.stats.IdentityHits.Inc()
+			return physical(e, v), true
+		}
+	}
+	m.stats.IdentityMisses.Inc()
+	return 0, false
 }
 
 // TranslateAsync resolves v as a request/completion pair on the event
@@ -280,6 +380,12 @@ func (m *MMU) Translate(now uint64, v addr.V, op access.Op) (addr.P, uint64) {
 // allocates nothing in steady state. Used by the non-blocking core
 // model (sim.Config.MLP > 1); the blocking model keeps Translate.
 func (m *MMU) TranslateAsync(s walker.Scheduler, now uint64, v addr.V, op access.Op, client TranslationClient) {
+	m.TranslateAsyncPC(s, now, v, op, 0, client)
+}
+
+// TranslateAsyncPC is TranslateAsync with the PC of the issuing
+// instruction (zero when unknown); see TranslatePC.
+func (m *MMU) TranslateAsyncPC(s walker.Scheduler, now uint64, v addr.V, op access.Op, pc uint64, client TranslationClient) {
 	m.stats.Translations.Inc()
 	if m.mech == Ideal {
 		e, ok := m.table.Lookup(v.Page())
@@ -289,12 +395,28 @@ func (m *MMU) TranslateAsync(s walker.Scheduler, now uint64, v addr.V, op access
 		client.OnTranslated(physical(e, v), now)
 		return
 	}
+	if m.identity != nil {
+		if pa, ok := m.identityTranslate(v); ok {
+			m.stats.TranslationCycles.Add(identityCheckLat)
+			client.OnTranslated(pa, now+identityCheckLat)
+			return
+		}
+	}
 	vpn := v.Page()
 	t := now + m.dtlbLat
 	if e, ok := m.dtlb.Lookup(vpn); ok {
 		m.stats.TranslationCycles.Add(t - now)
 		client.OnTranslated(physical(pagetable.Entry(e), v), t)
 		return
+	}
+	if m.pcx != nil && pc != 0 {
+		t += m.pcxLat
+		if e, ok := m.pcx.Lookup(pc, vpn); ok {
+			m.dtlb.Insert(vpn, e)
+			m.stats.TranslationCycles.Add(t - now)
+			client.OnTranslated(physical(pagetable.Entry(e), v), t)
+			return
+		}
 	}
 	t += m.stlbLat
 	if e, ok := m.stlb.Lookup(vpn); ok {
@@ -303,7 +425,7 @@ func (m *MMU) TranslateAsync(s walker.Scheduler, now uint64, v addr.V, op access
 		client.OnTranslated(physical(pagetable.Entry(e), v), t)
 		return
 	}
-	m.unit.Walker.WalkAsync(s, walker.Request{Core: m.coreID, V: v, Time: t}, m.getXlat(vpn, v, now, client))
+	m.unit.Walker.WalkAsync(s, walker.Request{Core: m.coreID, V: v, Time: t}, m.getXlat(vpn, v, now, pc, client))
 }
 
 // TranslateCode resolves an instruction-fetch address. Fetch translation

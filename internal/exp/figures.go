@@ -369,6 +369,56 @@ func (r *Runner) Ablation() (*stats.Table, error) {
 	return t, nil
 }
 
+// MechanismComparison sweeps the full mechanism zoo on the 4-core NDP
+// system: the paper's baselines plus the related-work mechanisms added
+// behind the same Config axis — Victima (translation blocks in the data
+// cache), NMT (near-memory identity segments), and PCAX (a PC-indexed
+// translation table). Speedup over Radix per workload, geomean last.
+// Each mechanism runs with its documented default knobs (DESIGN.md
+// "Mechanism zoo").
+func (r *Runner) MechanismComparison() (*stats.Table, error) {
+	plan := sweep.Plan{
+		Base:       r.base(),
+		Systems:    []memsys.Kind{memsys.NDP},
+		Mechanisms: core.ComparisonMechanisms,
+		Cores:      []int{4},
+		Workloads:  r.WorkloadNames(),
+	}
+	if err := r.prefetch(plan); err != nil {
+		return nil, err
+	}
+	mechs := []core.Mechanism{core.ECH, core.HugePage, core.Victima, core.NMT, core.PCAX, core.NDPage, core.Ideal}
+	t := stats.NewTable("Mechanism comparison: speedup over Radix, 4-core NDP",
+		"workload", "ECH", "HugePage", "Victima", "NMT", "PCAX", "NDPage", "Ideal")
+	perMech := map[core.Mechanism][]float64{}
+	for _, wl := range r.WorkloadNames() {
+		baseRes, err := r.get(r.matrix(memsys.NDP, core.Radix, 4, wl))
+		if err != nil {
+			return nil, err
+		}
+		base := baseRes.Cycles
+		row := []string{wl}
+		for _, m := range mechs {
+			res, err := r.get(r.matrix(memsys.NDP, m, 4, wl))
+			if err != nil {
+				return nil, err
+			}
+			s := float64(base) / float64(res.Cycles)
+			perMech[m] = append(perMech[m], s)
+			row = append(row, stats.F3(s))
+		}
+		t.AddRow(row...)
+	}
+	row := []string{"geomean"}
+	for _, m := range mechs {
+		row = append(row, stats.F3(stats.GeoMean(perMech[m])))
+	}
+	t.AddRow(row...)
+	t.AddNote("Victima: Kanellopoulos et al. (MICRO 2023); NMT: Picorel et al. (MEMSYS 2017); PCAX: PC-indexed translation")
+	t.AddNote("the NDP system has no shared LLC, so Victima's translation blocks live in the tiny L1D and NMT depends on eager population")
+	return t, nil
+}
+
 // All runs every experiment and returns the tables in report order,
 // stopping at the first failing simulation.
 func (r *Runner) All() ([]*stats.Table, error) {

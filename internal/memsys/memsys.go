@@ -52,6 +52,10 @@ type Config struct {
 	// BypassL1PTE enables NDPage's metadata bypass (PTE-class requests
 	// skip the L1 and go straight to memory).
 	BypassL1PTE bool
+	// VictimaGate enables the Victima translation-block store when > 0:
+	// the shared last-level cache accepts leaf translation blocks, and
+	// a block is admitted after VictimaGate walks have demanded it.
+	VictimaGate int
 }
 
 // Default returns the Table I configuration for the given kind and core
@@ -78,13 +82,14 @@ func Default(kind Kind, cores int) Config {
 // Hierarchy is the instantiated memory system. Not safe for concurrent
 // use; the simulator serializes accesses in global time order.
 type Hierarchy struct {
-	cfg  Config
-	l1d  []*cache.Cache
-	l1i  []*cache.Cache
-	l2   []*cache.Cache
-	l3   *cache.Cache
-	mesh *noc.Mesh
-	mem  *dram.Memory
+	cfg     Config
+	l1d     []*cache.Cache
+	l1i     []*cache.Cache
+	l2      []*cache.Cache
+	l3      *cache.Cache
+	mesh    *noc.Mesh
+	mem     *dram.Memory
+	victima *VictimaStore
 }
 
 // New instantiates the hierarchy.
@@ -115,6 +120,9 @@ func New(cfg Config) *Hierarchy {
 		l3.Size *= uint64(cfg.Cores) // 2 MB per core, shared
 		h.l3 = cache.New(l3)
 	}
+	if cfg.VictimaGate > 0 {
+		h.victima = newVictimaStore(h, cfg.VictimaGate)
+	}
 	return h
 }
 
@@ -143,6 +151,10 @@ func (h *Hierarchy) Mesh() *noc.Mesh { return h.mesh }
 
 // DRAM returns the memory device.
 func (h *Hierarchy) DRAM() *dram.Memory { return h.mem }
+
+// Victima returns the translation-block store, or nil when
+// Config.VictimaGate is zero.
+func (h *Hierarchy) Victima() *VictimaStore { return h.victima }
 
 // Access issues one 64 B request from a core at absolute time now and
 // returns the absolute completion time.
@@ -251,4 +263,7 @@ func (h *Hierarchy) ResetStats() {
 	}
 	*h.mesh.Stats() = noc.Stats{}
 	*h.mem.Stats() = dram.Stats{}
+	if h.victima != nil {
+		h.victima.ResetStats()
+	}
 }

@@ -96,6 +96,18 @@ type Config struct {
 	// chunk charges ReclaimCost to the faulting core. Zero disables
 	// the limit (the default: datasets fit).
 	ResidentLimitFrames uint64
+	// IdentityMap tracks eagerly populated 2 MB chunks as
+	// identity-mapped segments (the NMT mechanism, Picorel et al.): a
+	// covered address translates with an O(1) range check instead of a
+	// walk. Chunks populated before the measurement window are covered;
+	// demand-faulted chunks are not (they fall back to the radix walk)
+	// unless IdentityPromote also covers them. Reclaimed chunks lose
+	// coverage either way.
+	IdentityMap bool
+	// IdentityPromote extends identity coverage to chunks that fault in
+	// on demand, modelling an OS that re-establishes segment mappings
+	// as pages arrive.
+	IdentityPromote bool
 }
 
 // DefaultConfig returns the cost model used by the experiments: a 4 KB
@@ -168,6 +180,11 @@ type AddressSpace struct {
 	// map — no bucket probe on the demand-paging path.
 	fallback4K bitset.Paged
 	holeRNG    *xrand.RNG
+
+	// identity marks 2 MB chunks covered by identity-mapped segments
+	// (by chunk ordinal; only maintained when cfg.IdentityMap is set,
+	// so the disabled paths stay untouched).
+	identity bitset.Paged
 
 	// Reclaim state (active when cfg.ResidentLimitFrames > 0): FIFO of
 	// resident chunks, the resident-chunk bitmap, and the current
@@ -254,6 +271,9 @@ func (as *AddressSpace) noteResident(chunk addr.VPN, pages uint64) uint64 {
 // the allocator and charging the reclaim cost.
 func (as *AddressSpace) reclaimChunk(chunk addr.VPN) uint64 {
 	as.residentSet.Clear(chunkKey(chunk))
+	if as.cfg.IdentityMap {
+		as.identity.Clear(chunkKey(chunk))
+	}
 	// Drop the unmapped VPNs from the Touch fast-path cache (clearing a
 	// slot another VPN happens to hold is harmless — it is a positive
 	// cache).
@@ -355,6 +375,11 @@ func (as *AddressSpace) populate(r Region) {
 // populateChunk maps one 2 MB-aligned chunk starting at vpn.
 func (as *AddressSpace) populateChunk(vpn addr.VPN) {
 	as.noteResident(vpn, addr.EntriesPerTable)
+	// Eager population establishes identity-segment coverage; every
+	// path below maps the full chunk (or panics).
+	if as.cfg.IdentityMap {
+		as.identity.Set(chunkKey(vpn))
+	}
 	if as.cfg.Policy == Huge2M {
 		if base, ok := as.alloc.AllocHuge(); ok {
 			as.table.MapHuge(vpn, base)
@@ -423,6 +448,9 @@ func (as *AddressSpace) fault(v addr.V) uint64 {
 		if base, ok := as.alloc.AllocHuge(); ok {
 			cost += as.noteResident(chunk, addr.EntriesPerTable)
 			as.table.MapHuge(chunk, base)
+			if as.cfg.IdentityMap && as.cfg.IdentityPromote {
+				as.identity.Set(chunkKey(chunk))
+			}
 			as.stats.Faults2M++
 			as.stats.Populated += addr.EntriesPerTable
 			as.stats.FaultCycles += cost + as.cfg.FaultCost2M
@@ -437,10 +465,26 @@ func (as *AddressSpace) fault(v addr.V) uint64 {
 		panic(fmt.Sprintf("osmm: out of physical memory at fault for %#x", uint64(v)))
 	}
 	as.table.Map(vpn, pfn)
+	if as.cfg.IdentityMap && as.cfg.IdentityPromote {
+		as.identity.Set(chunkKey(chunk))
+	}
 	as.stats.Faults4K++
 	as.stats.Populated++
 	as.stats.FaultCycles += cost + as.cfg.FaultCost4K
 	return cost + as.cfg.FaultCost4K
+}
+
+// IdentityCovered reports whether v lies in an identity-mapped segment
+// (the NMT range-check fast path): an O(1) bitmap probe, always false
+// when Config.IdentityMap is off. Coverage is chunk-granular; under
+// IdentityPromote a partially faulted chunk counts as covered, which is
+// safe because the MMU still resolves the actual frame through the
+// functional table and falls back to the walk when the page is absent.
+func (as *AddressSpace) IdentityCovered(v addr.V) bool {
+	if !as.cfg.IdentityMap || v < vaBase || v >= as.brk {
+		return false
+	}
+	return as.identity.Get(chunkKey(v.HugePage()))
 }
 
 // Translate resolves v through the table (functional, no timing): the

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"ndpage/internal/core"
 	"ndpage/internal/workload"
 )
 
@@ -51,6 +52,12 @@ func (c Config) Normalize() Config {
 	if c.MLP == 0 {
 		c.MLP = 1
 	}
+	if c.Mechanism == core.Victima && c.VictimaGate == 0 {
+		c.VictimaGate = 2
+	}
+	if c.Mechanism == core.PCAX && c.PCXEntries == 0 {
+		c.PCXEntries = 512
+	}
 	return c
 }
 
@@ -87,6 +94,33 @@ func (c Config) Validate() error {
 	if n.WalkerWidth > 1 && !n.SharedWalker && n.MLP == 1 {
 		return fmt.Errorf("sim: WalkerWidth %d is inert without SharedWalker on a blocking core (set SharedWalker or MLP > 1)",
 			n.WalkerWidth)
+	}
+	// Mechanism-specific knobs are inert under any other mechanism.
+	if n.VictimaGate != 0 && n.Mechanism != core.Victima {
+		return fmt.Errorf("sim: VictimaGate %d is inert under Mechanism %s (only Victima fills translation blocks)",
+			n.VictimaGate, n.Mechanism)
+	}
+	if n.VictimaGate < 0 {
+		return fmt.Errorf("sim: VictimaGate %d must not be negative", n.VictimaGate)
+	}
+	if n.PCXEntries != 0 && n.Mechanism != core.PCAX {
+		return fmt.Errorf("sim: PCXEntries %d is inert under Mechanism %s (only PCAX probes the PC-indexed table)",
+			n.PCXEntries, n.Mechanism)
+	}
+	if n.Mechanism == core.PCAX {
+		sets := n.PCXEntries / 4
+		if n.PCXEntries < 4 || n.PCXEntries%4 != 0 || sets&(sets-1) != 0 {
+			return fmt.Errorf("sim: PCXEntries %d must be 4 ways times a power-of-two set count", n.PCXEntries)
+		}
+	}
+	if n.IdentityPromote && n.Mechanism != core.NMT {
+		return fmt.Errorf("sim: IdentityPromote is inert under Mechanism %s (only NMT keeps identity segments)",
+			n.Mechanism)
+	}
+	// Without eager population no chunk is ever identity-covered, so the
+	// whole mechanism degenerates to Radix unless faults promote.
+	if n.Mechanism == core.NMT && n.DemandPaging && !n.IdentityPromote {
+		return fmt.Errorf("sim: Mechanism NMT is inert under DemandPaging (no chunk is identity-mapped; set IdentityPromote)")
 	}
 	return nil
 }
@@ -149,6 +183,15 @@ func (c Config) Desc() string {
 	}
 	if c.MLP > 1 {
 		s += fmt.Sprintf("+mlp=%d", c.MLP)
+	}
+	if c.VictimaGate > 0 {
+		s += fmt.Sprintf("+gate=%d", c.VictimaGate)
+	}
+	if c.IdentityPromote {
+		s += "+promote"
+	}
+	if c.PCXEntries > 0 {
+		s += fmt.Sprintf("+pcx=%d", c.PCXEntries)
 	}
 	return s
 }

@@ -38,6 +38,23 @@ func TestValidate(t *testing.T) {
 		{"wide shared walker", func(c *Config) { c.WalkerWidth = 4; c.SharedWalker = true }, ""},
 		{"wide private walker, MLP>1", func(c *Config) { c.WalkerWidth = 4; c.MLP = 4 }, ""},
 		{"width 1 private", func(c *Config) { c.WalkerWidth = 1 }, ""},
+		{"victima defaults", func(c *Config) { c.Mechanism = core.Victima }, ""},
+		{"victima explicit gate", func(c *Config) { c.Mechanism = core.Victima; c.VictimaGate = 4 }, ""},
+		{"inert victima gate", func(c *Config) { c.VictimaGate = 2 }, "inert"},
+		{"negative victima gate", func(c *Config) { c.Mechanism = core.Victima; c.VictimaGate = -1 }, "negative"},
+		{"nmt defaults", func(c *Config) { c.Mechanism = core.NMT }, ""},
+		{"inert identity promote", func(c *Config) { c.IdentityPromote = true }, "inert"},
+		{"nmt under demand paging", func(c *Config) { c.Mechanism = core.NMT; c.DemandPaging = true }, "IdentityPromote"},
+		{"nmt demand paging with promote", func(c *Config) {
+			c.Mechanism = core.NMT
+			c.DemandPaging = true
+			c.IdentityPromote = true
+		}, ""},
+		{"pcax defaults", func(c *Config) { c.Mechanism = core.PCAX }, ""},
+		{"pcax explicit entries", func(c *Config) { c.Mechanism = core.PCAX; c.PCXEntries = 256 }, ""},
+		{"inert pcx entries", func(c *Config) { c.PCXEntries = 512 }, "inert"},
+		{"pcax bad geometry", func(c *Config) { c.Mechanism = core.PCAX; c.PCXEntries = 100 }, "power-of-two"},
+		{"pcax negative entries", func(c *Config) { c.Mechanism = core.PCAX; c.PCXEntries = -4 }, "power-of-two"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -108,6 +125,33 @@ func TestKeyIdentity(t *testing.T) {
 		if cfg.Key() == a.Key() {
 			t.Errorf("changing %s did not change the key", name)
 		}
+	}
+}
+
+// TestKeyMechanismKnobs: each mechanism-specific knob distinguishes keys
+// under its own mechanism (against that mechanism's defaults).
+func TestKeyMechanismKnobs(t *testing.T) {
+	for name, tc := range map[string]struct {
+		mech   core.Mechanism
+		mutate func(*Config)
+	}{
+		"victima gate":     {core.Victima, func(c *Config) { c.VictimaGate = 4 }},
+		"identity promote": {core.NMT, func(c *Config) { c.IdentityPromote = true }},
+		"pcx entries":      {core.PCAX, func(c *Config) { c.PCXEntries = 256 }},
+	} {
+		base := testCfg(memsys.NDP, 2, tc.mech, "rnd")
+		cfg := base
+		tc.mutate(&cfg)
+		if cfg.Key() == base.Key() {
+			t.Errorf("changing %s did not change the key", name)
+		}
+	}
+	// The knob defaults spelled out hash like the zero form.
+	zero := testCfg(memsys.NDP, 2, core.Victima, "rnd")
+	explicit := zero
+	explicit.VictimaGate = 2
+	if zero.Key() != explicit.Key() {
+		t.Error("explicit default VictimaGate changed the key")
 	}
 }
 
@@ -212,5 +256,21 @@ func TestDescMentionsKnobs(t *testing.T) {
 	}
 	if plain := testCfg(memsys.CPU, 1, core.ECH, "pr").Desc(); strings.Contains(plain, "+") {
 		t.Errorf("default-knob Desc %q has knob suffixes", plain)
+	}
+
+	mechCfg := testCfg(memsys.NDP, 2, core.Victima, "rnd")
+	mechCfg.VictimaGate = 3
+	if d := mechCfg.Desc(); !strings.Contains(d, "+gate=3") {
+		t.Errorf("Desc %q missing +gate=3", d)
+	}
+	mechCfg = testCfg(memsys.NDP, 2, core.NMT, "rnd")
+	mechCfg.IdentityPromote = true
+	if d := mechCfg.Desc(); !strings.Contains(d, "+promote") {
+		t.Errorf("Desc %q missing +promote", d)
+	}
+	mechCfg = testCfg(memsys.NDP, 2, core.PCAX, "rnd")
+	mechCfg.PCXEntries = 256
+	if d := mechCfg.Desc(); !strings.Contains(d, "+pcx=256") {
+		t.Errorf("Desc %q missing +pcx=256", d)
 	}
 }

@@ -62,6 +62,22 @@ type Result struct {
 	L1Bypassed       uint64
 	DataEvictedByPTE uint64
 
+	// Mechanism-specific activity (zero unless the mechanism ran).
+
+	// Victima translation-block store: walker probes/hits, predictor-
+	// admitted fills, predictor-deferred fill offers, and data lines
+	// displaced by translation blocks.
+	VictimaProbes     uint64
+	VictimaHits       uint64
+	VictimaFills      uint64
+	VictimaDeferred   uint64
+	DataEvictedByXlat uint64
+	// NMT identity-segment range checks (hits skip TLBs and walker).
+	IdentityHits   uint64
+	IdentityMisses uint64
+	// PCAX PC-indexed table probes, aggregated over cores.
+	PCX stats.HitMiss
+
 	// Memory traffic by class.
 	DRAM            [access.NumClasses]uint64
 	DRAMMeanLatency float64
@@ -128,11 +144,32 @@ func (m *Machine) collect() *Result {
 			}
 		}
 
+		ms := c.mmu.Stats()
+		r.IdentityHits += ms.IdentityHits.Value()
+		r.IdentityMisses += ms.IdentityMisses.Value()
+		if pcx := c.mmu.PCXTable(); pcx != nil {
+			r.PCX.Merge(*pcx.Stats())
+		}
+
 		l1 := m.hier.L1D(c.id).Stats()
 		r.L1Data.Merge(l1.PerClass[access.Data])
 		r.L1PTE.Merge(l1.PerClass[access.PTE])
 		r.L1Bypassed += l1.Bypassed.Value()
 		r.DataEvictedByPTE += l1.DataEvictedByPTE.Value()
+		r.DataEvictedByXlat += l1.DataEvictedByXlat.Value()
+	}
+
+	if v := m.hier.Victima(); v != nil {
+		vs := v.Stats()
+		r.VictimaProbes = vs.Probes.Value()
+		r.VictimaHits = vs.Hits.Value()
+		r.VictimaFills = vs.Fills.Value()
+		r.VictimaDeferred = vs.Deferred.Value()
+	}
+	if l3 := m.hier.L3(); l3 != nil {
+		// On CPU systems translation blocks live in the shared L3, so
+		// that is where they displace data.
+		r.DataEvictedByXlat += l3.Stats().DataEvictedByXlat.Value()
 	}
 
 	ds := m.hier.DRAM().Stats()
@@ -251,6 +288,22 @@ func (r *Result) PWCHitRate(l addr.Level) float64 {
 	}
 	return hm.HitRate()
 }
+
+// VictimaHitRate returns the fraction of walker probes of the Victima
+// translation-block store that hit (0 unless Mechanism is Victima).
+func (r *Result) VictimaHitRate() float64 {
+	return stats.Ratio(r.VictimaHits, r.VictimaProbes)
+}
+
+// IdentityHitRate returns the fraction of NMT range checks that resolved
+// by identity (0 unless Mechanism is NMT).
+func (r *Result) IdentityHitRate() float64 {
+	return stats.Ratio(r.IdentityHits, r.IdentityHits+r.IdentityMisses)
+}
+
+// PCXHitRate returns the PCAX table's hit rate on L1-TLB misses (0
+// unless Mechanism is PCAX).
+func (r *Result) PCXHitRate() float64 { return r.PCX.HitRate() }
 
 // CPI returns cycles (parallel) per instruction (per core).
 func (r *Result) CPI() float64 {

@@ -116,6 +116,24 @@ type Config struct {
 	// slots contend, MSHRs coalesce, and the in-flight histograms in
 	// Result fill out.
 	MLP int
+
+	// Mechanism-specific knobs (DESIGN.md "Mechanism zoo"). Each is
+	// meaningful only under its mechanism; Validate rejects the inert
+	// combinations.
+
+	// VictimaGate is Victima's TLB-miss-predictor threshold: a
+	// translation block is admitted into the last-level cache after this
+	// many walks have demanded it. Zero selects the default of 2 when
+	// Mechanism is Victima.
+	VictimaGate int
+	// IdentityPromote extends NMT's identity segments to demand-faulted
+	// chunks: without it only eagerly-populated chunks are covered, so
+	// under DemandPaging the mechanism would cover nothing (Validate
+	// rejects that combination).
+	IdentityPromote bool
+	// PCXEntries sizes PCAX's PC-indexed translation table. Zero selects
+	// the default of 512 entries (4-way) when Mechanism is PCAX.
+	PCXEntries int
 }
 
 // Machine is an assembled simulation ready to run.
@@ -206,6 +224,7 @@ func New(cfg Config) (*Machine, error) {
 
 	mcfg := memsys.Default(cfg.System, cfg.Cores)
 	mcfg.BypassL1PTE = cfg.Mechanism.BypassL1PTE()
+	mcfg.VictimaGate = cfg.VictimaGate // nonzero only under Victima (Validate)
 	if cfg.HBMChannels > 0 {
 		mcfg.DRAM.Channels = cfg.HBMChannels
 	}
@@ -219,6 +238,8 @@ func New(cfg Config) (*Machine, error) {
 	oscfg.HoleSeed = cfg.Seed * 7919
 	oscfg.DemandPaging = cfg.DemandPaging
 	oscfg.ResidentLimitFrames = cfg.ResidentLimitBytes / addr.PageSize
+	oscfg.IdentityMap = cfg.Mechanism == core.NMT
+	oscfg.IdentityPromote = cfg.IdentityPromote
 	space := osmm.New(table, alloc, oscfg)
 
 	w := spec.New()
@@ -229,6 +250,10 @@ func New(cfg Config) (*Machine, error) {
 		DisablePWC:       cfg.DisablePWC,
 		ECHWayPrediction: cfg.ECHWayPrediction,
 		WalkerWidth:      cfg.WalkerWidth,
+		PCXEntries:       cfg.PCXEntries, // nonzero only under PCAX (Validate)
+	}
+	if cfg.Mechanism == core.NMT {
+		opts.Identity = space
 	}
 	if cfg.SharedWalker {
 		opts.SharedUnit = core.NewWalkUnit(cfg.Mechanism, table, hier, opts)
@@ -333,8 +358,8 @@ func (m *Machine) stepMem(c *simCore) {
 		c.faultCycles += cost
 	}
 
-	// Address translation.
-	pa, tEnd := c.mmu.Translate(c.clock, v, op)
+	// Address translation (the op's PC feeds PCAX; others ignore it).
+	pa, tEnd := c.mmu.TranslatePC(c.clock, v, op, c.op.PC)
 	c.translationCycles += tEnd - c.clock
 	c.clock = tEnd
 
@@ -495,7 +520,7 @@ func (m *Machine) issueStaged(c *simCore) {
 			c.windowHist = append(c.windowHist, 0)
 		}
 		c.windowHist[c.inFlight]++
-		m.issueMemOp(c, c.clock, v, op)
+		m.issueMemOp(c, c.clock, v, op, c.op.PC)
 	}
 }
 
@@ -548,8 +573,8 @@ func (m *Machine) putMemOp(o *memOp) {
 // the translation completes as an engine event (inline for TLB hits),
 // the data access issues inside that completion, and a window-release
 // event retires the op.
-func (m *Machine) issueMemOp(c *simCore, issued uint64, v addr.V, op access.Op) {
-	c.mmu.TranslateAsync(m.eng, issued, v, op, m.getMemOp(c, issued, op))
+func (m *Machine) issueMemOp(c *simCore, issued uint64, v addr.V, op access.Op, pc uint64) {
+	c.mmu.TranslateAsyncPC(m.eng, issued, v, op, pc, m.getMemOp(c, issued, op))
 }
 
 // completeMemOp retires one in-flight op at time done and resumes a

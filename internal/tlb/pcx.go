@@ -1,0 +1,83 @@
+package tlb
+
+import (
+	"fmt"
+
+	"ndpage/internal/addr"
+	"ndpage/internal/assoc"
+	"ndpage/internal/stats"
+)
+
+// PCXConfig describes the PC-indexed translation table of the PCAX
+// mechanism.
+type PCXConfig struct {
+	Name    string
+	Entries int
+	Ways    int
+	Latency uint64 // cycles
+}
+
+// DefaultPCX returns the evaluated PCAX geometry: 512 entries, 4-way,
+// probed in one cycle alongside the L2 TLB path.
+func DefaultPCX() PCXConfig {
+	return PCXConfig{Name: "PCX", Entries: 512, Ways: 4, Latency: 1}
+}
+
+// pcxEntry pairs the cached translation with the page it was learned
+// for: a static instruction tends to keep touching the same page, and
+// the stored VPN is how a probe tells reuse from a stride onto a new
+// page.
+type pcxEntry struct {
+	vpn addr.VPN
+	e   Entry
+}
+
+// PCX is a PC-indexed translation table (the PCAX mechanism): entries
+// are keyed by the issuing instruction's PC rather than the accessed
+// page, exploiting the stability of the page each static memory
+// instruction touches. Consulted on L1-TLB miss; filled on walk
+// completion. Not safe for concurrent use.
+type PCX struct {
+	cfg   PCXConfig
+	table *assoc.Table[pcxEntry]
+	stats stats.HitMiss
+}
+
+// NewPCX builds the table; Entries/Ways must give a power-of-two set
+// count.
+func NewPCX(cfg PCXConfig) *PCX {
+	if cfg.Entries <= 0 || cfg.Ways <= 0 || cfg.Entries%cfg.Ways != 0 {
+		panic(fmt.Sprintf("tlb %q: invalid PCX geometry %+v", cfg.Name, cfg))
+	}
+	return &PCX{cfg: cfg, table: assoc.New[pcxEntry](cfg.Entries/cfg.Ways, cfg.Ways)}
+}
+
+// Latency returns the probe latency in cycles.
+func (p *PCX) Latency() uint64 { return p.cfg.Latency }
+
+// Stats returns the live hit/miss counters.
+func (p *PCX) Stats() *stats.HitMiss { return &p.stats }
+
+// ResetStats zeroes the counters (contents preserved).
+func (p *PCX) ResetStats() { p.stats = stats.HitMiss{} }
+
+// Lookup probes the entry for pc and returns its translation when it
+// still covers vpn; a stored entry for a different page is a miss (the
+// instruction moved on).
+func (p *PCX) Lookup(pc uint64, vpn addr.VPN) (Entry, bool) {
+	ent, ok := p.table.Lookup(pc)
+	if ok && ent.vpn == vpn {
+		p.stats.Hit()
+		return ent.e, true
+	}
+	p.stats.Miss()
+	return Entry{}, false
+}
+
+// Insert caches pc's latest translation.
+func (p *PCX) Insert(pc uint64, vpn addr.VPN, e Entry) {
+	p.table.Insert(pc, pcxEntry{vpn: vpn, e: e})
+}
+
+// Len returns the number of valid entries.
+func (p *PCX) Len() int { return p.table.Len() }

@@ -84,6 +84,11 @@ type Stats struct {
 	// walk slot, and for how long.
 	QueuedWalks stats.Counter
 	QueueCycles stats.Counter
+	// XlatProbes and XlatHits count probes of the translation-block
+	// cache (the Victima mechanism); a hit short-circuits the walk with
+	// zero PTE traffic.
+	XlatProbes stats.Counter
+	XlatHits   stats.Counter
 	// MaxInFlight is the largest number of simultaneously active walks
 	// observed (including the one being started).
 	MaxInFlight int
@@ -126,6 +131,20 @@ type Memory interface {
 	Access(core int, now uint64, pa addr.P, op access.Op, class access.Class) uint64
 }
 
+// XlatCache is an optional cache of leaf translation blocks probed
+// before a sequential walk (the Victima mechanism: PTE blocks living in
+// the shared data cache). A hit resolves the walk at the probe's
+// completion time with zero PTE traffic; a completed walk offers its
+// block back via Fill, where the implementation's predictor decides
+// admission. memsys.VictimaStore satisfies it.
+type XlatCache interface {
+	// Probe checks for the translation block covering v, starting at
+	// absolute time t; done is the probe's completion time either way.
+	Probe(core int, t uint64, v addr.V) (done uint64, hit bool)
+	// Fill offers the block covering v after a walk completing at t.
+	Fill(core int, t uint64, v addr.V)
+}
+
 // Config tunes a walker.
 type Config struct {
 	// Width is the number of concurrent walk slots (Table-I-style knob).
@@ -134,6 +153,9 @@ type Config struct {
 	// Cache is the optional page-walk cache probed before sequential
 	// walks and filled after them. nil disables.
 	Cache pwc.Cache
+	// Xlat is the optional translation-block cache probed before
+	// sequential walks (Victima). nil disables.
+	Xlat XlatCache
 	// WayPrediction adds the ECH paper's cuckoo-walk cache for parallel
 	// (hashed) walks: most walks probe one predicted way instead of d,
 	// with a full second round on misprediction.
@@ -526,8 +548,19 @@ func (w *Walker) issue(t0 uint64, core int, v addr.V) uint64 {
 
 // issueSequential is the radix-style dependent walk, shortened by the
 // deepest page-walk-cache hit: a hit at level L supplies the child-table
-// base below L, so only deeper entries are read from memory.
+// base below L, so only deeper entries are read from memory. A
+// translation-block cache, when configured, is probed first: a hit
+// supplies the leaf PTE directly and the walk ends at the probe.
 func (w *Walker) issueSequential(t uint64, core int, v addr.V) uint64 {
+	if w.cfg.Xlat != nil {
+		w.stats.XlatProbes.Inc()
+		done, hit := w.cfg.Xlat.Probe(core, t, v)
+		if hit && w.walk.Found {
+			w.stats.XlatHits.Inc()
+			return done
+		}
+		t = done
+	}
 	skipDepth := -1
 	if w.cfg.Cache != nil {
 		t += w.cfg.Cache.Latency()
@@ -551,6 +584,9 @@ func (w *Walker) issueSequential(t uint64, core int, v addr.V) uint64 {
 			}
 		}
 		w.cfg.Cache.Fill(v, w.fillBuf)
+	}
+	if w.cfg.Xlat != nil && w.walk.Found {
+		w.cfg.Xlat.Fill(core, t, v)
 	}
 	return t
 }

@@ -111,9 +111,11 @@ func (g *replayGen) Next(op *Op) {
 	}
 	switch t.Kind {
 	case trace.Load:
-		*op = Op{Kind: Load, Addr: addr.V(t.Addr + g.delta)}
+		// PCs are code addresses, not dataset addresses: they pass
+		// through unrebased (zero for v1 captures).
+		*op = Op{Kind: Load, Addr: addr.V(t.Addr + g.delta), PC: t.PC}
 	case trace.Store:
-		*op = Op{Kind: Store, Addr: addr.V(t.Addr + g.delta)}
+		*op = Op{Kind: Store, Addr: addr.V(t.Addr + g.delta), PC: t.PC}
 	default:
 		*op = Op{Kind: Compute, Cycles: t.Cycles}
 	}

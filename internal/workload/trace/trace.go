@@ -2,8 +2,9 @@
 // the op streams ndptrace dumps and the "trace:<path>" replay workload
 // consumes. Two formats share one in-memory model ([]Op per stream):
 //
-//   - CSV ("op,addr" header; L/S/C rows) — single-stream,
-//     line-per-op, meant for eyeballing and for feeding other tools.
+//   - CSV ("op,addr" header, or "op,addr,pc" with instruction PCs;
+//     L/S/C rows) — single-stream, line-per-op, meant for eyeballing
+//     and for feeding other tools.
 //   - Binary .ndpt — gzip-framed, varint-delta encoded, multi-stream,
 //     with a header carrying the stream count, address span, and
 //     per-stream op totals. Meant for multi-GB captures.
@@ -12,7 +13,7 @@
 // little-endian varints (encoding/binary Uvarint/Varint):
 //
 //	magic   4 bytes "NDPT"
-//	version uvarint (currently 1)
+//	version uvarint (1, or 2 when ops carry instruction PCs)
 //	name    uvarint length + bytes (source workload, informational)
 //	seed    uvarint (capture seed, informational)
 //	base    uvarint (lowest address touched; replay rebases against it)
@@ -24,11 +25,15 @@
 //	        compute: uvarint cycles
 //	        load/store: varint address delta from the stream's
 //	        previous load/store address (first delta is from 0, i.e.
-//	        the absolute address)
+//	        the absolute address); version 2 appends a varint PC
+//	        delta from the stream's previous load/store PC
 //
-// Address deltas are per-stream, so streams decode independently of
-// one another and of the header's base. WORKLOADS.md is the normative
-// specification of both formats.
+// Version 2 differs from version 1 only in that extra PC delta: a
+// version-1 file decodes exactly as before, and a writer without PCs
+// emits bytes identical to a version-1 writer. Address and PC deltas
+// are per-stream, so streams decode independently of one another and
+// of the header's base. WORKLOADS.md is the normative specification of
+// both formats.
 package trace
 
 import (
@@ -54,10 +59,13 @@ const (
 )
 
 // Op is one captured operation: a load/store address or a compute
-// burst.
+// burst. PC is the issuing instruction's address, carried by format
+// version 2 (and the optional CSV pc column); zero in version-1
+// captures.
 type Op struct {
 	Kind   Kind
 	Addr   uint64 // Load/Store
+	PC     uint64 // Load/Store, format v2 only
 	Cycles uint32 // Compute
 }
 
@@ -69,12 +77,20 @@ const lineBytes = 64
 // Magic identifies a binary .ndpt capture (after gzip deframing).
 const Magic = "NDPT"
 
-// Version is the binary format version this package writes.
+// Version is the binary format version this package writes by default.
 const Version = 1
+
+// VersionPC is the binary format version carrying per-op instruction
+// PCs (NewWriterPC). Decoding accepts both versions.
+const VersionPC = 2
 
 // Header describes a capture: identity of the source, the address span
 // the streams touch, and the per-stream op totals.
 type Header struct {
+	// Version is the binary format version the capture was encoded
+	// with (Version or VersionPC); CSV-derived headers report Version,
+	// or VersionPC when the pc column is present.
+	Version uint64
 	// Name is the source workload's registry name (informational).
 	Name string
 	// Seed is the capture seed (informational).
@@ -159,22 +175,34 @@ func (s *spanTracker) bounds() (uint64, uint64) {
 type Writer struct {
 	name    string
 	seed    uint64
+	pcs     bool
 	streams []streamBuf
 	span    spanTracker
 }
 
 type streamBuf struct {
-	enc  []byte
-	prev uint64
-	ops  uint64
+	enc    []byte
+	prev   uint64
+	prevPC uint64
+	ops    uint64
 }
 
-// NewWriter returns a builder for a capture of the given stream count.
+// NewWriter returns a builder for a version-1 capture of the given
+// stream count. Op PCs are discarded; the output is byte-identical to
+// captures from before the PC stream existed.
 func NewWriter(name string, seed uint64, streams int) *Writer {
 	if streams < 1 {
 		panic("trace: NewWriter needs at least one stream")
 	}
 	return &Writer{name: name, seed: seed, streams: make([]streamBuf, streams)}
+}
+
+// NewWriterPC returns a builder for a version-2 capture that records
+// each load/store's instruction PC alongside its address.
+func NewWriterPC(name string, seed uint64, streams int) *Writer {
+	w := NewWriter(name, seed, streams)
+	w.pcs = true
+	return w
 }
 
 // Append records one op on the given stream.
@@ -188,6 +216,10 @@ func (w *Writer) Append(stream int, op Op) {
 	case Load, Store:
 		s.enc = binary.AppendVarint(s.enc, int64(op.Addr-s.prev))
 		s.prev = op.Addr
+		if w.pcs {
+			s.enc = binary.AppendVarint(s.enc, int64(op.PC-s.prevPC))
+			s.prevPC = op.PC
+		}
 		w.span.touch(op.Addr)
 	default:
 		panic(fmt.Sprintf("trace: unknown op kind %d", op.Kind))
@@ -196,7 +228,10 @@ func (w *Writer) Append(stream int, op Op) {
 
 // Header returns the header the capture built so far would carry.
 func (w *Writer) Header() Header {
-	h := Header{Name: w.name, Seed: w.seed, Ops: make([]uint64, len(w.streams))}
+	h := Header{Version: Version, Name: w.name, Seed: w.seed, Ops: make([]uint64, len(w.streams))}
+	if w.pcs {
+		h.Version = VersionPC
+	}
 	h.Base, h.Footprint = w.span.bounds()
 	for i := range w.streams {
 		h.Ops[i] = w.streams[i].ops
@@ -209,7 +244,7 @@ func (w *Writer) Encode(out io.Writer) error {
 	gz := gzip.NewWriter(out)
 	h := w.Header()
 	buf := []byte(Magic)
-	buf = binary.AppendUvarint(buf, Version)
+	buf = binary.AppendUvarint(buf, h.Version)
 	buf = binary.AppendUvarint(buf, uint64(len(h.Name)))
 	buf = append(buf, h.Name...)
 	buf = binary.AppendUvarint(buf, h.Seed)
@@ -270,9 +305,10 @@ func (d *decoder) header() (Header, error) {
 	if err != nil {
 		return h, err
 	}
-	if v != Version {
-		return h, fmt.Errorf("trace: unsupported format version %d (have %d)", v, Version)
+	if v != Version && v != VersionPC {
+		return h, fmt.Errorf("trace: unsupported format version %d (have %d and %d)", v, Version, VersionPC)
 	}
+	h.Version = v
 	nameLen, err := d.uvarint("name length")
 	if err != nil {
 		return h, err
@@ -322,7 +358,7 @@ func (d *decoder) streamsOf(h Header) ([][]Op, error) {
 			hint = 1 << 20
 		}
 		ops := make([]Op, 0, hint)
-		var prev uint64
+		var prev, prevPC uint64
 		for n := uint64(0); n < count; n++ {
 			k, err := d.uvarint("op kind")
 			if err != nil {
@@ -344,7 +380,16 @@ func (d *decoder) streamsOf(h Header) ([][]Op, error) {
 					return nil, fmt.Errorf("stream %d op %d: %w", i, n, err)
 				}
 				prev += uint64(delta)
-				ops = append(ops, Op{Kind: Kind(k), Addr: prev})
+				op := Op{Kind: Kind(k), Addr: prev}
+				if h.Version >= VersionPC {
+					pcDelta, err := d.varint("pc delta")
+					if err != nil {
+						return nil, fmt.Errorf("stream %d op %d: %w", i, n, err)
+					}
+					prevPC += uint64(pcDelta)
+					op.PC = prevPC
+				}
+				ops = append(ops, op)
 			default:
 				return nil, fmt.Errorf("trace: stream %d op %d: unknown op kind %d", i, n, k)
 			}
@@ -394,16 +439,39 @@ func Decode(r io.Reader) (Header, [][]Op, error) {
 // CSVHeader is the first line of a CSV capture.
 const CSVHeader = "op,addr"
 
-// EncodeCSV writes a single-stream capture in the CSV format.
+// CSVHeaderPC is the first line of a CSV capture whose load/store rows
+// carry a third column: the issuing instruction's PC in hex.
+const CSVHeaderPC = "op,addr,pc"
+
+// EncodeCSV writes a single-stream capture in the CSV format. The pc
+// column is emitted only when some op carries a nonzero PC, so captures
+// without PCs stay byte-identical to the two-column format.
 func EncodeCSV(w io.Writer, ops []Op) error {
+	pcs := false
+	for _, op := range ops {
+		if (op.Kind == Load || op.Kind == Store) && op.PC != 0 {
+			pcs = true
+			break
+		}
+	}
 	bw := bufio.NewWriter(w)
-	fmt.Fprintln(bw, CSVHeader)
+	if pcs {
+		fmt.Fprintln(bw, CSVHeaderPC)
+	} else {
+		fmt.Fprintln(bw, CSVHeader)
+	}
 	for _, op := range ops {
 		switch op.Kind {
-		case Load:
-			fmt.Fprintf(bw, "L,%#x\n", op.Addr)
-		case Store:
-			fmt.Fprintf(bw, "S,%#x\n", op.Addr)
+		case Load, Store:
+			k := "L"
+			if op.Kind == Store {
+				k = "S"
+			}
+			if pcs {
+				fmt.Fprintf(bw, "%s,%#x,%#x\n", k, op.Addr, op.PC)
+			} else {
+				fmt.Fprintf(bw, "%s,%#x\n", k, op.Addr)
+			}
 		case Compute:
 			fmt.Fprintf(bw, "C,%d\n", op.Cycles)
 		default:
@@ -415,14 +483,22 @@ func EncodeCSV(w io.Writer, ops []Op) error {
 
 // DecodeCSV reads a CSV capture: one stream, a derived header (base,
 // footprint, and op count computed from the rows; name and seed empty).
+// Both headers are accepted; under the pc header, load/store rows carry
+// a third hex column (the instruction PC) and the derived header
+// reports VersionPC.
 func DecodeCSV(r io.Reader) (Header, [][]Op, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 64<<10), 64<<10)
 	if !sc.Scan() {
 		return Header{}, nil, fmt.Errorf("trace: empty CSV capture (want %q header)", CSVHeader)
 	}
-	if got := strings.TrimSpace(sc.Text()); got != CSVHeader {
-		return Header{}, nil, fmt.Errorf("trace: CSV header %q (want %q)", got, CSVHeader)
+	pcs := false
+	switch got := strings.TrimSpace(sc.Text()); got {
+	case CSVHeader:
+	case CSVHeaderPC:
+		pcs = true
+	default:
+		return Header{}, nil, fmt.Errorf("trace: CSV header %q (want %q or %q)", got, CSVHeader, CSVHeaderPC)
 	}
 	var ops []Op
 	var span spanTracker
@@ -439,6 +515,18 @@ func DecodeCSV(r io.Reader) (Header, [][]Op, error) {
 		}
 		switch kind {
 		case "L", "S":
+			var pc uint64
+			if pcs {
+				addrField, pcField, ok := strings.Cut(val, ",")
+				if !ok {
+					return Header{}, nil, fmt.Errorf("trace: CSV line %d: missing pc column in %q", line, text)
+				}
+				p, err := strconv.ParseUint(strings.TrimPrefix(pcField, "0x"), 16, 64)
+				if err != nil {
+					return Header{}, nil, fmt.Errorf("trace: CSV line %d: bad pc %q", line, pcField)
+				}
+				val, pc = addrField, p
+			}
 			a, err := strconv.ParseUint(strings.TrimPrefix(val, "0x"), 16, 64)
 			if err != nil {
 				return Header{}, nil, fmt.Errorf("trace: CSV line %d: bad address %q", line, val)
@@ -447,7 +535,7 @@ func DecodeCSV(r io.Reader) (Header, [][]Op, error) {
 			if kind == "S" {
 				k = Store
 			}
-			ops = append(ops, Op{Kind: k, Addr: a})
+			ops = append(ops, Op{Kind: k, Addr: a, PC: pc})
 			span.touch(a)
 		case "C":
 			c, err := strconv.ParseUint(val, 10, 32)
@@ -462,7 +550,10 @@ func DecodeCSV(r io.Reader) (Header, [][]Op, error) {
 	if err := sc.Err(); err != nil {
 		return Header{}, nil, fmt.Errorf("trace: read CSV: %w", err)
 	}
-	h := Header{Ops: []uint64{uint64(len(ops))}}
+	h := Header{Version: Version, Ops: []uint64{uint64(len(ops))}}
+	if pcs {
+		h.Version = VersionPC
+	}
 	h.Base, h.Footprint = span.bounds()
 	return h, [][]Op{ops}, nil
 }

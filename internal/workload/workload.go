@@ -37,9 +37,18 @@ const (
 )
 
 // Op is one instruction emitted by a generator.
+//
+// PC is the virtual address of the static instruction issuing the op,
+// used by PC-indexed translation (the PCAX mechanism). Builtin kernels
+// assign deterministic synthetic PCs to their loads and stores (a small
+// set per kernel, modeling the static memory instructions of an inner
+// loop); trace replays carry the captured PC when the trace has one
+// (.ndpt format v2, or the optional CSV pc column). PC 0 means "no PC":
+// such ops skip the PC-indexed table and PCAX degenerates to Radix.
 type Op struct {
 	Kind   OpKind
 	Addr   addr.V
+	PC     uint64
 	Cycles uint32
 }
 
@@ -91,8 +100,20 @@ func (e *emitter) pop(op *Op) {
 	e.head++
 }
 
-func (e *emitter) load(a addr.V)    { e.buf = append(e.buf, Op{Kind: Load, Addr: a}) }
-func (e *emitter) store(a addr.V)   { e.buf = append(e.buf, Op{Kind: Store, Addr: a}) }
+// Synthetic PCs for builtin kernels: each load/store takes a PC from a
+// small per-refill-position window, modeling the bounded set of static
+// memory instructions in a kernel's inner loop. Position-derived PCs are
+// deterministic (a pure function of the op stream, so same-seed runs and
+// shard replications see identical PCs) and stable across refills.
+const (
+	pcBase  = 0x400000 // conventional text-segment base
+	pcSlots = 128      // distinct synthetic PCs per kernel
+)
+
+func (e *emitter) pc() uint64 { return pcBase + 4*uint64(len(e.buf)&(pcSlots-1)) }
+
+func (e *emitter) load(a addr.V)    { e.buf = append(e.buf, Op{Kind: Load, Addr: a, PC: e.pc()}) }
+func (e *emitter) store(a addr.V)   { e.buf = append(e.buf, Op{Kind: Store, Addr: a, PC: e.pc()}) }
 func (e *emitter) compute(c uint32) { e.buf = append(e.buf, Op{Kind: Compute, Cycles: c}) }
 
 // thread adapts a refill function to the Generator interface.

@@ -60,8 +60,8 @@ const (
 // Mechanism selects the address-translation design.
 type Mechanism = core.Mechanism
 
-// Translation mechanisms (paper Section VI), plus the two NDPage
-// ablation variants.
+// Translation mechanisms (paper Section VI), the two NDPage ablation
+// variants, and the related-work mechanisms (DESIGN.md "Mechanism zoo").
 const (
 	Radix       Mechanism = core.Radix
 	ECH         Mechanism = core.ECH
@@ -70,6 +70,9 @@ const (
 	Ideal       Mechanism = core.Ideal
 	FlattenOnly Mechanism = core.FlattenOnly
 	BypassOnly  Mechanism = core.BypassOnly
+	Victima     Mechanism = core.Victima
+	NMT         Mechanism = core.NMT
+	PCAX        Mechanism = core.PCAX
 )
 
 // Mechanisms lists the paper's evaluated mechanisms in figure order.
@@ -80,7 +83,8 @@ func Mechanisms() []Mechanism {
 }
 
 // ParseMechanism resolves a mechanism name ("Radix", "ECH", "HugePage",
-// "NDPage", "Ideal", "FlattenOnly", "BypassOnly").
+// "NDPage", "Ideal", "FlattenOnly", "BypassOnly", "Victima", "NMT",
+// "PCAX").
 func ParseMechanism(s string) (Mechanism, error) { return core.ParseMechanism(s) }
 
 // Config describes one simulation. The zero values of the optional

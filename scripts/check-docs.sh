@@ -61,6 +61,40 @@ while IFS= read -r line; do
   done
 done < <(cat $DOCS)
 
+# --- 3. Mechanism surface documented ----------------------------------------
+# The mechanism zoo is user-facing through two CLIs: every selectable
+# mechanism name, the comparison figure, and ndpsim's mechanism knobs
+# must appear both in the tool (flag help / extras list) and in the
+# docs, so neither side can drift silently.
+for name in Radix ECH HugePage NDPage Ideal FlattenOnly BypassOnly Victima NMT PCAX; do
+  if ! grep -q "$name" cmd/ndpsim/main.go; then
+    echo "FAIL: mechanism $name missing from ndpsim's -mech help"
+    fail=1
+  fi
+  if ! cat $DOCS | grep -qw "$name"; then
+    echo "FAIL: mechanism $name undocumented in $DOCS"
+    fail=1
+  fi
+done
+if ! grep -q 'mechanism-comparison' cmd/ndpexp/main.go; then
+  echo "FAIL: ndpexp does not list the mechanism-comparison figure"
+  fail=1
+fi
+if ! cat $DOCS | grep -q 'mechanism-comparison'; then
+  echo "FAIL: ndpexp -figs mechanism-comparison undocumented in $DOCS"
+  fail=1
+fi
+for f in victima-gate identity-promote pcx-entries; do
+  if ! grep -q "\"$f\"" cmd/ndpsim/main.go; then
+    echo "FAIL: ndpsim defines no -$f flag"
+    fail=1
+  fi
+  if ! cat $DOCS | grep -q -- "-$f"; then
+    echo "FAIL: ndpsim -$f undocumented in $DOCS"
+    fail=1
+  fi
+done
+
 if [ "$fail" -ne 0 ]; then
   echo "docs check failed"
   exit 1
